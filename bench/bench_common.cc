@@ -1,0 +1,73 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <iostream>
+
+namespace abndp
+{
+namespace bench
+{
+
+Options
+parseOptions(int argc, char **argv, bool sweepBench)
+{
+    Options opts;
+    opts.flags.parse(argc, argv);
+    opts.scale = static_cast<std::uint32_t>(
+        opts.flags.getUint("scale", sweepBench ? 13 : 14));
+    opts.verify = opts.flags.getBool("verify", false);
+    opts.seed = opts.flags.getUint("seed", 42);
+    opts.base.seed = opts.flags.getUint("sim-seed", 1);
+    return opts;
+}
+
+WorkloadSpec
+specFor(const std::string &name, const Options &opts)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.seed = opts.seed;
+    spec.scale = opts.scale;
+    // Non-graph workloads shrink with the scale knob too so that sweep
+    // benches stay fast.
+    if (opts.scale < 14) {
+        spec.kmeansPoints = 1ull << (opts.scale + 2);
+        spec.knnPoints = 1u << (opts.scale + 1);
+        spec.knnQueries = 1u << (opts.scale - 3);
+        spec.astarQueries = 8;
+    }
+    return spec;
+}
+
+RunMetrics
+runCell(const SystemConfig &base, Design d, const WorkloadSpec &spec,
+        bool verify)
+{
+    ExperimentOptions eopts;
+    eopts.verify = verify;
+    eopts.fatalOnVerifyFailure = true;
+    return runExperiment(base, d, spec, eopts);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / values.size());
+}
+
+void
+printBanner(const std::string &artifact, const std::string &paper)
+{
+    std::cout << "==============================================================\n";
+    std::cout << "ABNDP reproduction: " << artifact << "\n";
+    std::cout << "Paper reports: " << paper << "\n";
+    std::cout << "==============================================================\n\n";
+}
+
+} // namespace bench
+} // namespace abndp

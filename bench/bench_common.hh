@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared infrastructure for the per-table/per-figure benchmark binaries.
+ * Every binary runs standalone with small defaults (so that looping over
+ * build/bench/* regenerates all results) and accepts --scale / --seed /
+ * --verify flags to change fidelity.
+ */
+
+#ifndef ABNDP_BENCH_BENCH_COMMON_HH
+#define ABNDP_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/config.hh"
+#include "common/table.hh"
+#include "core/metrics.hh"
+#include "driver/experiment.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+namespace bench
+{
+
+/** Parsed common options of a benchmark binary. */
+struct Options
+{
+    SystemConfig base;
+    CliFlags flags;
+    /** Graph scale for graph workloads (sweeps default smaller). */
+    std::uint32_t scale = 14;
+    bool verify = false;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Parse the common flags. @p sweepBench picks the smaller default scale
+ * used by the parameter sweeps (Figures 11-18).
+ */
+Options parseOptions(int argc, char **argv, bool sweepBench = false);
+
+/** Workload spec sized according to the options. */
+WorkloadSpec specFor(const std::string &name, const Options &opts);
+
+/** Run one (design, workload) cell. */
+RunMetrics runCell(const SystemConfig &base, Design d,
+                   const WorkloadSpec &spec, bool verify);
+
+/** Geometric mean of a list of ratios. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Print the benchmark banner: which paper artifact this regenerates and
+ * what shape the paper reports (EXPERIMENTS.md records the comparison).
+ */
+void printBanner(const std::string &artifact, const std::string &paper);
+
+/** Shorthand formatter. */
+inline std::string
+fmt(double v, int prec = 2)
+{
+    return TextTable::fmt(v, prec);
+}
+
+} // namespace bench
+} // namespace abndp
+
+#endif // ABNDP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the hot
+ * simulator primitives — camp mapping, cache probes, the event queue,
+ * DRAM/network reservations, and scheduler scoring. These guard the
+ * simulator's own performance, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/camp_mapping.hh"
+#include "cache/set_assoc_cache.hh"
+#include "cache/traveller_cache.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "energy/energy.hh"
+#include "mem/address_map.hh"
+#include "mem/dram.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+#include "sched/scheduler.hh"
+#include "sim/bandwidth_meter.hh"
+#include "sim/event_queue.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+SystemConfig
+cachedConfig()
+{
+    SystemConfig cfg;
+    cfg.traveller.style = CacheStyle::TravellerSramTags;
+    return cfg;
+}
+
+void
+BM_Mix64(benchmark::State &state)
+{
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = mix64(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_Mix64);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    EventQueue eq;
+    Tick t = 0;
+    for (auto _ : state) {
+        eq.schedule(++t, [] {});
+        if (eq.size() > 1024)
+            eq.runAll();
+    }
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void
+BM_CampCandidates(benchmark::State &state)
+{
+    auto cfg = cachedConfig();
+    Topology topo(cfg);
+    AddressMap amap(cfg);
+    CampMapping camps(cfg, topo, amap);
+    CandidateList cl;
+    Addr a = 0;
+    for (auto _ : state) {
+        camps.candidates(a, cl);
+        benchmark::DoNotOptimize(cl.loc[0]);
+        a += 64;
+    }
+}
+BENCHMARK(BM_CampCandidates);
+
+void
+BM_NearestCandidate(benchmark::State &state)
+{
+    auto cfg = cachedConfig();
+    Topology topo(cfg);
+    AddressMap amap(cfg);
+    CampMapping camps(cfg, topo, amap);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            camps.nearestCandidate(a, static_cast<UnitId>(a / 64 % 128)));
+        a += 64;
+    }
+}
+BENCHMARK(BM_NearestCandidate);
+
+void
+BM_L1Access(benchmark::State &state)
+{
+    SystemConfig cfg;
+    SetAssocCache l1(cfg.l1d);
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!l1.access(a))
+            l1.insert(a);
+        a = (a + 64) % (1 << 20);
+    }
+}
+BENCHMARK(BM_L1Access);
+
+void
+BM_TravellerLookupInsert(benchmark::State &state)
+{
+    auto cfg = cachedConfig();
+    TravellerCache tc(cfg, 1);
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!tc.lookup(a))
+            tc.maybeInsert(a);
+        a = (a + 64) % (1 << 22);
+    }
+}
+BENCHMARK(BM_TravellerLookupInsert);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    SystemConfig cfg;
+    EnergyAccount energy(cfg);
+    DramChannel dram(cfg, energy);
+    Tick t = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dram.access(a, 64, false, false, t));
+        a += 4096;
+        t += 100000;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_NetworkTransfer(benchmark::State &state)
+{
+    SystemConfig cfg;
+    Topology topo(cfg);
+    EnergyAccount energy(cfg);
+    Network net(cfg, topo, energy);
+    Tick t = 0;
+    UnitId dst = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.transfer(0, dst, 80, t));
+        dst = (dst + 17) % 128;
+        if (dst == 0)
+            dst = 1;
+        t += 100000;
+    }
+}
+BENCHMARK(BM_NetworkTransfer);
+
+void
+BM_BandwidthMeterReserve(benchmark::State &state)
+{
+    BandwidthMeter m;
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.reserve(t, 50));
+        t += 60;
+    }
+}
+BENCHMARK(BM_BandwidthMeterReserve);
+
+void
+BM_SchedulerChoose(benchmark::State &state)
+{
+    auto cfg = cachedConfig();
+    cfg.sched.policy = SchedPolicy::Hybrid;
+    Topology topo(cfg);
+    AddressMap amap(cfg);
+    CampMapping camps(cfg, topo, amap);
+    Scheduler sched(cfg, topo, camps);
+
+    // A representative vertex task: one main record + 16 neighbors.
+    Task task;
+    Rng rng(3);
+    for (int i = 0; i < 17; ++i)
+        task.hint.data.push_back(amap.unitBase(
+                                     static_cast<UnitId>(rng.below(128)))
+                                 + rng.below(1 << 20) * 64);
+    task.mainHome = amap.homeOf(task.hint.data[0]);
+    task.loadEstimate = sched.estimateLoad(task);
+
+    UnitId creator = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sched.choose(task, creator));
+        creator = (creator + 1) % 128;
+    }
+}
+BENCHMARK(BM_SchedulerChoose);
+
+} // namespace
+} // namespace abndp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design-matrix walkthrough: run one workload under every Table-2 system
+ * design and print the full metric row for each — a compact view of the
+ * remote-access/load-balance tradeoff the paper studies.
+ *
+ * Usage: design_matrix [--workload=pr] [--scale=13] [--verify=true]
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/config.hh"
+#include "common/table.hh"
+#include "driver/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace abndp;
+
+    CliFlags flags(argc, argv);
+    WorkloadSpec spec;
+    spec.name = flags.getString("workload", "pr");
+    spec.scale = static_cast<std::uint32_t>(flags.getUint("scale", 13));
+    spec.edgeFactor =
+        static_cast<std::uint32_t>(flags.getUint("edge-factor", 16));
+
+    SystemConfig base;
+    base.seed = flags.getUint("seed", 1);
+
+    ExperimentOptions opts;
+    opts.verify = flags.getBool("verify", true);
+
+    std::cout << "Workload: " << spec.name << " (scale " << spec.scale
+              << ", edge factor " << spec.edgeFactor << ")\n\n";
+
+    TextTable table({"design", "time(ms)", "speedup", "hops(k)",
+                     "energy(mJ)", "imbalance", "campHit", "forwards",
+                     "steals", "pbHit%", "rdLat(ns)", "rdMax(us)",
+                     "util"});
+
+    double baseTicks = 0.0;
+    for (Design d : ndpDesigns()) {
+        RunMetrics m = runExperiment(base, d, spec, opts);
+        if (d == Design::B)
+            baseTicks = static_cast<double>(m.ticks);
+        double pbTotal =
+            static_cast<double>(m.pbHits + m.pbLateHits + m.pbMisses);
+        table.addRow({designName(d),
+                      TextTable::fmt(m.seconds() * 1e3),
+                      TextTable::fmt(baseTicks / m.ticks),
+                      TextTable::fmt(m.interHops / 1000.0, 1),
+                      TextTable::fmt(m.energy.total() / 1e9),
+                      TextTable::fmt(m.imbalance()),
+                      TextTable::fmt(m.campHitRate()),
+                      TextTable::fmt(static_cast<std::uint64_t>(
+                          m.forwardedTasks)),
+                      TextTable::fmt(static_cast<std::uint64_t>(
+                          m.stolenTasks)),
+                      TextTable::fmt(pbTotal > 0
+                          ? 100.0 * m.pbHits / pbTotal : 0.0, 1),
+                      TextTable::fmt(m.readLatMeanNs, 0),
+                      TextTable::fmt(m.readLatMaxNs / 1000.0, 1),
+                      TextTable::fmt(m.utilization())});
+    }
+    table.print(std::cout);
+    return 0;
+}

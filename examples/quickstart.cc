@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Quickstart: build the default ABNDP system (Table 1), run Page Rank on
+ * a small power-law graph under the baseline B and the full ABNDP design
+ * O, and print the headline metrics.
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "driver/experiment.hh"
+
+int
+main()
+{
+    using namespace abndp;
+
+    SystemConfig base; // Table-1 defaults: 4x4 stacks, 128 NDP units
+    base.print(std::cout);
+    std::cout << "\n";
+
+    WorkloadSpec spec;
+    spec.name = "pr";
+    spec.scale = 12; // 4096-vertex power-law graph, quick to simulate
+    spec.prIters = 3;
+
+    std::cout << "Running Page Rank under baseline B..." << std::endl;
+    RunMetrics b = runExperiment(base, Design::B, spec);
+    std::cout << "Running Page Rank under ABNDP (O)..." << std::endl;
+    RunMetrics o = runExperiment(base, Design::O, spec);
+
+    auto report = [](const char *name, const RunMetrics &m) {
+        std::cout << name << ": " << m.tasks << " tasks, "
+                  << m.seconds() * 1e3 << " ms simulated, "
+                  << m.interHops << " inter-stack hops, "
+                  << m.energy.total() / 1e9 << " mJ, imbalance x"
+                  << m.imbalance() << ", camp hit rate "
+                  << m.campHitRate() << ", forwards " << m.forwardedTasks
+                  << "\n";
+    };
+    report("B (baseline)", b);
+    report("O (ABNDP)   ", o);
+    std::cout << "ABNDP speedup over baseline: "
+              << static_cast<double>(b.ticks) / o.ticks << "x\n";
+    return 0;
+}

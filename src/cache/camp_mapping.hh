@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Camp-location mapping for the Traveller Cache (paper Section 4.2).
+ *
+ * Every cache block has one home (its memory location) plus C camp
+ * locations, one in each localized group other than the home's group.
+ * Camp unit IDs are deterministic functions of the block address; with
+ * skewed mapping each group uses a different function (a la skewed
+ * associative caches), with identical mapping all groups use the same one.
+ *
+ * Implementation note (documented divergence): the paper derives the camp
+ * unit index from distinct physical-address bit slices. We derive it from
+ * group-salted mixes of the block number instead, which preserves the
+ * properties that matter (determinism, per-group diversity, uniformity,
+ * no per-block metadata) while staying uniform under any allocator
+ * layout. The tag-size accounting below still follows the paper's
+ * bit-slice arithmetic, since a hardware implementation would use slices.
+ */
+
+#ifndef ABNDP_CACHE_CAMP_MAPPING_HH
+#define ABNDP_CACHE_CAMP_MAPPING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/address_map.hh"
+#include "net/topology.hh"
+
+namespace abndp
+{
+
+/** Fixed-capacity list of candidate locations (home + camps). */
+struct CandidateList
+{
+    static constexpr std::uint32_t maxGroups = 16;
+    std::array<UnitId, maxGroups> loc;
+    std::uint32_t n = 0;
+};
+
+/** Deterministic home/camp location mapping. */
+class CampMapping
+{
+  public:
+    CampMapping(const SystemConfig &cfg, const Topology &topo,
+                const AddressMap &amap);
+
+    /** Home unit of an address. */
+    UnitId homeOf(Addr addr) const { return amap.homeOf(addr); }
+
+    /**
+     * Candidate location of @p addr in group @p g: the home unit if the
+     * home lies in @p g, otherwise the camp unit of that group.
+     */
+    UnitId locationInGroup(Addr addr, GroupId g) const;
+
+    /** All candidate locations, one per group, in group order. */
+    void candidates(Addr addr, CandidateList &out) const;
+
+    /**
+     * Candidate location nearest to @p from (the "always probe only the
+     * nearest camp location" rule of Section 4.3).
+     */
+    UnitId nearestCandidate(Addr addr, UnitId from) const;
+
+    /** Cache set index of a block (low bits, paper Section 4.2). */
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return blockNumber(addr) % nSets;
+    }
+
+    /**
+     * Physical address of a block's slot inside a camp's DRAM cache
+     * region (used so camp accesses derive DRAM rows from the cache
+     * layout: neighboring sets share rows).
+     */
+    Addr
+    cacheSlotAddr(Addr addr) const
+    {
+        std::uint64_t way = mix64(blockNumber(addr)) % assoc;
+        return (setIndex(addr) * assoc + way) * cachelineBytes;
+    }
+
+    /** Tag bits per block with the camp restriction (Section 4.3). */
+    std::uint32_t tagBits() const { return nTagBits; }
+
+    /** Tag bits per block without the camp restriction, for comparison. */
+    std::uint32_t tagBitsUnrestricted() const { return nTagBitsFree; }
+
+    /** Total SRAM tag storage per NDP unit in bytes. */
+    std::uint64_t tagStorageBytes() const;
+
+    bool skewed() const { return useSkew; }
+    std::uint32_t numGroups() const { return topo.numGroups(); }
+
+  private:
+    const Topology &topo;
+    const AddressMap &amap;
+    std::uint64_t nSets;
+    std::uint32_t assoc;
+    std::uint32_t nTagBits;
+    std::uint32_t nTagBitsFree;
+    bool useSkew;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_CACHE_CAMP_MAPPING_HH

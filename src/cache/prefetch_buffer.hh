@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SRAM prefetch buffer (Section 3.2, Table 1): a small FIFO of cache
+ * blocks prefetched according to task hints. Hits bypass the L1 caches.
+ */
+
+#ifndef ABNDP_CACHE_PREFETCH_BUFFER_HH
+#define ABNDP_CACHE_PREFETCH_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** FIFO prefetch buffer; tracks the tick each block becomes ready. */
+class PrefetchBuffer
+{
+  public:
+    explicit PrefetchBuffer(std::uint64_t capacityBlocks)
+        : capacity(capacityBlocks)
+    {
+        abndp_assert(capacity > 0);
+    }
+
+    /**
+     * Record a prefetched block that becomes available at @p readyTick;
+     * evicts the oldest entry when full. Re-prefetching an existing block
+     * keeps the earlier ready tick.
+     */
+    void
+    fill(Addr blockAddr, Tick readyTick)
+    {
+        auto it = entries.find(blockAddr);
+        if (it != entries.end()) {
+            if (readyTick < it->second)
+                it->second = readyTick;
+            return;
+        }
+        if (entries.size() >= capacity) {
+            entries.erase(fifo.front());
+            fifo.pop_front();
+            ++nEvicts;
+        }
+        entries.emplace(blockAddr, readyTick);
+        fifo.push_back(blockAddr);
+        ++nFills;
+    }
+
+    /** Presence check without stats (used by the prefetch unit). */
+    bool peek(Addr blockAddr) const { return entries.count(blockAddr) > 0; }
+
+    /**
+     * Look up a block at time @p now.
+     * @return the ready tick if present (may be in the future: the
+     *         prefetch is still in flight), or tickNever on a miss.
+     */
+    Tick
+    lookup(Addr blockAddr, Tick now)
+    {
+        auto it = entries.find(blockAddr);
+        if (it == entries.end()) {
+            ++nMisses;
+            return tickNever;
+        }
+        if (it->second <= now)
+            ++nHits;
+        else
+            ++nLateHits;
+        return it->second;
+    }
+
+    /** Drop everything (bulk invalidation at epoch end). */
+    void
+    invalidateAll()
+    {
+        entries.clear();
+        fifo.clear();
+    }
+
+    std::uint64_t hits() const { return nHits.value(); }
+    std::uint64_t lateHits() const { return nLateHits.value(); }
+    std::uint64_t misses() const { return nMisses.value(); }
+    std::uint64_t fills() const { return nFills.value(); }
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    std::uint64_t capacity;
+    std::unordered_map<Addr, Tick> entries;
+    std::deque<Addr> fifo;
+
+    stats::Counter nHits;
+    stats::Counter nLateHits;
+    stats::Counter nMisses;
+    stats::Counter nFills;
+    stats::Counter nEvicts;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_CACHE_PREFETCH_BUFFER_HH

@@ -1,0 +1,124 @@
+#include "cache/set_assoc_cache.hh"
+
+namespace abndp
+{
+
+SetAssocCache::SetAssocCache(std::uint64_t numSets, std::uint32_t assoc,
+                             ReplPolicy repl, std::uint64_t seed,
+                             bool hashedIndex)
+    : sets(numSets), ways(assoc), repl(repl), hashed(hashedIndex),
+      rng(seed),
+      store(static_cast<std::size_t>(numSets) * assoc)
+{
+    abndp_assert(numSets > 0 && assoc > 0, "degenerate cache geometry");
+}
+
+SetAssocCache::Way *
+SetAssocCache::findWay(Addr blockAddr)
+{
+    auto *base = &store[setIndex(blockAddr) * ways];
+    for (std::uint32_t w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].block == blockAddr)
+            return &base[w];
+    return nullptr;
+}
+
+const SetAssocCache::Way *
+SetAssocCache::findWay(Addr blockAddr) const
+{
+    const auto *base = &store[setIndex(blockAddr) * ways];
+    for (std::uint32_t w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].block == blockAddr)
+            return &base[w];
+    return nullptr;
+}
+
+bool
+SetAssocCache::access(Addr blockAddr)
+{
+    if (auto *way = findWay(blockAddr)) {
+        if (repl == ReplPolicy::Lru)
+            way->stamp = ++tick;
+        ++nHits;
+        return true;
+    }
+    ++nMisses;
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr blockAddr) const
+{
+    return findWay(blockAddr) != nullptr;
+}
+
+std::uint32_t
+SetAssocCache::victimWay(std::size_t set)
+{
+    const auto *base = &store[set * ways];
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < ways; ++w)
+        if (!base[w].valid)
+            return w;
+    if (repl == ReplPolicy::Random)
+        return static_cast<std::uint32_t>(rng.below(ways));
+    // LRU and FIFO both evict the smallest stamp.
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways; ++w)
+        if (base[w].stamp < base[victim].stamp)
+            victim = w;
+    return victim;
+}
+
+Addr
+SetAssocCache::insert(Addr blockAddr)
+{
+    std::size_t set = setIndex(blockAddr);
+    if (auto *way = findWay(blockAddr)) {
+        // Already present: refresh recency only.
+        if (repl == ReplPolicy::Lru)
+            way->stamp = ++tick;
+        return invalidAddr;
+    }
+    std::uint32_t w = victimWay(set);
+    Way &way = store[set * ways + w];
+    Addr evicted = way.valid ? way.block : invalidAddr;
+    if (way.valid)
+        ++nEvicts;
+    way.valid = true;
+    way.block = blockAddr;
+    way.stamp = ++tick;
+    ++nInserts;
+    return evicted;
+}
+
+bool
+SetAssocCache::invalidate(Addr blockAddr)
+{
+    if (auto *way = findWay(blockAddr)) {
+        way->valid = false;
+        way->block = invalidAddr;
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    for (auto &way : store) {
+        way.valid = false;
+        way.block = invalidAddr;
+    }
+}
+
+std::uint64_t
+SetAssocCache::occupancy() const
+{
+    std::uint64_t n = 0;
+    for (const auto &way : store)
+        n += way.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace abndp

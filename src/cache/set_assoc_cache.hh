@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Generic set-associative cache model storing block presence only (the
+ * simulator never stores data contents; workloads keep real data in host
+ * memory). Used for L1-D/L1-I, the host LLC, and as the storage engine of
+ * the Traveller Cache variants.
+ */
+
+#ifndef ABNDP_CACHE_SET_ASSOC_CACHE_HH
+#define ABNDP_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** Set-associative block cache with pluggable replacement. */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param numSets number of sets (power of two not required)
+     * @param assoc ways per set
+     * @param repl replacement policy
+     * @param seed RNG seed for random replacement
+     */
+    SetAssocCache(std::uint64_t numSets, std::uint32_t assoc,
+                  ReplPolicy repl, std::uint64_t seed = Rng::defaultSeed,
+                  bool hashedIndex = true);
+
+    /** Build from a CacheGeometry. */
+    SetAssocCache(const CacheGeometry &geom,
+                  std::uint64_t seed = Rng::defaultSeed)
+        : SetAssocCache(geom.numSets(), geom.assoc, geom.repl, seed,
+                        geom.hashedIndex)
+    {
+    }
+
+    /**
+     * Look up a block; updates recency on hit, counts hit/miss stats.
+     * Does NOT allocate on miss (see insert()).
+     */
+    bool access(Addr blockAddr);
+
+    /** Presence check without stats or recency side effects. */
+    bool contains(Addr blockAddr) const;
+
+    /**
+     * Insert a block, evicting per the replacement policy if needed.
+     * @return the evicted block address, or invalidAddr if none.
+     */
+    Addr insert(Addr blockAddr);
+
+    /** Invalidate one block if present. @return true if it was present. */
+    bool invalidate(Addr blockAddr);
+
+    /** Drop all blocks (bulk invalidation; tag clear). */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return nHits.value(); }
+    std::uint64_t misses() const { return nMisses.value(); }
+    std::uint64_t insertions() const { return nInserts.value(); }
+    std::uint64_t evictions() const { return nEvicts.value(); }
+    std::uint64_t numSets() const { return sets; }
+    std::uint32_t associativity() const { return ways; }
+
+    /** Number of valid blocks currently cached. */
+    std::uint64_t occupancy() const;
+
+    void
+    resetStats()
+    {
+        nHits.reset();
+        nMisses.reset();
+        nInserts.reset();
+        nEvicts.reset();
+    }
+
+  private:
+    struct Way
+    {
+        Addr block = invalidAddr;
+        std::uint64_t stamp = 0; // recency (LRU) or insertion order (FIFO)
+        bool valid = false;
+    };
+
+    /**
+     * Set indexing. Hashed by default: the range-partitioned address
+     * space aligns every unit's data at large power-of-two bases, so
+     * plain low-bit indexing would alias all units' hot records into a
+     * few sets. Sequential-access caches (L1-I) use low-bit indexing so
+     * consecutive blocks occupy distinct sets.
+     */
+    std::size_t setIndex(Addr blockAddr) const
+    {
+        std::uint64_t block = blockNumber(blockAddr);
+        return (hashed ? mix64(block) : block) % sets;
+    }
+    Way *findWay(Addr blockAddr);
+    const Way *findWay(Addr blockAddr) const;
+    std::uint32_t victimWay(std::size_t set);
+
+    std::uint64_t sets;
+    std::uint32_t ways;
+    ReplPolicy repl;
+    bool hashed;
+    Rng rng;
+    std::uint64_t tick = 0;
+    std::vector<Way> store;
+
+    stats::Counter nHits;
+    stats::Counter nMisses;
+    stats::Counter nInserts;
+    stats::Counter nEvicts;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Per-unit Traveller Cache storage (paper Section 4.4): a set-associative
+ * DRAM cache region with SRAM tags, probabilistic (bypassing) insertion,
+ * random replacement by default, and bulk invalidation at the end of each
+ * bulk-synchronous timestamp. Only read-only primary data are cached, so
+ * no writebacks ever occur.
+ *
+ * The tag array is stored sparsely (hash map of occupied sets): a unit's
+ * cache has up to 128k blocks but short runs touch a small fraction, and
+ * bulk invalidation becomes O(occupancy) instead of O(capacity).
+ */
+
+#ifndef ABNDP_CACHE_TRAVELLER_CACHE_HH
+#define ABNDP_CACHE_TRAVELLER_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** One NDP unit's camp cache storage. */
+class TravellerCache
+{
+  public:
+    TravellerCache(const SystemConfig &cfg, std::uint64_t seed)
+        : nSets(cfg.travellerSets()),
+          assoc(cfg.traveller.assoc),
+          repl(cfg.traveller.repl),
+          rng(mix64(seed ^ 0x7261764c6c657243ULL)),
+          bypassProb(cfg.traveller.bypassProb)
+    {
+    }
+
+    /** Probe the tags for a block; counts hit/miss and updates recency. */
+    bool
+    lookup(Addr blockAddr)
+    {
+        auto it = sets.find(setOf(blockAddr));
+        if (it != sets.end()) {
+            for (auto &way : it->second) {
+                if (way.block == blockAddr) {
+                    if (repl == ReplPolicy::Lru)
+                        way.stamp = ++tick;
+                    ++nHits;
+                    return true;
+                }
+            }
+        }
+        ++nMisses;
+        return false;
+    }
+
+    /** Presence check without stats/recency side effects. */
+    bool
+    contains(Addr blockAddr) const
+    {
+        auto it = sets.find(setOf(blockAddr));
+        if (it == sets.end())
+            return false;
+        for (const auto &way : it->second)
+            if (way.block == blockAddr)
+                return true;
+        return false;
+    }
+
+    /**
+     * Try to insert a block subject to the probabilistic insertion
+     * policy. @return true if the block was actually inserted.
+     */
+    bool
+    maybeInsert(Addr blockAddr)
+    {
+        if (rng.chance(bypassProb)) {
+            ++nBypasses;
+            return false;
+        }
+        auto &set = sets[setOf(blockAddr)];
+        for (auto &way : set) {
+            if (way.block == blockAddr) {
+                if (repl == ReplPolicy::Lru)
+                    way.stamp = ++tick;
+                return true; // raced insert of an already-present block
+            }
+        }
+        if (set.size() < assoc) {
+            set.push_back({blockAddr, ++tick});
+            ++nOccupied;
+        } else {
+            std::size_t victim = 0;
+            if (repl == ReplPolicy::Random) {
+                victim = static_cast<std::size_t>(rng.below(set.size()));
+            } else {
+                for (std::size_t w = 1; w < set.size(); ++w)
+                    if (set[w].stamp < set[victim].stamp)
+                        victim = w;
+            }
+            set[victim] = {blockAddr, ++tick};
+            ++nEvicts;
+        }
+        ++nInserts;
+        return true;
+    }
+
+    /** Clear all tags at the end of a timestamp (no writeback needed). */
+    void
+    bulkInvalidate()
+    {
+        sets.clear();
+        nOccupied = 0;
+        ++nBulkInvalidations;
+    }
+
+    std::uint64_t hits() const { return nHits.value(); }
+    std::uint64_t misses() const { return nMisses.value(); }
+    std::uint64_t insertions() const { return nInserts.value(); }
+    std::uint64_t evictions() const { return nEvicts.value(); }
+    std::uint64_t bypasses() const { return nBypasses.value(); }
+    std::uint64_t occupancy() const { return nOccupied; }
+    std::uint64_t capacityBlocks() const { return nSets * assoc; }
+    std::uint64_t numSets() const { return nSets; }
+    std::uint32_t associativity() const { return assoc; }
+
+  private:
+    struct Way
+    {
+        Addr block;
+        std::uint64_t stamp; // recency for LRU / FIFO order otherwise
+    };
+
+    /**
+     * Low-bit set index (paper Section 4.2: "the cache set mapping
+     * follows traditional caches, using the lower bits in the address").
+     * Consecutive blocks therefore occupy consecutive sets, which keeps
+     * DRAM row locality inside the cache data region.
+     */
+    std::uint64_t setOf(Addr blockAddr) const
+    {
+        return blockNumber(blockAddr) % nSets;
+    }
+
+    std::uint64_t nSets;
+    std::uint32_t assoc;
+    ReplPolicy repl;
+    Rng rng;
+    double bypassProb;
+    std::uint64_t tick = 0;
+    std::uint64_t nOccupied = 0;
+    std::unordered_map<std::uint64_t, std::vector<Way>> sets;
+
+    stats::Counter nHits;
+    stats::Counter nMisses;
+    stats::Counter nInserts;
+    stats::Counter nEvicts;
+    stats::Counter nBypasses;
+    stats::Counter nBulkInvalidations;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_CACHE_TRAVELLER_CACHE_HH

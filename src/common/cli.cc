@@ -1,0 +1,86 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+void
+CliFlags::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string tok = argv[i];
+        if (tok.rfind("--", 0) != 0) {
+            args.push_back(tok);
+            continue;
+        }
+        tok = tok.substr(2);
+        auto eq = tok.find('=');
+        if (eq != std::string::npos) {
+            flags[tok.substr(0, eq)] = tok.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            flags[tok] = argv[++i];
+        } else {
+            flags[tok] = "true";
+        }
+    }
+}
+
+bool
+CliFlags::has(const std::string &name) const
+{
+    return flags.count(name) > 0;
+}
+
+std::string
+CliFlags::getString(const std::string &name, const std::string &defval) const
+{
+    auto it = flags.find(name);
+    return it == flags.end() ? defval : it->second;
+}
+
+std::int64_t
+CliFlags::getInt(const std::string &name, std::int64_t defval) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return defval;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+std::uint64_t
+CliFlags::getUint(const std::string &name, std::uint64_t defval) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return defval;
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+CliFlags::getDouble(const std::string &name, double defval) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return defval;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+CliFlags::getBool(const std::string &name, bool defval) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return defval;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("bad boolean flag --", name, "=", v);
+}
+
+} // namespace abndp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal command-line flag parser used by the benchmark and example
+ * binaries. Supports "--name=value" and "--name value" forms.
+ */
+
+#ifndef ABNDP_COMMON_CLI_HH
+#define ABNDP_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace abndp
+{
+
+/** Parsed command-line flags with typed, defaulted accessors. */
+class CliFlags
+{
+  public:
+    CliFlags() = default;
+    CliFlags(int argc, char **argv) { parse(argc, argv); }
+
+    /** Parse argv; unknown flags are collected, positionals kept aside. */
+    void parse(int argc, char **argv);
+
+    bool has(const std::string &name) const;
+
+    std::string getString(const std::string &name,
+                          const std::string &defval) const;
+    std::int64_t getInt(const std::string &name, std::int64_t defval) const;
+    std::uint64_t getUint(const std::string &name,
+                          std::uint64_t defval) const;
+    double getDouble(const std::string &name, double defval) const;
+    bool getBool(const std::string &name, bool defval) const;
+
+    const std::vector<std::string> &positional() const { return args; }
+
+  private:
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> args;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_COMMON_CLI_HH

@@ -1,0 +1,139 @@
+#include "common/config.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && std::has_single_bit(x);
+}
+
+} // namespace
+
+void
+SystemConfig::validate() const
+{
+    if (meshX == 0 || meshY == 0)
+        fatal("mesh dimensions must be nonzero");
+    if (unitsPerStack == 0 || coresPerUnit == 0)
+        fatal("unitsPerStack and coresPerUnit must be nonzero");
+    if (!isPow2(memBytesPerUnit))
+        fatal("memBytesPerUnit must be a power of two");
+    if (!isPow2(l1d.sizeBytes) || !isPow2(l1i.sizeBytes))
+        fatal("L1 cache sizes must be powers of two");
+    if (traveller.style != CacheStyle::None) {
+        if (!isPow2(traveller.ratioDenom))
+            fatal("traveller ratio denominator must be a power of two");
+        if (traveller.assoc == 0 || travellerSets() == 0)
+            fatal("traveller cache geometry degenerate");
+        if (traveller.campCount == 0)
+            fatal("campCount must be >= 1 when the Traveller Cache is on");
+        if (numUnits() % numGroups() != 0)
+            fatal("numUnits (", numUnits(), ") must be divisible by the ",
+                  "number of camp groups (", numGroups(), ")");
+        if (traveller.bypassProb < 0.0 || traveller.bypassProb > 1.0)
+            fatal("bypassProb must be within [0, 1]");
+    }
+    if (sched.prefetchWindow == 0)
+        fatal("prefetchWindow must be nonzero");
+    if (coreFreqGHz <= 0.0)
+        fatal("coreFreqGHz must be positive");
+}
+
+void
+SystemConfig::print(std::ostream &os) const
+{
+    os << "NDP system      : " << meshX << "x" << meshY
+       << " stacks in mesh, " << unitsPerStack << " NDP units per stack; "
+       << (totalMemBytes() >> 30) << "GB in total, "
+       << (memBytesPerUnit >> 20) << "MB per unit\n";
+    os << "NDP core        : " << coreFreqGHz << "GHz, " << coresPerUnit
+       << " cores per NDP unit (" << numCores() << " in total)\n";
+    os << "L1-D cache      : " << (l1d.sizeBytes >> 10) << "kB, "
+       << l1d.assoc << "-way, " << l1d.lineBytes << "B cachelines, LRU\n";
+    os << "L1-I cache      : " << (l1i.sizeBytes >> 10) << "kB, "
+       << l1i.assoc << "-way, " << l1i.lineBytes << "B cachelines, LRU\n";
+    os << "Prefetch buffer : " << (prefetchBufBytes >> 10) << "kB, "
+       << cachelineBytes << "B blocks, FIFO\n";
+    os << "DRAM channel    : " << dram.busBits << " bits; tCAS=tRCD=tRP="
+       << dram.tCasNs << "ns; " << dram.pjPerBitRw << "pJ/bit RD/WR, "
+       << dram.pjActPre << "pJ ACT/PRE\n";
+    os << "Intra-stack net : " << net.intraLinkBits << "-bit link; "
+       << net.intraHopNs << "ns/hop; " << net.intraPjPerBit << "pJ/bit\n";
+    os << "Inter-stack net : " << net.interGBs << "GB/s per direction; "
+       << net.interHopNs << "ns/hop; " << net.interPjPerBit << "pJ/bit\n";
+    if (traveller.style != CacheStyle::None) {
+        os << "Traveller Cache : 1/R=1/" << traveller.ratioDenom
+           << " of local mem. capacity, " << traveller.assoc << "-way; C="
+           << traveller.campCount << " camp loc.; "
+           << (traveller.repl == ReplPolicy::Random ? "random" : "LRU")
+           << " repl., " << static_cast<int>(traveller.bypassProb * 100)
+           << "% bypass\n";
+    } else {
+        os << "Traveller Cache : disabled\n";
+    }
+    os << "Scheduler       : " << sched.exchangeIntervalCycles
+       << "-cycle workload exchange interval; hybrid scheduling weight B="
+       << sched.hybridAlpha << "*Dinter\n";
+}
+
+const char *
+designName(Design d)
+{
+    switch (d) {
+      case Design::H: return "H";
+      case Design::B: return "B";
+      case Design::Sm: return "Sm";
+      case Design::Sl: return "Sl";
+      case Design::Sh: return "Sh";
+      case Design::C: return "C";
+      case Design::O: return "O";
+    }
+    panic("unknown design");
+}
+
+SystemConfig
+applyDesign(SystemConfig base, Design d)
+{
+    base.traveller.style = CacheStyle::None;
+    base.sched.workStealing = false;
+    switch (d) {
+      case Design::H:
+        // Host-only; the NDP fields are ignored by the host model.
+        break;
+      case Design::B:
+        base.sched.policy = SchedPolicy::Colocate;
+        break;
+      case Design::Sm:
+        base.sched.policy = SchedPolicy::LowestDistance;
+        break;
+      case Design::Sl:
+        base.sched.policy = SchedPolicy::LowestDistance;
+        base.sched.workStealing = true;
+        break;
+      case Design::Sh:
+        base.sched.policy = SchedPolicy::Hybrid;
+        break;
+      case Design::C:
+        base.sched.policy = SchedPolicy::LowestDistance;
+        base.traveller.style = CacheStyle::TravellerSramTags;
+        break;
+      case Design::O:
+        base.sched.policy = SchedPolicy::Hybrid;
+        base.traveller.style = CacheStyle::TravellerSramTags;
+        break;
+    }
+    if (base.sched.autoAlpha)
+        base.sched.hybridAlpha = base.meshDiameter() / 2.0;
+    return base;
+}
+
+} // namespace abndp

@@ -1,0 +1,21 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace abndp
+{
+
+double
+Rng::gaussian()
+{
+    // Box-Muller; discards the second variate for simplicity.
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+} // namespace abndp

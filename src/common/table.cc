@@ -1,0 +1,71 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    abndp_assert(row.size() == rows.front().size(),
+                 "row width mismatch: ", row.size(), " vs ",
+                 rows.front().size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TextTable::fmt(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(rows.front().size(), 0);
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ")
+               << std::setw(static_cast<int>(widths[c])) << std::left
+               << row[c];
+        }
+        os << " |\n";
+    };
+
+    auto printSep = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-|-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-|\n";
+    };
+
+    printRow(rows.front());
+    printSep();
+    for (std::size_t r = 1; r < rows.size(); ++r)
+        printRow(rows[r]);
+}
+
+} // namespace abndp

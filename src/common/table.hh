@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ASCII table formatting used by the benchmark harnesses to print the
+ * rows/series of each paper table and figure.
+ */
+
+#ifndef ABNDP_COMMON_TABLE_HH
+#define ABNDP_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace abndp
+{
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmt(std::uint64_t v);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_COMMON_TABLE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental type aliases and global constants used across ABNDP.
+ */
+
+#ifndef ABNDP_COMMON_TYPES_HH
+#define ABNDP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace abndp
+{
+
+/** Simulated physical address (byte granularity). */
+using Addr = std::uint64_t;
+
+/**
+ * Simulation time in ticks. One tick is one picosecond, so that both the
+ * 2 GHz NDP cores (500 ticks/cycle) and the nanosecond-scale interconnect
+ * and DRAM latencies of Table 1 can be represented exactly.
+ */
+using Tick = std::uint64_t;
+
+/** Core clock cycles (frequency-dependent; see SystemConfig). */
+using Cycles = std::uint64_t;
+
+/** Global NDP unit identifier, 0 .. numUnits-1. */
+using UnitId = std::uint32_t;
+
+/** Memory stack identifier within the inter-stack mesh. */
+using StackId = std::uint32_t;
+
+/** Camp-location group identifier, 0 .. numGroups-1. */
+using GroupId = std::uint32_t;
+
+/** Ticks per nanosecond (tick = 1 ps). */
+constexpr Tick ticksPerNs = 1000;
+
+/** Cache line size used throughout the system (Table 1). */
+constexpr std::uint32_t cachelineBytes = 64;
+
+/** log2 of the cache line size. */
+constexpr std::uint32_t cachelineBits = 6;
+
+/** Sentinel for an invalid/unassigned unit. */
+constexpr UnitId invalidUnit = std::numeric_limits<UnitId>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel tick "never". */
+constexpr Tick tickNever = std::numeric_limits<Tick>::max();
+
+/** Convert a byte address to its cache-block number. */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> cachelineBits;
+}
+
+/** Align a byte address down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(cachelineBytes - 1);
+}
+
+} // namespace abndp
+
+#endif // ABNDP_COMMON_TYPES_HH

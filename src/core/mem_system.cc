@@ -1,0 +1,158 @@
+#include "core/mem_system.hh"
+
+#include <cstdlib>
+
+namespace abndp
+{
+
+MemSystem::MemSystem(const SystemConfig &cfg, const Topology &topo,
+                     const AddressMap &amap, EnergyAccount &energy)
+    : cfg(cfg), topo(topo), amap(amap), energy(energy),
+      net(cfg, topo, energy),
+      camps(cfg, topo, amap),
+      style(cfg.traveller.style),
+      tagCheckTicks(1 * ticksPerNs),
+      sramDataTicks(2 * ticksPerNs)
+{
+    drams.reserve(cfg.numUnits());
+    for (UnitId u = 0; u < cfg.numUnits(); ++u)
+        drams.push_back(std::make_unique<DramChannel>(cfg, energy));
+
+    traceReads = std::getenv("ABNDP_READ_HIST") != nullptr;
+
+    if (style != CacheStyle::None) {
+        campCaches.reserve(cfg.numUnits());
+        for (UnitId u = 0; u < cfg.numUnits(); ++u)
+            campCaches.push_back(std::make_unique<TravellerCache>(
+                cfg, mix64(cfg.seed ^ (0x1000ull + u))));
+    }
+}
+
+Tick
+MemSystem::homeRead(UnitId u, UnitId home, Addr addr, Tick start)
+{
+    ++nHomeDirect;
+    if (home == u)
+        return drams[home]->access(addr, cachelineBytes, false, false,
+                                   start);
+    // Request to the home, DRAM access, data back.
+    Tick t = start;
+    t += net.transfer(u, home, PacketSizes::request, t).latency;
+    t += drams[home]->access(addr, cachelineBytes, false, false, t);
+    t += net.transfer(home, u, PacketSizes::data, t).latency;
+    return t - start;
+}
+
+Tick
+MemSystem::readBlock(UnitId u, Addr addr, Tick start)
+{
+    Tick lat = readBlockImpl(u, addr, start);
+    latencyNs.sample(static_cast<double>(lat) / ticksPerNs);
+    if (traceReads)
+        ++debugReadHist[blockAlign(addr)];
+    return lat;
+}
+
+Tick
+MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start)
+{
+    addr = blockAlign(addr);
+    UnitId home = amap.homeOf(addr);
+
+    if (style == CacheStyle::None)
+        return homeRead(u, home, addr, start);
+
+    // Probe only the nearest candidate location (Section 4.3).
+    UnitId camp = camps.nearestCandidate(addr, u);
+    if (camp == home)
+        return homeRead(u, home, addr, start);
+
+    Tick t = start;
+    if (camp != u)
+        t += net.transfer(u, camp, PacketSizes::request, t).latency;
+
+    // Tag check at the camp.
+    bool hit;
+    switch (style) {
+      case CacheStyle::TravellerSramTags:
+      case CacheStyle::SramData:
+        energy.addTagAccess();
+        t += tagCheckTicks;
+        hit = campCaches[camp]->lookup(addr);
+        break;
+      case CacheStyle::DramTags:
+        // Tags live in DRAM with the data: every probe pays a DRAM
+        // access to read the tag (Figure 13).
+        t += drams[camp]->access(camps.cacheSlotAddr(addr) ^ 0x20,
+                                 PacketSizes::request, false, true, t);
+        hit = campCaches[camp]->lookup(addr);
+        break;
+      default:
+        panic("unreachable cache style");
+    }
+
+    if (hit) {
+        ++nCampHits;
+        if (style == CacheStyle::SramData) {
+            energy.addSramDataCacheAccess();
+            t += sramDataTicks;
+        } else {
+            t += drams[camp]->access(camps.cacheSlotAddr(addr),
+                                     cachelineBytes, false, true, t);
+        }
+        if (camp != u)
+            t += net.transfer(camp, u, PacketSizes::data, t).latency;
+        return t - start;
+    }
+
+    // Camp miss: forward to home, read memory, return data to requester.
+    ++nCampMisses;
+    Tick th = t;
+    if (camp != home)
+        th += net.transfer(camp, home, PacketSizes::request, th).latency;
+    th += drams[home]->access(addr, cachelineBytes, false, false, th);
+    Tick done = th;
+    if (home != u)
+        done += net.transfer(home, u, PacketSizes::data, done).latency;
+
+    // Off the critical path: try to insert into the probed camp.
+    if (campCaches[camp]->maybeInsert(addr)) {
+        ++nInserts;
+        Tick ti = th;
+        if (home != camp)
+            ti += net.transfer(home, camp, PacketSizes::data, ti).latency;
+        if (style == CacheStyle::SramData) {
+            energy.addSramDataCacheAccess();
+        } else {
+            drams[camp]->access(camps.cacheSlotAddr(addr), cachelineBytes,
+                                true, true, ti);
+        }
+        if (style == CacheStyle::DramTags)
+            drams[camp]->access(camps.cacheSlotAddr(addr) ^ 0x20,
+                                PacketSizes::request, true, true, ti);
+        else
+            energy.addTagAccess();
+    }
+
+    return done - start;
+}
+
+void
+MemSystem::writeBlock(UnitId u, Addr addr, Tick start)
+{
+    addr = blockAlign(addr);
+    UnitId home = amap.homeOf(addr);
+    Tick t = start;
+    if (home != u)
+        t += net.transfer(u, home, PacketSizes::data, t).latency;
+    drams[home]->access(addr, cachelineBytes, true, false, t);
+}
+
+void
+MemSystem::bulkInvalidate()
+{
+    for (auto &cc : campCaches)
+        cc->bulkInvalidate();
+}
+
+} // namespace abndp

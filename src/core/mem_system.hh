@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The NDP memory system: per-unit DRAM channels, the distributed
+ * Traveller Cache (or its Figure-13 alternatives), and the interconnect,
+ * glued together by the end-to-end access flow of paper Section 4.4.
+ */
+
+#ifndef ABNDP_CORE_MEM_SYSTEM_HH
+#define ABNDP_CORE_MEM_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/camp_mapping.hh"
+#include "cache/traveller_cache.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "energy/energy.hh"
+#include "mem/address_map.hh"
+#include "mem/dram.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+
+namespace abndp
+{
+
+/** Distributed memory + camp cache + interconnect access engine. */
+class MemSystem
+{
+  public:
+    MemSystem(const SystemConfig &cfg, const Topology &topo,
+              const AddressMap &amap, EnergyAccount &energy);
+
+    /**
+     * Read one cache block from unit @p u at tick @p start, following the
+     * Traveller access flow: probe the nearest camp (if caching is on),
+     * fall through to the home on a miss, and probabilistically insert.
+     * @return latency until the data arrives back at @p u.
+     */
+    Tick readBlock(UnitId u, Addr addr, Tick start);
+
+    /**
+     * Posted write of one block from unit @p u: bypasses all caches and
+     * goes straight to the home memory (Section 4.4). Reserves resources
+     * and accounts energy; the issuing core does not stall.
+     */
+    void writeBlock(UnitId u, Addr addr, Tick start);
+
+    /** Bulk-invalidate every unit's camp cache (end of timestamp). */
+    void bulkInvalidate();
+
+    Network &network() { return net; }
+    const Network &network() const { return net; }
+    const CampMapping &campMapping() const { return camps; }
+    DramChannel &dram(UnitId u) { return *drams[u]; }
+    TravellerCache &traveller(UnitId u) { return *campCaches[u]; }
+    bool cachingEnabled() const { return style != CacheStyle::None; }
+
+    std::uint64_t campHits() const { return nCampHits.value(); }
+    std::uint64_t campMisses() const { return nCampMisses.value(); }
+    std::uint64_t homeDirectReads() const { return nHomeDirect.value(); }
+    std::uint64_t cacheInsertions() const { return nInserts.value(); }
+
+    /** Distribution of end-to-end block read latencies (ns). */
+    const stats::Distribution &readLatencyNs() const { return latencyNs; }
+
+    /** Debug: per-block read counts (populated when ABNDP_READ_HIST=1). */
+    const std::unordered_map<Addr, std::uint64_t> &readHist() const
+    {
+        return debugReadHist;
+    }
+
+  private:
+    /** Plain home access without any camp involvement. */
+    Tick homeRead(UnitId u, UnitId home, Addr addr, Tick start);
+
+    /** readBlock() body; the public wrapper samples latency stats. */
+    Tick readBlockImpl(UnitId u, Addr addr, Tick start);
+
+    const SystemConfig &cfg;
+    const Topology &topo;
+    const AddressMap &amap;
+    EnergyAccount &energy;
+
+    Network net;
+    CampMapping camps;
+    CacheStyle style;
+
+    std::vector<std::unique_ptr<DramChannel>> drams;
+    std::vector<std::unique_ptr<TravellerCache>> campCaches;
+
+    /** SRAM tag-check latency at a camp location. */
+    Tick tagCheckTicks;
+    /** Pure-SRAM data cache access latency (Figure 13 variant). */
+    Tick sramDataTicks;
+
+    stats::Counter nCampHits;
+    stats::Counter nCampMisses;
+    stats::Counter nHomeDirect;
+    stats::Counter nInserts;
+    stats::Distribution latencyNs;
+    bool traceReads = false;
+    std::unordered_map<Addr, std::uint64_t> debugReadHist;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_CORE_MEM_SYSTEM_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Metrics collected from one simulated run; the raw material for every
+ * table and figure of the evaluation.
+ */
+
+#ifndef ABNDP_CORE_METRICS_HH
+#define ABNDP_CORE_METRICS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "energy/energy.hh"
+
+namespace abndp
+{
+
+/** Everything measured during one workload run on one system design. */
+struct RunMetrics
+{
+    /** End-to-end execution time in ticks (1 tick = 1 ps). */
+    Tick ticks = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t tasks = 0;
+
+    /** Figure-8 metric: total inter-stack mesh hops of all packets. */
+    std::uint64_t interHops = 0;
+    std::uint64_t intraTraversals = 0;
+
+    EnergyBreakdown energy;
+
+    /** Figure-9 metric: busy ticks of every core. */
+    std::vector<Tick> coreActiveTicks;
+
+    /** Duration of each bulk-synchronous epoch. */
+    std::vector<Tick> epochTicks;
+    /** Total core-busy ticks accumulated in each epoch. */
+    std::vector<Tick> epochBusyTicks;
+    /** Tasks executed in each epoch. */
+    std::vector<std::uint64_t> epochTasks;
+
+    // Cache behaviour.
+    std::uint64_t campHits = 0;
+    std::uint64_t campMisses = 0;
+    std::uint64_t cacheInserts = 0;
+    std::uint64_t pbHits = 0;
+    std::uint64_t pbLateHits = 0;
+    std::uint64_t pbMisses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+
+    // Scheduling behaviour.
+    std::uint64_t stealAttempts = 0;
+    std::uint64_t stolenTasks = 0;
+    std::uint64_t forwardedTasks = 0;
+    std::uint64_t schedDecisions = 0;
+
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramRowMisses = 0;
+
+    /** End-to-end block read latency (ns) seen below the L1/buffers. */
+    double readLatMeanNs = 0.0;
+    double readLatMaxNs = 0.0;
+
+    /** Fraction of core-time spent busy (mean over cores). */
+    double
+    utilization() const
+    {
+        return ticks > 0 && !coreActiveTicks.empty()
+            ? meanCoreActive() / static_cast<double>(ticks)
+            : 0.0;
+    }
+
+    double seconds() const { return static_cast<double>(ticks) * 1e-12; }
+
+    /** Busy ticks of the busiest core (load imbalance indicator). */
+    Tick
+    maxCoreActive() const
+    {
+        Tick m = 0;
+        for (Tick t : coreActiveTicks)
+            m = std::max(m, t);
+        return m;
+    }
+
+    /** Mean busy ticks over all cores. */
+    double
+    meanCoreActive() const
+    {
+        if (coreActiveTicks.empty())
+            return 0.0;
+        double s = 0.0;
+        for (Tick t : coreActiveTicks)
+            s += static_cast<double>(t);
+        return s / coreActiveTicks.size();
+    }
+
+    /** Ratio busiest/mean; 1.0 means perfectly balanced. */
+    double
+    imbalance() const
+    {
+        double mean = meanCoreActive();
+        return mean > 0.0 ? maxCoreActive() / mean : 0.0;
+    }
+
+    double
+    campHitRate() const
+    {
+        auto total = campHits + campMisses;
+        return total ? static_cast<double>(campHits) / total : 0.0;
+    }
+};
+
+} // namespace abndp
+
+#endif // ABNDP_CORE_METRICS_HH

@@ -1,0 +1,572 @@
+#include "core/ndp_system.hh"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+NdpSystem::NdpSystem(const SystemConfig &cfg_)
+    : cfg(cfg_),
+      topo((cfg.validate(), cfg)),
+      energy(cfg),
+      alloc(cfg),
+      mem(cfg, topo, alloc.map(), energy),
+      sched(cfg, topo, mem.campMapping()),
+      units(cfg.numUnits()),
+      hybridPolicy(cfg.sched.policy == SchedPolicy::Hybrid),
+      pbHitTicks(1 * ticksPerNs),
+      l1HitTicks(cfg.ticksPerCycle()),
+      schedDecisionTicks(static_cast<Tick>(cfg_.sched.decisionNs
+                                           * ticksPerNs)),
+      tlbMissTicks(static_cast<Tick>(cfg_.tlb.missNs * ticksPerNs)),
+      l1iMissTicks(40 * ticksPerNs),
+      pageShift(static_cast<std::uint32_t>(
+          std::countr_zero(static_cast<std::uint64_t>(
+              cfg_.tlb.pageBytes))))
+{
+    std::uint64_t pb_blocks = cfg.prefetchBufBytes / cachelineBytes;
+    // The prefetch unit fetches every hint address of window tasks, up
+    // to the buffer capacity per task (larger hints finish on demand).
+    prefetchQuota = static_cast<std::uint32_t>(pb_blocks);
+
+    for (UnitId u = 0; u < cfg.numUnits(); ++u) {
+        auto &unit = units[u];
+        unit.pb = std::make_unique<PrefetchBuffer>(pb_blocks);
+        unit.rng.reseed(mix64(cfg.seed ^ (0x2000ull + u)));
+        unit.cores.resize(cfg.coresPerUnit);
+        for (std::uint32_t c = 0; c < cfg.coresPerUnit; ++c) {
+            unit.cores[c].l1d = std::make_unique<SetAssocCache>(
+                cfg.l1d, mix64(cfg.seed ^ (0x3000ull + u * 16 + c)));
+            unit.cores[c].l1i = std::make_unique<SetAssocCache>(
+                cfg.l1i, mix64(cfg.seed ^ (0x5000ull + u * 16 + c)));
+            unit.cores[c].tlb = std::make_unique<SetAssocCache>(
+                cfg.tlb.entries / cfg.tlb.assoc, cfg.tlb.assoc,
+                ReplPolicy::Lru);
+        }
+    }
+}
+
+void
+NdpSystem::enqueueTask(Task &&task)
+{
+    abndp_assert(workload != nullptr, "enqueue outside a run");
+    if (creatorCtx == invalidUnit) {
+        abndp_assert(task.timestamp == curEpoch,
+                     "initial tasks must carry the current timestamp");
+    } else {
+        abndp_assert(task.timestamp == curEpoch + 1,
+                     "child tasks must carry timestamp + 1");
+    }
+
+    Addr main_addr = !task.hint.data.empty() ? task.hint.data[0]
+        : (!task.writes.empty() ? task.writes[0] : invalidAddr);
+    task.mainHome = main_addr != invalidAddr ? alloc.map().homeOf(main_addr)
+        : (creatorCtx != invalidUnit ? creatorCtx : 0);
+    task.loadEstimate = sched.estimateLoad(task);
+
+    UnitId creator = creatorCtx != invalidUnit ? creatorCtx : task.mainHome;
+
+    if (hybridPolicy) {
+        // Figure 4: generated tasks enter the creating unit's queue; the
+        // scheduling window decides their final placement later, with
+        // fresher workload information. Initial tasks have no creating
+        // unit: the runtime injects them round-robin so no single unit's
+        // scheduler serializes the whole initial batch.
+        if (creatorCtx == invalidUnit)
+            creator = static_cast<UnitId>(initialSpread++ % units.size());
+        sched.onEnqueued(creator, task.loadEstimate, creator);
+        units[creator].stagedPending.push_back(std::move(task));
+    } else {
+        UnitId dst = sched.choose(task, creator);
+        sched.onEnqueued(dst, task.loadEstimate, creator);
+        units[dst].stagedReady.push_back(std::move(task));
+    }
+    ++stagedCount;
+}
+
+void
+NdpSystem::pumpScheduler(UnitId u)
+{
+    auto &unit = units[u];
+    if (unit.schedBusy || unit.pending.empty())
+        return;
+    unit.schedBusy = true;
+    eq.scheduleIn(schedDecisionTicks, [this, u] {
+        auto &unit = units[u];
+        unit.schedBusy = false;
+        if (unit.pending.empty())
+            return;
+        Task task = std::move(unit.pending.front());
+        unit.pending.pop_front();
+
+        UnitId dst = sched.choose(task, u);
+        if (dst == u) {
+            unit.ready.push_back(std::move(task));
+            tryDispatch(u);
+        } else {
+            sched.onForwarded(u, dst, task.loadEstimate, u);
+            ++forwardedTasks;
+            ++task.forwardHops;
+            // Ship the task descriptor to its execution unit. A receiver
+            // that knows (from its true local queue) that it was a stale
+            // choice may re-forward, up to a small hop budget; this
+            // breaks the dogpiles a shared stale snapshot causes.
+            bool reexamine = task.forwardHops < maxForwardHops;
+            Tick t = eq.now();
+            t += mem.network().transfer(u, dst, 32, t).latency;
+            auto moved = std::make_shared<Task>(std::move(task));
+            eq.schedule(t, [this, dst, moved, reexamine] {
+                if (reexamine) {
+                    units[dst].pending.push_back(std::move(*moved));
+                    pumpScheduler(dst);
+                } else {
+                    units[dst].ready.push_back(std::move(*moved));
+                    tryDispatch(dst);
+                }
+            });
+        }
+        pumpScheduler(u);
+    });
+}
+
+void
+NdpSystem::collectBlocks(const Task &task)
+{
+    blockScratch.clear();
+    for (Addr a : task.hint.data)
+        blockScratch.push_back(blockAlign(a));
+    for (const auto &r : task.hint.ranges)
+        for (Addr a = blockAlign(r.start); a < r.start + r.bytes;
+             a += cachelineBytes)
+            blockScratch.push_back(a);
+    std::sort(blockScratch.begin(), blockScratch.end());
+    blockScratch.erase(
+        std::unique(blockScratch.begin(), blockScratch.end()),
+        blockScratch.end());
+}
+
+void
+NdpSystem::issuePrefetches(UnitId u)
+{
+    auto &unit = units[u];
+    std::uint32_t window = std::min<std::uint32_t>(
+        cfg.sched.prefetchWindow,
+        static_cast<std::uint32_t>(unit.ready.size()));
+    Tick now = eq.now();
+    while (unit.prefetchedCount < window) {
+        Task &task = unit.ready[unit.prefetchedCount];
+        if (!task.prefetched) {
+            task.prefetched = true;
+            collectBlocks(task);
+            std::uint32_t issued = 0;
+            for (Addr block : blockScratch) {
+                if (issued >= prefetchQuota)
+                    break;
+                if (unit.pb->peek(block))
+                    continue; // already buffered or in flight
+                bool in_l1 = false;
+                for (const auto &core : unit.cores)
+                    in_l1 |= core.l1d->contains(block);
+                if (in_l1)
+                    continue; // a core already holds the line
+                Tick lat = mem.readBlock(u, block, now);
+                unit.pb->fill(block, now + lat);
+                ++issued;
+            }
+        }
+        ++unit.prefetchedCount;
+    }
+}
+
+Tick
+NdpSystem::executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
+                         Tick start)
+{
+    auto &unit = units[u];
+    auto &core = unit.cores[coreIdx];
+    Tick t = start;
+
+    collectBlocks(task);
+
+    // Instruction fetch: the task handler's code streams through the
+    // L1-I; only cold/capacity misses cost latency (local code fill).
+    if (cfg.taskCodeBytes > 0) {
+        Addr code_base = (1ull << 40)
+            + static_cast<Addr>(task.func) * cfg.taskCodeBytes;
+        for (Addr a = code_base; a < code_base + cfg.taskCodeBytes;
+             a += cachelineBytes) {
+            if (!core.l1i->access(a)) {
+                t += l1iMissTicks;
+                core.l1i->insert(a);
+            }
+            energy.addL1Access();
+        }
+    }
+
+    // Address translation: one TLB lookup per distinct page touched
+    // (Section 3.2: per-core local TLBs).
+    if (cfg.tlb.enabled) {
+        Addr last_page = invalidAddr;
+        for (Addr block : blockScratch) {
+            Addr page = block >> pageShift;
+            if (page == last_page)
+                continue;
+            last_page = page;
+            energy.addTlbAccess();
+            if (!core.tlb->access(page << cachelineBits)) {
+                t += tlbMissTicks;
+                core.tlb->insert(page << cachelineBits);
+            }
+        }
+    }
+
+    // Demand misses of the executing task may overlap up to
+    // missPipelineDepth outstanding requests (1 = a strictly in-order
+    // core that stalls on every miss).
+    const std::uint32_t depth = cfg.sched.missPipelineDepth;
+    abndp_assert(depth >= 1 && depth <= 64);
+    Tick inflight[64] = {};
+    std::uint32_t slot = 0;
+    for (Addr block : blockScratch) {
+        Tick ready = unit.pb->lookup(block, t);
+        if (ready != tickNever) {
+            if (ready > t)
+                t = ready; // prefetch still in flight
+            t += pbHitTicks;
+            energy.addPrefetchBufAccess();
+            // Consumed prefetches are installed into the core's L1 so a
+            // block fetched once serves every later task on this core
+            // within the timestamp (the FIFO buffer itself is tiny).
+            core.l1d->insert(block);
+        } else if (core.l1d->access(block)) {
+            t += l1HitTicks;
+            energy.addL1Access();
+        } else {
+            energy.addL1Access(); // the miss probe
+            Tick issue = t > inflight[slot] ? t : inflight[slot];
+            Tick done = issue + mem.readBlock(u, block, issue);
+            inflight[slot] = done;
+            slot = (slot + 1) % depth;
+            t = done;
+            core.l1d->insert(block);
+        }
+    }
+
+    t += task.computeInstrs * cfg.ticksPerCycle();
+    energy.addCoreInstructions(task.computeInstrs + blockScratch.size());
+
+    for (Addr w : task.writes)
+        mem.writeBlock(u, w, t);
+
+    return t;
+}
+
+void
+NdpSystem::tryDispatch(UnitId u)
+{
+    auto &unit = units[u];
+    for (std::uint32_t c = 0; c < unit.cores.size(); ++c) {
+        auto &core = unit.cores[c];
+        if (core.busy)
+            continue;
+        if (unit.ready.empty())
+            break;
+
+        issuePrefetches(u);
+        Task task = std::move(unit.ready.front());
+        unit.ready.pop_front();
+        if (unit.prefetchedCount > 0)
+            --unit.prefetchedCount;
+        sched.onDequeued(u, task.loadEstimate);
+
+        // Functional execution: real computation + child enqueues.
+        creatorCtx = u;
+        workload->executeTask(task, *this);
+        creatorCtx = invalidUnit;
+
+        Tick now = eq.now();
+        Tick end = executeTiming(u, c, task, now);
+        if (end == now)
+            end = now + 1; // every task takes at least one tick
+        core.busy = true;
+        core.activeTicks += end - now;
+        epochBusy += end - now;
+        ++epochTaskCount;
+        ++core.tasksRun;
+        ++totalTasks;
+
+        eq.schedule(end, [this, u, c] {
+            units[u].cores[c].busy = false;
+            abndp_assert(activeRemaining > 0);
+            --activeRemaining;
+            lastCompletionTick = eq.now();
+            tryDispatch(u);
+        });
+    }
+
+    if (unit.ready.empty() && unit.pending.empty()
+        && cfg.sched.workStealing && !unit.stealInFlight
+        && activeRemaining > 0) {
+        bool any_idle = false;
+        for (const auto &core : unit.cores)
+            any_idle |= !core.busy;
+        if (any_idle)
+            attemptSteal(u);
+    }
+}
+
+void
+NdpSystem::attemptSteal(UnitId u)
+{
+    auto &unit = units[u];
+    ++stealAttempts;
+
+    // Probe a few random victims and steal from the one with the longest
+    // queue (work stealing from busier units, Section 2.3).
+    constexpr std::uint32_t probes = 4;
+    UnitId victim = invalidUnit;
+    std::size_t best_len = 0;
+    for (std::uint32_t i = 0; i < probes; ++i) {
+        auto v = static_cast<UnitId>(unit.rng.below(units.size()));
+        if (v == u)
+            continue;
+        std::size_t len = units[v].ready.size();
+        if (len > best_len) {
+            best_len = len;
+            victim = v;
+        }
+    }
+
+    if (victim == invalidUnit) {
+        // Nothing to steal right now: back off exponentially and retry
+        // while the epoch still has work in flight.
+        unit.stealBackoff = std::min<Tick>(
+            std::max<Tick>(unit.stealBackoff * 2, 500 * ticksPerNs),
+            16000 * ticksPerNs);
+        unit.stealInFlight = true;
+        eq.scheduleIn(unit.stealBackoff, [this, u] {
+            units[u].stealInFlight = false;
+            if (activeRemaining > 0)
+                tryDispatch(u);
+        });
+        return;
+    }
+
+    unit.stealBackoff = 0;
+    auto &vic = units[victim];
+    std::uint32_t batch = std::min<std::uint32_t>(
+        cfg.sched.stealBatch,
+        static_cast<std::uint32_t>((best_len + 1) / 2));
+    abndp_assert(batch > 0);
+
+    auto stolen = std::make_shared<std::vector<Task>>();
+    double load = 0.0;
+    for (std::uint32_t i = 0; i < batch && !vic.ready.empty(); ++i) {
+        Task t = std::move(vic.ready.back());
+        vic.ready.pop_back();
+        t.prefetched = false;
+        load += t.loadEstimate;
+        stolen->push_back(std::move(t));
+    }
+    vic.prefetchedCount = std::min<std::uint32_t>(
+        vic.prefetchedCount, static_cast<std::uint32_t>(vic.ready.size()));
+    sched.onStolen(victim, u, load);
+    stolenTasks += stolen->size();
+
+    // Round trip: steal request + task descriptors back.
+    Tick t = eq.now();
+    t += mem.network().transfer(u, victim, PacketSizes::request, t).latency;
+    auto desc_bytes = static_cast<std::uint32_t>(16 + 32 * stolen->size());
+    t += mem.network().transfer(victim, u, desc_bytes, t).latency;
+
+    unit.stealInFlight = true;
+    eq.schedule(t, [this, u, stolen] {
+        auto &thief = units[u];
+        thief.stealInFlight = false;
+        for (auto &task : *stolen)
+            thief.ready.push_back(std::move(task));
+        tryDispatch(u);
+    });
+}
+
+void
+NdpSystem::scheduleExchange()
+{
+    if (exchangeScheduled)
+        return;
+    exchangeScheduled = true;
+    Tick interval = cfg.sched.exchangeIntervalCycles * cfg.ticksPerCycle();
+    // Self-rescheduling chain: refresh the snapshot every interval while
+    // the current epoch still has live tasks.
+    struct Chain
+    {
+        static void
+        arm(NdpSystem &sys, Tick interval)
+        {
+            sys.eq.scheduleIn(interval, [&sys, interval] {
+                sys.sched.exchangeSnapshot();
+                if (sys.activeRemaining > 0) {
+                    arm(sys, interval);
+                } else {
+                    sys.exchangeScheduled = false;
+                }
+            });
+        }
+    };
+    Chain::arm(*this, interval);
+}
+
+void
+NdpSystem::startEpoch(std::uint64_t ts)
+{
+    curEpoch = ts;
+    activeRemaining = 0;
+    for (auto &unit : units) {
+        abndp_assert(unit.ready.empty() && unit.pending.empty(),
+                     "previous epoch not drained");
+        unit.pending = std::move(unit.stagedPending);
+        unit.ready = std::move(unit.stagedReady);
+        unit.stagedPending.clear();
+        unit.stagedReady.clear();
+        unit.prefetchedCount = 0;
+        unit.stealBackoff = 0;
+        activeRemaining += unit.pending.size() + unit.ready.size();
+    }
+    stagedCount = 0;
+
+    if (hybridPolicy || cfg.sched.workStealing) {
+        // The barrier is already a global synchronization point, so the
+        // workload information exchange piggybacks on it; further
+        // exchanges follow every interval within the epoch.
+        sched.exchangeSnapshot();
+        scheduleExchange();
+    }
+
+    for (UnitId u = 0; u < units.size(); ++u) {
+        pumpScheduler(u);
+        tryDispatch(u);
+    }
+}
+
+RunMetrics
+NdpSystem::run(Workload &wl)
+{
+    abndp_assert(workload == nullptr, "NdpSystem::run() may be called once");
+    workload = &wl;
+    wl.setup(alloc);
+
+    curEpoch = 0;
+    wl.emitInitialTasks(*this);
+
+    std::uint64_t ts = 0;
+    std::vector<Tick> epoch_ticks;
+    std::vector<Tick> epoch_busy;
+    std::vector<std::uint64_t> epoch_tasks;
+
+    // Optional per-epoch trace for offline plotting/debugging.
+    std::ofstream trace;
+    if (!cfg.traceFile.empty()) {
+        trace.open(cfg.traceFile);
+        if (!trace)
+            fatal("cannot open trace file: ", cfg.traceFile);
+        trace << "epoch,start_ns,duration_ns,tasks,busy_ns,interHops,"
+                 "campHits,campMisses,forwards,steals\n";
+    }
+    std::uint64_t prevHops = 0, prevCampHits = 0, prevCampMisses = 0;
+    std::uint64_t prevForwards = 0, prevSteals = 0;
+    while (stagedCount > 0 && (cfg.maxEpochs == 0 || ts < cfg.maxEpochs)) {
+        Tick epoch_begin = eq.now();
+        startEpoch(ts);
+        // Drain the epoch: stop as soon as every task completed so that
+        // periodic bookkeeping events (exchange ticks, steal backoffs)
+        // cannot stretch the barrier, then cancel them.
+        while (activeRemaining > 0) {
+            bool ran = eq.runOne();
+            abndp_assert(ran, "deadlock: live tasks but no events");
+        }
+        eq.clearPending();
+        exchangeScheduled = false;
+        for (auto &unit : units) {
+            unit.stealInFlight = false;
+            unit.schedBusy = false;
+            unit.stealBackoff = 0;
+        }
+        epoch_ticks.push_back(lastCompletionTick - epoch_begin);
+        epoch_busy.push_back(epochBusy);
+        epoch_tasks.push_back(epochTaskCount);
+        if (trace.is_open()) {
+            std::uint64_t hops = mem.network().totalInterHops();
+            std::uint64_t chits = mem.campHits();
+            std::uint64_t cmiss = mem.campMisses();
+            trace << ts << "," << epoch_begin / 1000.0 << ","
+                  << (lastCompletionTick - epoch_begin) / 1000.0 << ","
+                  << epochTaskCount << "," << epochBusy / 1000.0 << ","
+                  << hops - prevHops << "," << chits - prevCampHits
+                  << "," << cmiss - prevCampMisses << ","
+                  << forwardedTasks - prevForwards << ","
+                  << stolenTasks - prevSteals << "\n";
+            prevHops = hops;
+            prevCampHits = chits;
+            prevCampMisses = cmiss;
+            prevForwards = forwardedTasks;
+            prevSteals = stolenTasks;
+        }
+        epochBusy = 0;
+        epochTaskCount = 0;
+
+        // Bulk-synchronous timestamp boundary: invalidate all cached
+        // primary data (tag clear; no writebacks) and apply updates.
+        mem.bulkInvalidate();
+        for (auto &unit : units) {
+            unit.pb->invalidateAll();
+            for (auto &core : unit.cores)
+                core.l1d->invalidateAll();
+        }
+        wl.endEpoch(ts);
+        ++ts;
+    }
+
+    energy.finalizeStatic(lastCompletionTick);
+
+    RunMetrics m;
+    m.ticks = lastCompletionTick;
+    m.epochs = ts;
+    m.tasks = totalTasks;
+    m.epochTicks = std::move(epoch_ticks);
+    m.epochBusyTicks = std::move(epoch_busy);
+    m.epochTasks = std::move(epoch_tasks);
+    m.interHops = mem.network().totalInterHops();
+    m.intraTraversals = mem.network().totalIntraTraversals();
+    m.energy = energy.breakdown();
+    m.campHits = mem.campHits();
+    m.campMisses = mem.campMisses();
+    m.cacheInserts = mem.cacheInsertions();
+    m.readLatMeanNs = mem.readLatencyNs().mean();
+    m.readLatMaxNs = mem.readLatencyNs().max();
+    m.stealAttempts = stealAttempts;
+    m.stolenTasks = stolenTasks;
+    m.forwardedTasks = forwardedTasks;
+    m.schedDecisions = sched.decisions();
+    for (UnitId u = 0; u < units.size(); ++u) {
+        const auto &unit = units[u];
+        m.pbHits += unit.pb->hits();
+        m.pbLateHits += unit.pb->lateHits();
+        m.pbMisses += unit.pb->misses();
+        for (const auto &core : unit.cores) {
+            m.coreActiveTicks.push_back(core.activeTicks);
+            m.l1Hits += core.l1d->hits();
+            m.l1Misses += core.l1d->misses();
+        }
+        m.dramReads += mem.dram(u).reads();
+        m.dramWrites += mem.dram(u).writes();
+        m.dramRowMisses += mem.dram(u).rowMisses();
+    }
+    return m;
+}
+
+} // namespace abndp

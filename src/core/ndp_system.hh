@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The full NDP system: NDP units with in-order cores, task queues with
+ * scheduling and prefetch windows (Figure 4), the distributed Traveller
+ * Cache, the hierarchical interconnect, and the task scheduler —
+ * orchestrated by a discrete-event engine executing bulk-synchronous
+ * epochs.
+ *
+ * Queue organization per unit (Figure 4): newly created tasks enter the
+ * creating unit's *pending* queue; the unit's task scheduler — operating
+ * in parallel with the cores — examines the scheduling window at the
+ * pending queue's head and either keeps each task locally or forwards it
+ * to the chosen unit's *ready* queue. The prefetch window covers the head
+ * of the ready queue; cores dispatch from it. Non-hybrid policies place
+ * tasks directly into the target ready queue at creation.
+ */
+
+#ifndef ABNDP_CORE_NDP_SYSTEM_HH
+#define ABNDP_CORE_NDP_SYSTEM_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/prefetch_buffer.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "core/mem_system.hh"
+#include "core/metrics.hh"
+#include "energy/energy.hh"
+#include "mem/allocator.hh"
+#include "net/topology.hh"
+#include "sched/scheduler.hh"
+#include "sim/event_queue.hh"
+#include "tasking/task.hh"
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** A complete simulated ABNDP machine. */
+class NdpSystem : public TaskSink
+{
+  public:
+    explicit NdpSystem(const SystemConfig &cfg);
+
+    /** Simulated allocator for workload setup. */
+    SimAllocator &allocator() { return alloc; }
+
+    /**
+     * Run a workload to completion (or cfg.maxEpochs) and return the
+     * collected metrics. A system instance runs one workload once.
+     */
+    RunMetrics run(Workload &wl);
+
+    // ---- TaskSink ----
+    void enqueueTask(Task &&task) override;
+
+    // ---- Introspection for tests ----
+    const SystemConfig &config() const { return cfg; }
+    const Topology &topology() const { return topo; }
+    MemSystem &memSystem() { return mem; }
+    Scheduler &scheduler() { return sched; }
+    EventQueue &eventQueue() { return eq; }
+
+  private:
+    struct CoreState
+    {
+        bool busy = false;
+        Tick activeTicks = 0;
+        std::uint64_t tasksRun = 0;
+        std::unique_ptr<SetAssocCache> l1d;
+        std::unique_ptr<SetAssocCache> l1i;
+        /** Local TLB (Section 3.2); keys are page numbers. */
+        std::unique_ptr<SetAssocCache> tlb;
+    };
+
+    struct UnitState
+    {
+        /** Tasks awaiting a scheduling decision (hybrid policy only). */
+        std::deque<Task> pending;
+        /** Tasks placed on this unit, awaiting execution. */
+        std::deque<Task> ready;
+        /** Next-epoch tasks (moved to pending/ready at the barrier). */
+        std::deque<Task> stagedPending;
+        std::deque<Task> stagedReady;
+
+        std::vector<CoreState> cores;
+        std::unique_ptr<PrefetchBuffer> pb;
+        /** Leading tasks of `ready` whose prefetches were issued. */
+        std::uint32_t prefetchedCount = 0;
+        /** The unit's task scheduler is processing a decision. */
+        bool schedBusy = false;
+        bool stealInFlight = false;
+        Tick stealBackoff = 0;
+        Rng rng{0};
+    };
+
+    /** Move staged tasks into the live queues and start everything. */
+    void startEpoch(std::uint64_t ts);
+
+    /** Give idle cores work (and trigger stealing when empty). */
+    void tryDispatch(UnitId u);
+
+    /** Hybrid scheduling-window pump for unit @p u (one decision). */
+    void pumpScheduler(UnitId u);
+
+    /** Issue hint prefetches for tasks entering the prefetch window. */
+    void issuePrefetches(UnitId u);
+
+    /** Timing model for one task executing on unit @p u from @p start. */
+    Tick executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
+                       Tick start);
+
+    /** Attempt to steal work for idle unit @p u. */
+    void attemptSteal(UnitId u);
+
+    /** Periodic workload information exchange chain. */
+    void scheduleExchange();
+
+    /** Dedup a task's hint into block addresses (into blockScratch). */
+    void collectBlocks(const Task &task);
+
+    SystemConfig cfg;
+    Topology topo;
+    EnergyAccount energy;
+    SimAllocator alloc;
+    MemSystem mem;
+    Scheduler sched;
+    EventQueue eq;
+
+    std::vector<UnitState> units;
+    Workload *workload = nullptr;
+
+    std::uint64_t curEpoch = 0;
+    /** Tasks of the current epoch not yet completed. */
+    std::uint64_t activeRemaining = 0;
+    /** Tasks staged for the next epoch across all units. */
+    std::uint64_t stagedCount = 0;
+    /** Unit whose task is currently being functionally executed. */
+    UnitId creatorCtx = invalidUnit;
+    bool exchangeScheduled = false;
+    /** Tick of the most recent task completion (end-to-end time). */
+    Tick lastCompletionTick = 0;
+    bool hybridPolicy = false;
+
+    /** Re-forward budget per task between scheduling windows. */
+    static constexpr std::uint8_t maxForwardHops = 2;
+
+    /** Per-task prefetch quota in blocks (buffer size / window). */
+    std::uint32_t prefetchQuota;
+    Tick pbHitTicks;
+    Tick l1HitTicks;
+    Tick schedDecisionTicks;
+    Tick tlbMissTicks;
+    Tick l1iMissTicks;
+    std::uint32_t pageShift;
+
+    // Run-wide counters.
+    std::uint64_t initialSpread = 0;
+    std::uint64_t totalTasks = 0;
+    Tick epochBusy = 0;
+    std::uint64_t epochTaskCount = 0;
+    std::uint64_t stealAttempts = 0;
+    std::uint64_t stolenTasks = 0;
+    std::uint64_t forwardedTasks = 0;
+
+    /** Scratch for per-task block deduplication. */
+    std::vector<Addr> blockScratch;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_CORE_NDP_SYSTEM_HH

@@ -1,0 +1,143 @@
+#include "core/stats_report.hh"
+
+#include <iomanip>
+
+#include "core/ndp_system.hh"
+#include "net/topology.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+void
+line(std::ostream &os, const char *name, double value)
+{
+    os << std::left << std::setw(40) << name << " " << value << "\n";
+}
+
+void
+line(std::ostream &os, const char *name, std::uint64_t value)
+{
+    os << std::left << std::setw(40) << name << " " << value << "\n";
+}
+
+} // namespace
+
+void
+dumpStats(std::ostream &os, NdpSystem &sys, const RunMetrics &m)
+{
+    const SystemConfig &cfg = sys.config();
+    os << "---------- Begin Simulation Statistics ----------\n";
+    line(os, "system.ticks", m.ticks);
+    line(os, "system.seconds", m.seconds());
+    line(os, "system.epochs", m.epochs);
+    line(os, "system.tasks", m.tasks);
+    line(os, "system.units", std::uint64_t{cfg.numUnits()});
+    line(os, "system.cores", std::uint64_t{cfg.numCores()});
+    line(os, "system.utilization", m.utilization());
+    line(os, "system.imbalance", m.imbalance());
+
+    line(os, "network.interHops", m.interHops);
+    line(os, "network.intraTraversals", m.intraTraversals);
+    line(os, "network.packets",
+         sys.memSystem().network().totalPackets());
+
+    line(os, "sched.decisions", m.schedDecisions);
+    line(os, "sched.forwardedTasks", m.forwardedTasks);
+    line(os, "sched.stealAttempts", m.stealAttempts);
+    line(os, "sched.stolenTasks", m.stolenTasks);
+
+    line(os, "prefetchBuffer.hits", m.pbHits);
+    line(os, "prefetchBuffer.lateHits", m.pbLateHits);
+    line(os, "prefetchBuffer.misses", m.pbMisses);
+    line(os, "l1d.hits", m.l1Hits);
+    line(os, "l1d.misses", m.l1Misses);
+
+    if (sys.memSystem().cachingEnabled()) {
+        line(os, "travellerCache.hits", m.campHits);
+        line(os, "travellerCache.misses", m.campMisses);
+        line(os, "travellerCache.hitRate", m.campHitRate());
+        line(os, "travellerCache.insertions", m.cacheInserts);
+        std::uint64_t occupancy = 0;
+        for (UnitId u = 0; u < cfg.numUnits(); ++u)
+            occupancy += sys.memSystem().traveller(u).occupancy();
+        line(os, "travellerCache.occupancyBlocks", occupancy);
+    }
+
+    std::uint64_t refreshes = 0;
+    for (UnitId u = 0; u < cfg.numUnits(); ++u)
+        refreshes += sys.memSystem().dram(u).refreshes();
+    line(os, "dram.reads", m.dramReads);
+    line(os, "dram.writes", m.dramWrites);
+    line(os, "dram.rowMisses", m.dramRowMisses);
+    line(os, "dram.refreshes", refreshes);
+    line(os, "mem.readLatencyAvgNs", m.readLatMeanNs);
+    line(os, "mem.readLatencyMaxNs", m.readLatMaxNs);
+
+    line(os, "energy.coreSramPj", m.energy.coreSramPj);
+    line(os, "energy.dramMemPj", m.energy.dramMemPj);
+    line(os, "energy.dramCachePj", m.energy.dramCachePj);
+    line(os, "energy.netPj", m.energy.netPj);
+    line(os, "energy.staticPj", m.energy.staticPj);
+    line(os, "energy.totalPj", m.energy.total());
+    os << "---------- End Simulation Statistics   ----------\n";
+}
+
+void
+dumpJson(std::ostream &os, const SystemConfig &cfg, const RunMetrics &m)
+{
+    os << "{";
+    os << "\"ticks\":" << m.ticks;
+    os << ",\"seconds\":" << m.seconds();
+    os << ",\"epochs\":" << m.epochs;
+    os << ",\"tasks\":" << m.tasks;
+    os << ",\"units\":" << cfg.numUnits();
+    os << ",\"interHops\":" << m.interHops;
+    os << ",\"utilization\":" << m.utilization();
+    os << ",\"imbalance\":" << m.imbalance();
+    os << ",\"campHitRate\":" << m.campHitRate();
+    os << ",\"forwardedTasks\":" << m.forwardedTasks;
+    os << ",\"stolenTasks\":" << m.stolenTasks;
+    os << ",\"energyPj\":{";
+    os << "\"coreSram\":" << m.energy.coreSramPj;
+    os << ",\"dramMem\":" << m.energy.dramMemPj;
+    os << ",\"dramCache\":" << m.energy.dramCachePj;
+    os << ",\"net\":" << m.energy.netPj;
+    os << ",\"static\":" << m.energy.staticPj;
+    os << ",\"total\":" << m.energy.total();
+    os << "}}";
+}
+
+void
+dumpHeatmap(std::ostream &os, const SystemConfig &cfg,
+            const RunMetrics &m)
+{
+    if (m.ticks == 0 || m.coreActiveTicks.empty())
+        return;
+    // Unit numbering is group-major (Section 4.2), so map units to
+    // stacks through the topology before drawing mesh coordinates.
+    Topology topo(cfg);
+    std::vector<double> stackBusy(cfg.numStacks(), 0.0);
+    for (UnitId u = 0; u < cfg.numUnits(); ++u)
+        for (std::uint32_t c = 0; c < cfg.coresPerUnit; ++c)
+            stackBusy[topo.stackOf(u)] += static_cast<double>(
+                m.coreActiveTicks[u * cfg.coresPerUnit + c]);
+
+    std::uint32_t coresPerStack = cfg.unitsPerStack * cfg.coresPerUnit;
+    os << "Per-stack mean core utilization (0-9; rows = mesh Y):\n";
+    for (std::uint32_t y = 0; y < cfg.meshY; ++y) {
+        os << "  ";
+        for (std::uint32_t x = 0; x < cfg.meshX; ++x) {
+            StackId s = y * cfg.meshX + x;
+            double util = stackBusy[s]
+                / (static_cast<double>(m.ticks) * coresPerStack);
+            int level = std::min(9, static_cast<int>(util * 10.0));
+            os << level << " ";
+        }
+        os << "\n";
+    }
+}
+
+} // namespace abndp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * gem5-style end-of-run statistics report for a simulated NDP system:
+ * a hierarchical dump of every component's counters, suitable for diffing
+ * between runs and for scripts that post-process results.
+ */
+
+#ifndef ABNDP_CORE_STATS_REPORT_HH
+#define ABNDP_CORE_STATS_REPORT_HH
+
+#include <ostream>
+
+#include "common/config.hh"
+#include "core/metrics.hh"
+
+namespace abndp
+{
+
+class NdpSystem;
+
+/**
+ * Write the full statistics tree of a finished run:
+ * system.{time,tasks,epochs}, per-category totals, network, scheduler,
+ * caches, DRAM, and the energy breakdown.
+ */
+void dumpStats(std::ostream &os, NdpSystem &sys,
+               const RunMetrics &metrics);
+
+/** Write the headline metrics of a run as a single JSON object. */
+void dumpJson(std::ostream &os, const SystemConfig &cfg,
+              const RunMetrics &metrics);
+
+/**
+ * Draw an ASCII utilization heatmap of the stack mesh: per stack, the
+ * mean core-busy fraction, 0-9 scaled (a Figure-9 style view of where
+ * the hotspots sit).
+ */
+void dumpHeatmap(std::ostream &os, const SystemConfig &cfg,
+                 const RunMetrics &metrics);
+
+} // namespace abndp
+
+#endif // ABNDP_CORE_STATS_REPORT_HH

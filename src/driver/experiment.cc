@@ -1,0 +1,56 @@
+#include "driver/experiment.hh"
+
+#include "common/logging.hh"
+#include "core/ndp_system.hh"
+#include "host/host_system.hh"
+
+namespace abndp
+{
+
+RunMetrics
+runExperiment(const SystemConfig &base, Design d, const WorkloadSpec &spec,
+              const ExperimentOptions &opts)
+{
+    SystemConfig cfg = applyDesign(base, d);
+    if (opts.cacheStyle)
+        cfg.traveller.style = *opts.cacheStyle;
+    auto wl = makeWorkload(spec);
+
+    RunMetrics metrics;
+    if (d == Design::H) {
+        HostSystem host(cfg);
+        metrics = host.run(*wl);
+    } else {
+        NdpSystem sys(cfg);
+        metrics = sys.run(*wl);
+    }
+
+    if (opts.verify && !wl->verify()) {
+        if (opts.fatalOnVerifyFailure)
+            fatal("workload ", spec.name, " failed verification under ",
+                  designName(d));
+        warn("workload ", spec.name, " failed verification under ",
+             designName(d));
+    }
+    return metrics;
+}
+
+const std::vector<Design> &
+allDesigns()
+{
+    static const std::vector<Design> designs{
+        Design::H, Design::B, Design::Sm, Design::Sl,
+        Design::Sh, Design::C, Design::O};
+    return designs;
+}
+
+const std::vector<Design> &
+ndpDesigns()
+{
+    static const std::vector<Design> designs{
+        Design::B, Design::Sm, Design::Sl, Design::Sh,
+        Design::C, Design::O};
+    return designs;
+}
+
+} // namespace abndp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Global simulated address space: each NDP unit owns one contiguous
+ * region of size memBytesPerUnit; an address's "home" is the unit whose
+ * local DRAM stores it.
+ */
+
+#ifndef ABNDP_MEM_ADDRESS_MAP_HH
+#define ABNDP_MEM_ADDRESS_MAP_HH
+
+#include <bit>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** Address <-> home-unit mapping (range-partitioned address space). */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const SystemConfig &cfg)
+        : bytesPerUnit(cfg.memBytesPerUnit),
+          unitShift(std::countr_zero(cfg.memBytesPerUnit)),
+          nUnits(cfg.numUnits())
+    {
+    }
+
+    /** Home NDP unit of a byte address. */
+    UnitId
+    homeOf(Addr addr) const
+    {
+        auto u = static_cast<UnitId>(addr >> unitShift);
+        abndp_assert(u < nUnits, "address ", addr, " outside memory");
+        return u;
+    }
+
+    /** First byte address owned by a unit. */
+    Addr unitBase(UnitId u) const
+    {
+        return static_cast<Addr>(u) << unitShift;
+    }
+
+    /** Offset of an address within its home unit's region. */
+    Addr offsetInUnit(Addr addr) const
+    {
+        return addr & (bytesPerUnit - 1);
+    }
+
+    std::uint64_t unitBytes() const { return bytesPerUnit; }
+    std::uint32_t numUnits() const { return nUnits; }
+
+  private:
+    std::uint64_t bytesPerUnit;
+    std::uint32_t unitShift;
+    std::uint32_t nUnits;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,80 @@
+#include "mem/allocator.hh"
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+SimAllocator::SimAllocator(const SystemConfig &cfg)
+    : amap(cfg),
+      // The Traveller Cache region occupies the top 1/R of each unit's
+      // DRAM; application data may not be placed there.
+      capacityPerUnit(cfg.memBytesPerUnit
+                      - (cfg.traveller.style != CacheStyle::None
+                             ? cfg.travellerBytesPerUnit()
+                             : 0)),
+      bump(cfg.numUnits(), 0)
+{
+}
+
+Addr
+SimAllocator::allocate(std::uint64_t bytes, UnitId unit, std::uint64_t align)
+{
+    abndp_assert(unit < bump.size());
+    abndp_assert(align > 0 && (align & (align - 1)) == 0,
+                 "alignment must be a power of two");
+    std::uint64_t off = (bump[unit] + align - 1) & ~(align - 1);
+    if (off + bytes > capacityPerUnit)
+        fatal("unit ", unit, " out of simulated memory (",
+              off + bytes, " > ", capacityPerUnit, " bytes)");
+    bump[unit] = off + bytes;
+    return amap.unitBase(unit) + off;
+}
+
+std::vector<Addr>
+SimAllocator::allocateArray(std::uint64_t elemBytes, std::uint64_t count,
+                            Placement placement, UnitId singleUnit)
+{
+    const std::uint32_t n_units = amap.numUnits();
+    std::vector<Addr> addrs(count);
+
+    switch (placement) {
+      case Placement::Interleaved: {
+        // Count elements per unit, reserve contiguous runs, then assign
+        // element i to slot i/numUnits within unit i%numUnits.
+        std::vector<std::uint64_t> per(n_units, 0);
+        for (std::uint64_t i = 0; i < count; ++i)
+            ++per[i % n_units];
+        std::vector<Addr> base(n_units);
+        for (UnitId u = 0; u < n_units; ++u)
+            base[u] = per[u] ? allocate(per[u] * elemBytes, u) : 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            UnitId u = i % n_units;
+            addrs[i] = base[u] + (i / n_units) * elemBytes;
+        }
+        break;
+      }
+      case Placement::Blocked: {
+        std::uint64_t chunk = (count + n_units - 1) / n_units;
+        for (UnitId u = 0; u < n_units; ++u) {
+            std::uint64_t lo = static_cast<std::uint64_t>(u) * chunk;
+            std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, count);
+            if (lo >= hi)
+                break;
+            Addr b = allocate((hi - lo) * elemBytes, u);
+            for (std::uint64_t i = lo; i < hi; ++i)
+                addrs[i] = b + (i - lo) * elemBytes;
+        }
+        break;
+      }
+      case Placement::SingleUnit: {
+        Addr b = allocate(count * elemBytes, singleUnit);
+        for (std::uint64_t i = 0; i < count; ++i)
+            addrs[i] = b + i * elemBytes;
+        break;
+      }
+    }
+    return addrs;
+}
+
+} // namespace abndp

@@ -1,0 +1,88 @@
+#include "mem/dram.hh"
+
+namespace abndp
+{
+
+DramChannel::DramChannel(const SystemConfig &cfg, EnergyAccount &energy)
+    : energy(energy),
+      banks(cfg.dram.banks),
+      rowBytes(cfg.dram.rowBytes),
+      tCas(static_cast<Tick>(cfg.dram.tCasNs * ticksPerNs)),
+      tRcd(static_cast<Tick>(cfg.dram.tRcdNs * ticksPerNs)),
+      tRp(static_cast<Tick>(cfg.dram.tRpNs * ticksPerNs)),
+      tRefi(static_cast<Tick>(cfg.dram.tRefiNs * ticksPerNs)),
+      tRfc(static_cast<Tick>(cfg.dram.tRfcNs * ticksPerNs)),
+      refreshOn(cfg.dram.refreshEnabled),
+      // DDR signaling: busBits wide, two transfers per bus clock.
+      ticksPerByte(8.0 * 1000.0
+                   / (cfg.dram.busBits * 2.0 * cfg.dram.busGHz))
+{
+    staggerRefresh();
+}
+
+void
+DramChannel::staggerRefresh()
+{
+    // Banks refresh round-robin so no refresh lands exactly at t = 0.
+    for (std::size_t b = 0; b < banks.size(); ++b)
+        banks[b].nextRefresh = tRefi * (b + 1) / banks.size();
+}
+
+Tick
+DramChannel::access(Addr addr, std::uint32_t bytes, bool isWrite,
+                    bool cacheRegion, Tick start)
+{
+    std::uint64_t row = addr / rowBytes;
+    auto &bank = banks[row % banks.size()];
+
+    // Lazy per-bank refresh: account the refreshes due before this
+    // access; long idle gaps only charge a bounded backlog (the rest is
+    // hidden in idle time anyway). Refresh closes the row buffer.
+    if (refreshOn && bank.nextRefresh <= start) {
+        int catchup = 0;
+        while (bank.nextRefresh <= start && catchup < 4) {
+            bank.meter.reserve(bank.nextRefresh, tRfc);
+            bank.nextRefresh += tRefi;
+            ++nRefreshes;
+            ++catchup;
+        }
+        if (bank.nextRefresh <= start)
+            bank.nextRefresh = start + tRefi;
+        bank.openRow = ~0ull;
+    }
+
+    Tick core;
+    bool row_miss = bank.openRow != row;
+    if (row_miss) {
+        ++nRowMisses;
+        core = tRp + tRcd + tCas;
+        bank.openRow = row;
+    } else {
+        core = tCas;
+    }
+
+    auto burst = static_cast<Tick>(ticksPerByte * bytes);
+    Tick begin = bank.meter.reserve(start, core + burst);
+    Tick queue = begin - start;
+    waitNs.sample(static_cast<double>(queue) / ticksPerNs);
+
+    if (isWrite)
+        ++nWrites;
+    else
+        ++nReads;
+    energy.addDramAccess(bytes, row_miss, cacheRegion);
+
+    return queue + core + burst;
+}
+
+void
+DramChannel::resetState()
+{
+    for (auto &bank : banks) {
+        bank.meter.reset();
+        bank.openRow = ~0ull;
+    }
+    staggerRefresh();
+}
+
+} // namespace abndp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-unit DRAM channel timing and energy model (HBM-like, Table 1).
+ *
+ * Each NDP unit owns one channel with several independent banks. Banks
+ * track an open row and a next-free tick; accesses pay tCAS on a row hit
+ * or tRP + tRCD + tCAS on a row miss, plus the data burst, and queue
+ * behind earlier accesses to the same bank.
+ */
+
+#ifndef ABNDP_MEM_DRAM_HH
+#define ABNDP_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "energy/energy.hh"
+#include "sim/bandwidth_meter.hh"
+
+namespace abndp
+{
+
+/** One DRAM channel (the local vault of one NDP unit). */
+class DramChannel
+{
+  public:
+    DramChannel(const SystemConfig &cfg, EnergyAccount &energy);
+
+    /**
+     * Perform one access and reserve the bank.
+     *
+     * @param addr byte address (bank/row derived from it)
+     * @param bytes transfer size
+     * @param isWrite write access
+     * @param cacheRegion access targets the Traveller Cache data region
+     *                    (energy attributed to the DRAM-cache component)
+     * @param start tick at which the request arrives at the channel
+     * @return total latency from @p start until data is available
+     */
+    Tick access(Addr addr, std::uint32_t bytes, bool isWrite,
+                bool cacheRegion, Tick start);
+
+    std::uint64_t reads() const { return nReads.value(); }
+    std::uint64_t writes() const { return nWrites.value(); }
+    std::uint64_t rowMisses() const { return nRowMisses.value(); }
+    std::uint64_t refreshes() const { return nRefreshes.value(); }
+
+    /** Queueing delay behind earlier same-bank accesses (ns). */
+    const stats::Distribution &queueWaitNs() const { return waitNs; }
+
+    void resetState();
+
+  private:
+    /** Spread initial per-bank refresh deadlines round-robin. */
+    void staggerRefresh();
+
+  public:
+
+  private:
+    struct Bank
+    {
+        BandwidthMeter meter;
+        std::uint64_t openRow = ~0ull;
+        /** Next scheduled refresh for this bank. */
+        Tick nextRefresh = 0;
+    };
+
+    EnergyAccount &energy;
+    std::vector<Bank> banks;
+    std::uint32_t rowBytes;
+    Tick tCas;
+    Tick tRcd;
+    Tick tRp;
+    Tick tRefi;
+    Tick tRfc;
+    bool refreshOn;
+    /** Ticks to burst one byte over the data bus. */
+    double ticksPerByte;
+
+    stats::Counter nReads;
+    stats::Counter nWrites;
+    stats::Counter nRowMisses;
+    stats::Counter nRefreshes;
+    stats::Distribution waitNs;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_MEM_DRAM_HH

@@ -1,0 +1,152 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+namespace abndp
+{
+
+Network::Network(const SystemConfig &cfg, const Topology &topo,
+                 EnergyAccount &energy)
+    : topo(topo),
+      energy(energy),
+      meshX(cfg.meshX),
+      intraLatency(static_cast<Tick>(cfg.net.intraHopNs * ticksPerNs)),
+      interLatency(static_cast<Tick>(cfg.net.interHopNs * ticksPerNs)),
+      // intra link: intraLinkBits wide at intraGHz (one transfer/cycle).
+      intraTicksPerByte(8.0 * 1000.0
+                        / (cfg.net.intraLinkBits * cfg.net.intraGHz)),
+      // inter link: interGBs bytes per ns is interGBs / 1e0; ticks/byte =
+      // 1000 / (GB/s) since 1 GB/s = 1 byte/ns.
+      interTicksPerByte(1000.0 / cfg.net.interGBs),
+      linkMeter(static_cast<std::size_t>(topo.numStacks()) * 4),
+      portMeter(topo.numUnits()),
+      ringMeter(cfg.net.intraTopology == IntraTopology::Ring
+                    ? static_cast<std::size_t>(topo.numUnits()) * 2
+                    : 0)
+{
+    intraTopo = cfg.net.intraTopology;
+    unitsPerStack = cfg.unitsPerStack;
+}
+
+TransferResult
+Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
+{
+    TransferResult res;
+    if (src == dst)
+        return res;
+
+    ++packets;
+    Tick t = start;
+
+    auto crossbar = [&](UnitId port) {
+        auto ser = static_cast<Tick>(intraTicksPerByte * bytes);
+        Tick begin = portMeter[port].reserve(t, ser);
+        portWait.sample(static_cast<double>(begin - t) / ticksPerNs);
+        t = begin + intraLatency + ser;
+        ++intraHops;
+        energy.addIntraTransfer(bytes);
+    };
+
+    // Ring mode: traverse directed ring links between in-stack ports.
+    // The stack router sits at local index 0.
+    auto ring = [&](UnitId from, std::uint32_t toLocal) {
+        std::uint32_t cur = topo.localIndex(from);
+        UnitId base = from - cur; // first unit of this stack
+        auto ser = static_cast<Tick>(intraTicksPerByte * bytes);
+        while (cur != toLocal) {
+            std::uint32_t fwd = (toLocal + unitsPerStack - cur)
+                % unitsPerStack;
+            bool clockwise = fwd <= unitsPerStack - fwd;
+            std::uint32_t dir = clockwise ? 0 : 1;
+            Tick begin =
+                ringMeter[(base + cur) * 2 + dir].reserve(t, ser);
+            portWait.sample(static_cast<double>(begin - t) / ticksPerNs);
+            t = begin + intraLatency + ser;
+            ++intraHops;
+            energy.addIntraTransfer(bytes);
+            cur = clockwise ? (cur + 1) % unitsPerStack
+                            : (cur + unitsPerStack - 1) % unitsPerStack;
+        }
+    };
+
+    auto intraTraverse = [&](UnitId from, std::uint32_t toLocal,
+                             UnitId toPort) {
+        if (intraTopo == IntraTopology::Ring)
+            ring(from, toLocal);
+        else
+            crossbar(toPort);
+    };
+
+    if (topo.sameStack(src, dst)) {
+        // Straight intra-stack delivery.
+        intraTraverse(src, topo.localIndex(dst), dst);
+        res.latency = t - start;
+        return res;
+    }
+
+    // Source stack: reach the stack router (local index 0).
+    intraTraverse(src, 0, src);
+
+    // XY route across the mesh; each directed link is a bandwidth
+    // resource (store-and-forward per hop).
+    StackId s = topo.stackOf(src);
+    StackId d = topo.stackOf(dst);
+    auto [sx, sy] = topo.stackCoord(s);
+    auto [dx, dy] = topo.stackCoord(d);
+
+    std::uint32_t x = sx, y = sy;
+    StackId cur = s;
+    auto hop = [&](std::uint32_t dir, StackId next) {
+        auto ser = static_cast<Tick>(interTicksPerByte * bytes);
+        Tick begin = linkMeter[linkIndex(cur, dir)].reserve(t, ser);
+        linkWait.sample(static_cast<double>(begin - t) / ticksPerNs);
+        t = begin + interLatency + ser;
+        cur = next;
+        ++res.interHops;
+    };
+
+    while (x != dx) {
+        if (x < dx) {
+            hop(0, cur + 1);
+            ++x;
+        } else {
+            hop(1, cur - 1);
+            --x;
+        }
+    }
+    while (y != dy) {
+        if (y < dy) {
+            hop(2, cur + meshX);
+            ++y;
+        } else {
+            hop(3, cur - meshX);
+            --y;
+        }
+    }
+
+    interHops += res.interHops;
+    energy.addInterTransfer(bytes, res.interHops);
+
+    // Destination stack: from the router to the unit.
+    UnitId dst_router = dst - topo.localIndex(dst);
+    if (intraTopo == IntraTopology::Ring)
+        ring(dst_router, topo.localIndex(dst));
+    else
+        crossbar(dst);
+
+    res.latency = t - start;
+    return res;
+}
+
+void
+Network::resetState()
+{
+    for (auto &m : linkMeter)
+        m.reset();
+    for (auto &m : portMeter)
+        m.reset();
+    for (auto &m : ringMeter)
+        m.reset();
+}
+
+} // namespace abndp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Hierarchical interconnect timing/energy model: XY-routed inter-stack
+ * mesh with per-link bandwidth reservation plus per-stack crossbars with
+ * per-port serialization. Packet hops and transferred bits feed the
+ * Figure-8 hop metric and the interconnect energy component.
+ */
+
+#ifndef ABNDP_NET_NETWORK_HH
+#define ABNDP_NET_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "energy/energy.hh"
+#include "net/topology.hh"
+#include "sim/bandwidth_meter.hh"
+
+namespace abndp
+{
+
+/** Result of one network transfer. */
+struct TransferResult
+{
+    /** One-way latency including queueing and serialization. */
+    Tick latency = 0;
+    /** Inter-stack mesh hops traversed. */
+    std::uint32_t interHops = 0;
+};
+
+/** Common packet sizes (bytes): header-only request and line-sized data. */
+struct PacketSizes
+{
+    static constexpr std::uint32_t request = 16;
+    static constexpr std::uint32_t data = cachelineBytes + 16;
+};
+
+/** The two-level NDP interconnect. */
+class Network
+{
+  public:
+    Network(const SystemConfig &cfg, const Topology &topo,
+            EnergyAccount &energy);
+
+    /**
+     * Send @p bytes from @p src to @p dst starting at @p start, reserving
+     * link/port bandwidth along the way.
+     */
+    TransferResult transfer(UnitId src, UnitId dst, std::uint32_t bytes,
+                            Tick start);
+
+    /** Total inter-stack hops of all packets so far (Figure 8 metric). */
+    std::uint64_t totalInterHops() const { return interHops.value(); }
+
+    /** Total intra-stack crossbar traversals so far. */
+    std::uint64_t totalIntraTraversals() const { return intraHops.value(); }
+
+    std::uint64_t totalPackets() const { return packets.value(); }
+
+    /** Queueing delay at crossbar ports (ns). */
+    const stats::Distribution &portWaitNs() const { return portWait; }
+
+    /** Queueing delay at mesh links (ns). */
+    const stats::Distribution &linkWaitNs() const { return linkWait; }
+
+    /** Clear link/port reservations (between epochs of separate runs). */
+    void resetState();
+
+  private:
+    /** Index of the directed mesh link leaving stack s toward dir. */
+    std::size_t
+    linkIndex(StackId s, std::uint32_t dir) const
+    {
+        return static_cast<std::size_t>(s) * 4 + dir;
+    }
+
+    const Topology &topo;
+    EnergyAccount &energy;
+    std::uint32_t meshX;
+    IntraTopology intraTopo;
+    std::uint32_t unitsPerStack;
+
+    Tick intraLatency;
+    Tick interLatency;
+    double intraTicksPerByte;
+    double interTicksPerByte;
+
+    /** Bandwidth meter of each directed mesh link (stack x 4 dirs). */
+    std::vector<BandwidthMeter> linkMeter;
+    /**
+     * Intra-stack meters: one crossbar port per unit, or one directed
+     * ring link per (unit, direction) in ring mode (same storage).
+     */
+    std::vector<BandwidthMeter> portMeter;
+    std::vector<BandwidthMeter> ringMeter; // ring mode: 2 per unit
+
+    stats::Counter interHops;
+    stats::Counter intraHops;
+    stats::Counter packets;
+    stats::Distribution portWait;
+    stats::Distribution linkWait;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_NET_NETWORK_HH

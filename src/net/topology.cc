@@ -1,0 +1,111 @@
+#include "net/topology.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+Topology::Topology(const SystemConfig &cfg)
+{
+    nStacks = cfg.numStacks();
+    nUnitsPerStack = cfg.unitsPerStack;
+    nUnits = cfg.numUnits();
+    nGroups = cfg.numGroups();
+    meshDiam = cfg.meshDiameter();
+    intraTopo = cfg.net.intraTopology;
+    dLocal = 0.0;
+    dIntra = cfg.net.intraHopNs;
+    dInter = cfg.net.interHopNs;
+
+    unitStack.assign(nUnits, 0);
+    unitLocal.assign(nUnits, 0);
+    unitGroup.assign(nUnits, 0);
+    stackX.assign(nStacks, 0);
+    stackY.assign(nStacks, 0);
+    groupUnits.assign(nGroups, {});
+
+    // Stack s sits at mesh coordinates (s % meshX, s / meshX).
+    for (StackId s = 0; s < nStacks; ++s) {
+        stackX[s] = s % cfg.meshX;
+        stackY[s] = s / cfg.meshX;
+    }
+
+    // Partition stacks (or units, when there are more groups than stacks)
+    // into localized groups, then number units group-by-group.
+    UnitId next = 0;
+    if (nGroups <= nStacks) {
+        if (nStacks % nGroups != 0)
+            fatal("number of stacks (", nStacks, ") not divisible by the ",
+                  "number of camp groups (", nGroups, ")");
+
+        // Pick a gx x gy tiling of the mesh with near-square tiles.
+        std::uint32_t bestGx = 0;
+        std::uint32_t bestBadness = ~0u;
+        for (std::uint32_t gx = 1; gx <= nGroups; ++gx) {
+            if (nGroups % gx != 0)
+                continue;
+            std::uint32_t gy = nGroups / gx;
+            if (cfg.meshX % gx != 0 || cfg.meshY % gy != 0)
+                continue;
+            std::uint32_t tw = cfg.meshX / gx, th = cfg.meshY / gy;
+            std::uint32_t badness = tw > th ? tw - th : th - tw;
+            if (badness < bestBadness) {
+                bestBadness = badness;
+                bestGx = gx;
+            }
+        }
+        if (bestGx == 0)
+            fatal("cannot tile a ", cfg.meshX, "x", cfg.meshY, " mesh into ",
+                  nGroups, " localized groups");
+
+        std::uint32_t gx = bestGx, gy = nGroups / bestGx;
+        std::uint32_t tileW = cfg.meshX / gx, tileH = cfg.meshY / gy;
+
+        for (GroupId g = 0; g < nGroups; ++g) {
+            std::uint32_t tx = g % gx, ty = g / gx;
+            // Stacks inside the tile, row-major.
+            for (std::uint32_t dy = 0; dy < tileH; ++dy) {
+                for (std::uint32_t dx = 0; dx < tileW; ++dx) {
+                    std::uint32_t x = tx * tileW + dx;
+                    std::uint32_t y = ty * tileH + dy;
+                    StackId s = y * cfg.meshX + x;
+                    for (std::uint32_t l = 0; l < nUnitsPerStack; ++l) {
+                        UnitId u = next++;
+                        unitStack[u] = s;
+                        unitLocal[u] = l;
+                        unitGroup[u] = g;
+                        groupUnits[g].push_back(u);
+                    }
+                }
+            }
+        }
+    } else {
+        // More groups than stacks: subdivide each stack's units into
+        // equally sized consecutive subgroups.
+        if (nGroups % nStacks != 0 || nUnitsPerStack % (nGroups / nStacks))
+            fatal("cannot split ", nUnitsPerStack, " units per stack into ",
+                  nGroups / nStacks, " groups per stack");
+        std::uint32_t groupsPerStack = nGroups / nStacks;
+        std::uint32_t unitsPerSub = nUnitsPerStack / groupsPerStack;
+        for (StackId s = 0; s < nStacks; ++s) {
+            for (std::uint32_t sub = 0; sub < groupsPerStack; ++sub) {
+                GroupId g = s * groupsPerStack + sub;
+                for (std::uint32_t l = 0; l < unitsPerSub; ++l) {
+                    UnitId u = next++;
+                    unitStack[u] = s;
+                    unitLocal[u] = sub * unitsPerSub + l;
+                    unitGroup[u] = g;
+                    groupUnits[g].push_back(u);
+                }
+            }
+        }
+    }
+
+    abndp_assert(next == nUnits);
+    for (GroupId g = 0; g < nGroups; ++g)
+        abndp_assert(groupUnits[g].size() == unitsPerGroup());
+}
+
+} // namespace abndp

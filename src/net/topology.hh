@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Hierarchical NDP topology: an inter-stack 2D mesh of memory stacks,
+ * each containing a crossbar-connected set of NDP units.
+ *
+ * Unit numbering follows the paper's camp-grouping scheme (Section 4.2):
+ * units are numbered consecutively first within each stack, then within
+ * each localized group of stacks, and finally across groups. Groups are
+ * rectangular tiles of the stack mesh so that every group is spatially
+ * localized (Figure 5).
+ */
+
+#ifndef ABNDP_NET_TOPOLOGY_HH
+#define ABNDP_NET_TOPOLOGY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** Static topology queries: coordinates, groups, hop distances. */
+class Topology
+{
+  public:
+    explicit Topology(const SystemConfig &cfg);
+
+    std::uint32_t numUnits() const { return nUnits; }
+    std::uint32_t numStacks() const { return nStacks; }
+    std::uint32_t numGroups() const { return nGroups; }
+    std::uint32_t unitsPerGroup() const { return nUnits / nGroups; }
+    std::uint32_t unitsPerStack() const { return nUnitsPerStack; }
+
+    /** Stack that hosts a unit. */
+    StackId stackOf(UnitId u) const { return unitStack[u]; }
+
+    /** Camp group that a unit belongs to. */
+    GroupId groupOf(UnitId u) const { return unitGroup[u]; }
+
+    /** Mesh coordinates of a stack. */
+    std::pair<std::uint32_t, std::uint32_t>
+    stackCoord(StackId s) const
+    {
+        return {stackX[s], stackY[s]};
+    }
+
+    /** Global unit id of the idx-th unit inside group g. */
+    UnitId
+    unitInGroup(GroupId g, std::uint32_t idx) const
+    {
+        return groupUnits[g][idx];
+    }
+
+    /** All units in group g, in numbering order. */
+    const std::vector<UnitId> &unitsOfGroup(GroupId g) const
+    {
+        return groupUnits[g];
+    }
+
+    /** Inter-stack mesh hops (XY Manhattan distance) between two units. */
+    std::uint32_t
+    interHops(UnitId a, UnitId b) const
+    {
+        StackId sa = unitStack[a], sb = unitStack[b];
+        auto dx = stackX[sa] > stackX[sb] ? stackX[sa] - stackX[sb]
+                                          : stackX[sb] - stackX[sa];
+        auto dy = stackY[sa] > stackY[sb] ? stackY[sa] - stackY[sb]
+                                          : stackY[sb] - stackY[sa];
+        return dx + dy;
+    }
+
+    bool sameStack(UnitId a, UnitId b) const
+    {
+        return unitStack[a] == unitStack[b];
+    }
+
+    /** Position of a unit inside its stack (ring/crossbar port id). */
+    std::uint32_t localIndex(UnitId u) const { return unitLocal[u]; }
+
+    /**
+     * Intra-stack hops between two units of the same stack: 1 for the
+     * crossbar, ring distance for the ring.
+     */
+    std::uint32_t
+    intraHops(UnitId a, UnitId b) const
+    {
+        if (a == b)
+            return 0;
+        if (intraTopo == IntraTopology::Crossbar)
+            return 1;
+        std::uint32_t d = unitLocal[a] > unitLocal[b]
+            ? unitLocal[a] - unitLocal[b]
+            : unitLocal[b] - unitLocal[a];
+        return std::min(d, nUnitsPerStack - d);
+    }
+
+    /**
+     * Scheduler distance cost between units (Eq. 2): Dlocal for the same
+     * unit, Dintra within a stack, Dinter * hops across stacks.
+     * Expressed in nanoseconds of one-way interconnect latency.
+     */
+    double
+    distanceCost(UnitId from, UnitId to) const
+    {
+        if (from == to)
+            return dLocal;
+        if (unitStack[from] == unitStack[to])
+            return dIntra * intraHops(from, to);
+        return dInter * interHops(from, to);
+    }
+
+    /** The per-hop inter-stack cost Dinter used by distanceCost(). */
+    double interCost() const { return dInter; }
+
+    /** The intra-stack cost Dintra used by distanceCost(). */
+    double intraCost() const { return dIntra; }
+
+    /** Mean intra-stack hop count between distinct units. */
+    double
+    meanIntraHops() const
+    {
+        if (intraTopo == IntraTopology::Crossbar)
+            return 1.0;
+        // Average bidirectional-ring distance over distinct pairs.
+        double total = 0.0;
+        for (std::uint32_t d = 1; d < nUnitsPerStack; ++d)
+            total += std::min(d, nUnitsPerStack - d);
+        return total / (nUnitsPerStack - 1);
+    }
+
+    /** Mesh diameter in hops. */
+    std::uint32_t diameter() const { return meshDiam; }
+
+  private:
+    std::uint32_t nUnits;
+    std::uint32_t nStacks;
+    std::uint32_t nGroups;
+    std::uint32_t nUnitsPerStack;
+    std::uint32_t meshDiam;
+    IntraTopology intraTopo;
+    double dLocal;
+    double dIntra;
+    double dInter;
+
+    std::vector<StackId> unitStack;           // unit -> stack
+    std::vector<std::uint32_t> unitLocal;     // unit -> in-stack index
+    std::vector<GroupId> unitGroup;           // unit -> group
+    std::vector<std::uint32_t> stackX, stackY; // stack -> mesh coords
+    std::vector<std::vector<UnitId>> groupUnits; // group -> units
+};
+
+} // namespace abndp
+
+#endif // ABNDP_NET_TOPOLOGY_HH

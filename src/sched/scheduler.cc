@@ -1,0 +1,286 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+Scheduler::Scheduler(const SystemConfig &cfg, const Topology &topo,
+                     const CampMapping &camps)
+    : cfg(cfg), topo(topo), camps(camps),
+      policy(cfg.sched.policy),
+      campAware(cfg.sched.policy == SchedPolicy::Hybrid
+                && cfg.traveller.style != CacheStyle::None),
+      exhaustiveScoring(cfg.sched.exhaustiveScoring),
+      weightB(cfg.sched.hybridAlpha * topo.interCost()),
+      forwardPenalty(cfg.sched.forwardPenaltyFrac),
+      deadband(cfg.sched.costloadDeadband),
+      nUnits(topo.numUnits()),
+      nStacks(topo.numStacks()),
+      wTrue(nUnits, 0.0),
+      wSnap(nUnits, 0.0),
+      wDelta(nUnits, std::vector<double>(nUnits, 0.0)),
+      stackBase(nStacks, 0.0),
+      unitBonus(nUnits, 0.0),
+      unitScore(nUnits, 0.0)
+{
+}
+
+double
+Scheduler::estimateLoad(const Task &task) const
+{
+    if (task.hint.workload != 0)
+        return static_cast<double>(task.hint.workload);
+    // Section 3.1: estimate from the total memory access cost of the
+    // primary-data addresses. One nominal DRAM access per hint address
+    // plus a fixed task overhead; only relative magnitudes matter.
+    constexpr double nominal_access = 51.0; // ~tRP + tRCD + tCAS, ns
+    constexpr double task_overhead = 20.0;
+    return task_overhead
+        + nominal_access
+        * static_cast<double>(task.hint.totalLines());
+}
+
+void
+Scheduler::scoreCostMem(const Task &task, bool withCamps)
+{
+    // With the crossbar NoC Dintra is constant (the paper's setting);
+    // for the ring option the stack-level term uses the mean ring
+    // distance as an estimate (placement within the stack is then a
+    // second-order effect).
+    const double d_intra = topo.intraCost() * topo.meanIntraHops();
+    const double d_inter = topo.interCost();
+
+    std::fill(stackBase.begin(), stackBase.end(), 0.0);
+    for (UnitId u : bonusDirty)
+        unitBonus[u] = 0.0;
+    bonusDirty.clear();
+
+    // Gather the addresses to score: the explicit list plus a few
+    // sample lines per range (ranges are contiguous allocations, so
+    // sampling preserves their distance profile).
+    sampleScratch.clear();
+    for (Addr a : task.hint.data)
+        sampleScratch.push_back(a);
+    for (const auto &r : task.hint.ranges) {
+        sampleScratch.push_back(r.start);
+        if (r.lines() > 2)
+            sampleScratch.push_back(r.start + r.bytes / 2);
+        if (r.lines() > 1)
+            sampleScratch.push_back(r.start + r.bytes - 1);
+    }
+    const auto &data = sampleScratch;
+    if (data.empty()) {
+        std::fill(unitScore.begin(), unitScore.end(), 0.0);
+        return;
+    }
+
+    // Sample at most sampleCap addresses for huge hints (a hardware
+    // scheduler would summarize long address lists the same way).
+    std::size_t step = data.size() <= sampleCap
+        ? 1
+        : (data.size() + sampleCap - 1) / sampleCap;
+
+    std::uint32_t sampled = 0;
+    CandidateList cl;
+    for (std::size_t i = 0; i < data.size(); i += step, ++sampled) {
+        Addr a = data[i];
+        if (withCamps) {
+            camps.candidates(a, cl);
+        } else {
+            cl.loc[0] = camps.homeOf(a);
+            cl.n = 1;
+        }
+
+        for (StackId s = 0; s < nStacks; ++s) {
+            double cmin = -1.0;
+            for (std::uint32_t c = 0; c < cl.n; ++c) {
+                StackId cs = topo.stackOf(cl.loc[c]);
+                double cost;
+                if (cs == s) {
+                    cost = d_intra;
+                } else {
+                    UnitId rep0 = cl.loc[c];
+                    // Hop count only depends on the stacks.
+                    auto [x1, y1] = topo.stackCoord(s);
+                    auto [x2, y2] = topo.stackCoord(cs);
+                    std::uint32_t hops = (x1 > x2 ? x1 - x2 : x2 - x1)
+                        + (y1 > y2 ? y1 - y2 : y2 - y1);
+                    cost = d_inter * hops;
+                    (void)rep0;
+                }
+                if (cmin < 0.0 || cost < cmin)
+                    cmin = cost;
+            }
+            stackBase[s] += cmin;
+        }
+
+        // A unit equal to a candidate saves (Dintra - Dlocal) for this
+        // address relative to the stack-level bound.
+        for (std::uint32_t c = 0; c < cl.n; ++c) {
+            UnitId cand = cl.loc[c];
+            if (unitBonus[cand] == 0.0)
+                bonusDirty.push_back(cand);
+            unitBonus[cand] += d_intra; // Dlocal == 0
+        }
+    }
+
+    abndp_assert(sampled > 0);
+    const double inv = 1.0 / sampled;
+    for (UnitId u = 0; u < nUnits; ++u)
+        unitScore[u] = (stackBase[topo.stackOf(u)] - unitBonus[u]) * inv;
+}
+
+UnitId
+Scheduler::choose(const Task &task, UnitId creator)
+{
+    ++nDecisions;
+    if (policy == SchedPolicy::Colocate)
+        return task.mainHome;
+
+    scoreCostMem(task, campAware);
+
+    if (policy == SchedPolicy::Hybrid) {
+        // Moving the task itself ships its descriptor to the target: a
+        // real (if small) cost that keeps tiny tasks from migrating for
+        // negligible gains.
+        if (forwardPenalty > 0.0) {
+            for (UnitId u = 0; u < nUnits; ++u)
+                unitScore[u] +=
+                    forwardPenalty * topo.distanceCost(creator, u);
+        }
+        // costload from the stale snapshot plus this creator's local
+        // adjustments since the last exchange (Eq. 3).
+        const auto &delta = wDelta[creator];
+        double avg = wSnapSum / nUnits; // forwards are sum-preserving
+        if (avg > 0.0) {
+            for (UnitId u = 0; u < nUnits; ++u) {
+                // A unit always knows its own queue exactly; everyone
+                // else is seen through the snapshot + local adjustments.
+                double w = u == creator ? wTrue[u]
+                                        : wSnap[u] + delta[u];
+                double r = w / avg - 1.0;
+                // Small deviations are measurement noise on shallow
+                // queues, not imbalance worth moving tasks for.
+                if (r > deadband)
+                    r -= deadband;
+                else if (r < -deadband)
+                    r += deadband;
+                else
+                    r = 0.0;
+                unitScore[u] += weightB * r;
+            }
+        }
+    }
+
+    UnitId best;
+    if (exhaustiveScoring || policy != SchedPolicy::Hybrid) {
+        best = 0;
+        for (UnitId u = 1; u < nUnits; ++u)
+            if (unitScore[u] < unitScore[best])
+                best = u;
+    } else {
+        // Pruned mode: a hardware scheduler scores only the plausible
+        // targets — the creating unit, the main home, the camp/home
+        // candidates of a few hint addresses, and the most idle units
+        // from the last exchange.
+        auto &set = prunedScratch;
+        set.clear();
+        set.push_back(creator);
+        if (task.mainHome < nUnits)
+            set.push_back(task.mainHome);
+        const auto &data = task.hint.data; // pruned set: list part only
+        std::size_t step = data.size() <= 16
+            ? 1
+            : (data.size() + 15) / 16;
+        CandidateList cl;
+        for (std::size_t i = 0; i < data.size(); i += step) {
+            camps.candidates(data[i], cl);
+            for (std::uint32_t c = 0; c < cl.n; ++c)
+                set.push_back(cl.loc[c]);
+        }
+        for (UnitId u : idleHint)
+            set.push_back(u);
+        best = set.front();
+        for (UnitId u : set)
+            if (unitScore[u] < unitScore[best])
+                best = u;
+    }
+    // Ties (e.g., a cold camp scoring like the home) must not move the
+    // task: prefer the creating unit, then the main element's home.
+    constexpr double eps = 1e-9;
+    if (unitScore[creator] <= unitScore[best] + eps)
+        return creator;
+    if (task.mainHome < nUnits
+        && unitScore[task.mainHome] <= unitScore[best] + eps)
+        return task.mainHome;
+    return best;
+}
+
+void
+Scheduler::onEnqueued(UnitId u, double load, UnitId creatorView)
+{
+    // Only the true W changes: task creation (staging children for the
+    // next timestamp) happens at a similar rate on every unit, so units
+    // reconcile it at the next exchange. Local view adjustments are
+    // reserved for this unit's own placement decisions (onForwarded),
+    // which would otherwise dogpile within an exchange interval.
+    (void)creatorView;
+    wTrue[u] += load;
+}
+
+void
+Scheduler::onDequeued(UnitId u, double load)
+{
+    wTrue[u] -= load;
+    if (wTrue[u] < 0.0)
+        wTrue[u] = 0.0;
+}
+
+void
+Scheduler::onStolen(UnitId victim, UnitId thief, double load)
+{
+    wTrue[victim] -= load;
+    if (wTrue[victim] < 0.0)
+        wTrue[victim] = 0.0;
+    wTrue[thief] += load;
+}
+
+void
+Scheduler::onForwarded(UnitId from, UnitId to, double load, UnitId viewer)
+{
+    wTrue[from] -= load;
+    if (wTrue[from] < 0.0)
+        wTrue[from] = 0.0;
+    wTrue[to] += load;
+    // The forwarding unit immediately reflects its own decision in its
+    // local view; other units learn at the next exchange.
+    wDelta[viewer][from] -= load;
+    wDelta[viewer][to] += load;
+}
+
+void
+Scheduler::exchangeSnapshot()
+{
+    wSnap = wTrue;
+    wSnapSum = 0.0;
+    for (double w : wSnap)
+        wSnapSum += w;
+    // Refresh the most-idle hint used by the pruned scoring mode.
+    if (!exhaustiveScoring) {
+        idleHint.resize(nUnits);
+        for (UnitId u = 0; u < nUnits; ++u)
+            idleHint[u] = u;
+        std::partial_sort(idleHint.begin(), idleHint.begin() + 8,
+                          idleHint.end(), [this](UnitId a, UnitId b) {
+                              return wSnap[a] < wSnap[b];
+                          });
+        idleHint.resize(8);
+    }
+    for (auto &d : wDelta)
+        std::fill(d.begin(), d.end(), 0.0);
+}
+
+} // namespace abndp

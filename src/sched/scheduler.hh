@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Task scheduling policies (paper Sections 2.3 and 5).
+ *
+ * One Scheduler instance serves the whole system but models the paper's
+ * distributed decision making: every creating unit scores with the shared
+ * periodic workload snapshot plus its own local adjustments, never with
+ * other units' true instantaneous state.
+ *
+ * score(t, u) = costmem(t, u) + B * costload(t, u)        (Eq. 1)
+ * costmem     = avg over hint addrs of the distance from u to the
+ *               nearest candidate location of that address  (Eq. 2)
+ * costload    = W_u / W_avg - 1                             (Eq. 3)
+ */
+
+#ifndef ABNDP_SCHED_SCHEDULER_HH
+#define ABNDP_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/camp_mapping.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+#include "net/topology.hh"
+#include "tasking/task.hh"
+
+namespace abndp
+{
+
+/** Score-based task placement with the Table-2 policy variants. */
+class Scheduler
+{
+  public:
+    Scheduler(const SystemConfig &cfg, const Topology &topo,
+              const CampMapping &camps);
+
+    /**
+     * Scheduler-visible load estimate of a task: the programmer-supplied
+     * hint.workload if present, otherwise the total memory access cost of
+     * the hint addresses (Section 3.1).
+     */
+    double estimateLoad(const Task &task) const;
+
+    /**
+     * Pick the execution unit for @p task created at unit @p creator.
+     * Does not mutate W bookkeeping; callers pair this with onEnqueued().
+     */
+    UnitId choose(const Task &task, UnitId creator);
+
+    /** Account a task (with loadEstimate set) entering unit @p u. */
+    void onEnqueued(UnitId u, double load, UnitId creatorView);
+
+    /** Account a task leaving unit @p u (dequeued for execution). */
+    void onDequeued(UnitId u, double load);
+
+    /** Move @p load of queued work from @p victim to @p thief (steal). */
+    void onStolen(UnitId victim, UnitId thief, double load);
+
+    /**
+     * Account a scheduling-window forward of @p load from @p from to
+     * @p to, visible immediately in @p viewer's local W adjustments.
+     */
+    void onForwarded(UnitId from, UnitId to, double load, UnitId viewer);
+
+    /**
+     * Periodic hierarchical workload information exchange: refresh the
+     * global snapshot from true per-unit W values and clear all local
+     * adjustment deltas.
+     */
+    void exchangeSnapshot();
+
+    /** Snapshot W value of a unit (used for steal victim choice too). */
+    double snapshotW(UnitId u) const { return wSnap[u]; }
+
+    /** True instantaneous W (for stats/tests; not used for decisions). */
+    double trueW(UnitId u) const { return wTrue[u]; }
+
+    /** The hybrid weight B in the units of costmem (ns). */
+    double hybridWeight() const { return weightB; }
+
+    /** Whether choose() considers every unit (paper) or a pruned set. */
+    bool exhaustive() const { return exhaustiveScoring; }
+
+    std::uint64_t decisions() const { return nDecisions; }
+
+  private:
+    /** costmem for all units via the stack-level decomposition. */
+    void scoreCostMem(const Task &task, bool withCamps);
+
+    const SystemConfig &cfg;
+    const Topology &topo;
+    const CampMapping &camps;
+    SchedPolicy policy;
+    bool campAware;
+    bool exhaustiveScoring;
+    double weightB;
+    double forwardPenalty;
+    double deadband;
+    std::uint32_t nUnits;
+    std::uint32_t nStacks;
+
+    /** Max hint addresses sampled when scoring huge tasks. */
+    static constexpr std::uint32_t sampleCap = 64;
+
+    // True queued work per unit, and the periodically exchanged snapshot.
+    std::vector<double> wTrue;
+    std::vector<double> wSnap;
+    double wSnapSum = 0.0;
+    // Per-unit local adjustments since the last exchange (tracking only
+    // that unit's own forwarding decisions).
+    std::vector<std::vector<double>> wDelta;
+
+    /** Most-idle units as of the last exchange (pruned-mode hint). */
+    std::vector<UnitId> idleHint;
+
+    // Scoring scratch (reused across calls; single-threaded simulator).
+    std::vector<Addr> sampleScratch;
+    std::vector<UnitId> prunedScratch;
+    std::vector<double> stackBase;
+    std::vector<double> unitBonus;
+    std::vector<UnitId> bonusDirty;
+    std::vector<double> unitScore;
+
+    std::uint64_t nDecisions = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_SCHEDULER_HH

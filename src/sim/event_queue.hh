@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global event queue per simulation orders callbacks by tick,
+ * with insertion order breaking ties so runs are fully deterministic.
+ */
+
+#ifndef ABNDP_SIM_EVENT_QUEUE_HH
+#define ABNDP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** Event-queue based simulation clock and dispatcher. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    bool empty() const { return heap.empty(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Schedule a callback at an absolute tick; must not be in the past.
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        abndp_assert(when >= curTick, "scheduling into the past: ", when,
+                     " < ", curTick);
+        heap.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule a callback delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(curTick + delta, std::move(cb));
+    }
+
+    /**
+     * Execute the earliest pending event.
+     * @return false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap.empty())
+            return false;
+        // Moving out of the priority queue top is safe: pop() follows
+        // immediately and never inspects the moved-from callback.
+        Event ev = std::move(const_cast<Event &>(heap.top()));
+        heap.pop();
+        curTick = ev.when;
+        ++numExecuted;
+        ev.cb();
+        return true;
+    }
+
+    /** Run until the queue drains. */
+    void
+    runAll()
+    {
+        while (runOne()) {}
+    }
+
+    /** Run events with tick <= limit (inclusive). */
+    void
+    runUntil(Tick limit)
+    {
+        while (!heap.empty() && heap.top().when <= limit)
+            runOne();
+        if (curTick < limit)
+            curTick = limit;
+    }
+
+    /**
+     * Drop all pending events without running them; the clock keeps its
+     * current value. Used at bulk-synchronous barriers to cancel
+     * periodic bookkeeping events (exchange ticks, steal backoffs) that
+     * must not stretch the epoch.
+     */
+    void
+    clearPending()
+    {
+        heap = {};
+    }
+
+    /** Reset to an empty queue at tick 0. */
+    void
+    reset()
+    {
+        heap = {};
+        curTick = 0;
+        nextSeq = 0;
+        numExecuted = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Swarm-like task abstraction (paper Section 3.1).
+ *
+ * A task carries a function opcode, a timestamp (bulk-synchronous epoch),
+ * a hint with the addresses of all primary data it will read plus an
+ * optional workload estimate, and an argument. Tasks with equal
+ * timestamps run in parallel; updates become visible when the timestamp
+ * ends. By convention hint.data[0] is the address of the task's main
+ * (to-be-updated) element, which defines its "home" for co-location.
+ */
+
+#ifndef ABNDP_TASKING_TASK_HH
+#define ABNDP_TASKING_TASK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** A contiguous range of primary data read by a task. */
+struct AddrRange
+{
+    Addr start = 0;
+    std::uint32_t bytes = 0;
+
+    /** Number of cache lines the range touches. */
+    std::uint32_t
+    lines() const
+    {
+        if (bytes == 0)
+            return 0;
+        Addr first = blockAlign(start);
+        Addr last = blockAlign(start + bytes - 1);
+        return static_cast<std::uint32_t>((last - first) / cachelineBytes
+                                          + 1);
+    }
+};
+
+/** Scheduler-visible information attached to each task. */
+struct TaskHint
+{
+    /** Primary-data read addresses; data[0] is the main element. */
+    std::vector<Addr> data;
+    /**
+     * Contiguous primary-data ranges (Section 3.1 allows "single
+     * cacheline addresses or address ranges"); e.g., adjacency lists.
+     */
+    std::vector<AddrRange> ranges;
+    /**
+     * Optional programmer-supplied computation load. 0 means unset, in
+     * which case the scheduler estimates the load from the memory access
+     * cost of the hint addresses (Section 3.1).
+     */
+    std::uint64_t workload = 0;
+
+    /** Total cache lines referenced by the hint. */
+    std::uint64_t
+    totalLines() const
+    {
+        std::uint64_t n = data.size();
+        for (const auto &r : ranges)
+            n += r.lines();
+        return n;
+    }
+};
+
+/** One unit of data-centric work. */
+struct Task
+{
+    /** Workload-defined function opcode. */
+    std::uint32_t func = 0;
+    /** Bulk-synchronous timestamp (epoch number). */
+    std::uint64_t timestamp = 0;
+    /** Workload-defined argument (e.g., vertex id, row id, query id). */
+    std::uint64_t arg = 0;
+    /** Scheduler hint: read addresses + optional load. */
+    TaskHint hint;
+    /** Addresses written at task completion (bypass caches, to home). */
+    std::vector<Addr> writes;
+    /** Non-memory instruction estimate for timing/energy. */
+    std::uint64_t computeInstrs = 0;
+
+    // ---- Fields managed by the runtime, not the workload ----
+    /** Home unit of the main element (set on enqueue). */
+    UnitId mainHome = invalidUnit;
+    /** Scheduler load estimate used for the W counters. */
+    double loadEstimate = 0.0;
+    /** True once the prefetch unit issued this task's hint prefetches. */
+    bool prefetched = false;
+    /** Times this task was forwarded between scheduling windows. */
+    std::uint8_t forwardHops = 0;
+};
+
+/**
+ * Destination for enqueue_task(): the NDP runtime (which schedules the
+ * task) or a test collector.
+ */
+class TaskSink
+{
+  public:
+    virtual ~TaskSink() = default;
+
+    /**
+     * Enqueue a child task (the enqueue_task API). Called both for the
+     * initial task set and from inside executeTask(); children must carry
+     * timestamp = parent.timestamp + 1.
+     */
+    virtual void enqueueTask(Task &&task) = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_TASKING_TASK_HH

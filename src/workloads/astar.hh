@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Batched A* search over a power-law graph with ALT (A*, Landmarks,
+ * Triangle inequality) heuristics, expressed as bulk-synchronous
+ * wavefronts.
+ *
+ * Several independent (start, goal) queries run concurrently; each
+ * timestamp expands, for every query, the vertices whose g-value
+ * improved in the previous timestamp, pruning expansions whose
+ * f = g + h cannot beat the query's best goal cost so far (bounds only
+ * shrink, so pruning with the previous timestamp's bound stays exact).
+ * A task reads its query's vertex records, the adjacency list, and the
+ * shared landmark-distance tables for the ALT heuristic
+ * h(n) = max_l |d(l, n) - d(l, goal)| — hot, read-only primary data.
+ */
+
+#ifndef ABNDP_WORKLOADS_ASTAR_HH
+#define ABNDP_WORKLOADS_ASTAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.hh"
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Bulk-synchronous multi-query ALT-A* on a graph. */
+class AstarWorkload : public Workload
+{
+  public:
+    /** Number of landmarks in the ALT heuristic. */
+    static constexpr std::uint32_t numLandmarks = 8;
+
+    /**
+     * @param graph search graph (unit edge costs)
+     * @param numQueries concurrent (start, goal) queries, endpoints
+     *        drawn deterministically from @p seed
+     */
+    AstarWorkload(Graph graph, std::uint32_t numQueries = 16,
+                  std::uint64_t seed = 11);
+
+    std::string name() const override { return "astar"; }
+    void setup(SimAllocator &alloc) override;
+    void emitInitialTasks(TaskSink &sink) override;
+    void executeTask(const Task &task, TaskSink &sink) override;
+    void endEpoch(std::uint64_t ts) override;
+    bool verify() const override;
+
+    /** Cost of the best path found for one query (inf = none yet). */
+    std::uint32_t goalCost(std::uint32_t q) const
+    {
+        return queries[q].g[queries[q].goal];
+    }
+
+    std::uint32_t numQueriesTotal() const
+    {
+        return static_cast<std::uint32_t>(queries.size());
+    }
+
+    /** The ALT heuristic (exposed for tests: must be admissible). */
+    std::uint32_t heuristic(std::uint32_t vertex,
+                            std::uint32_t goal) const;
+
+  private:
+    static constexpr std::uint32_t inf = ~0u;
+
+    struct Query
+    {
+        std::uint32_t start = 0;
+        std::uint32_t goal = 0;
+        std::vector<std::uint32_t> g;
+        std::vector<std::uint32_t> nextG;
+        std::vector<bool> enqueuedNext;
+        std::vector<std::uint32_t> enqueuedList;
+        std::uint32_t bound = inf;
+        std::uint32_t nextBound = inf;
+        /** Per-query vertex state records in simulated memory. */
+        std::vector<Addr> recAddr;
+    };
+
+    Task makeTask(std::uint32_t q, std::uint32_t vertex,
+                  std::uint64_t ts) const;
+
+    /** BFS distances from one vertex. */
+    std::vector<std::uint32_t> bfsFrom(std::uint32_t from) const;
+
+    Graph graph;
+
+    /** Landmark tables: numLandmarks x vertices exact distances. */
+    std::vector<std::vector<std::uint32_t>> landmarkDist;
+    /** Landmark table entries in simulated memory (4 B per vertex). */
+    std::vector<std::vector<Addr>> lmAddr;
+    /** Shared adjacency list addresses (one allocation per vertex). */
+    std::vector<Addr> adjAddr;
+
+    std::vector<Query> queries;
+    std::uint64_t epochsRun = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_ASTAR_HH

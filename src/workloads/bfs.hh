@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Breadth-first search in the task model: each bulk-synchronous
+ * timestamp expands one frontier level; a task reads its vertex's
+ * adjacency and neighbor records and enqueues tasks for newly
+ * discovered neighbors.
+ */
+
+#ifndef ABNDP_WORKLOADS_BFS_HH
+#define ABNDP_WORKLOADS_BFS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.hh"
+#include "workloads/graph_layout.hh"
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Level-synchronous BFS from a source vertex. */
+class BfsWorkload : public Workload
+{
+  public:
+    explicit BfsWorkload(Graph graph, std::uint32_t source = 0);
+
+    std::string name() const override { return "bfs"; }
+    void setup(SimAllocator &alloc) override;
+    void emitInitialTasks(TaskSink &sink) override;
+    void executeTask(const Task &task, TaskSink &sink) override;
+    void endEpoch(std::uint64_t ts) override { (void)ts; ++epochsRun; }
+    bool verify() const override;
+
+    const std::vector<std::uint32_t> &distances() const { return dist; }
+
+  private:
+    Task makeTask(std::uint32_t v, std::uint64_t ts) const;
+
+    Graph graph;
+    GraphLayout layout;
+    std::uint32_t source;
+
+    static constexpr std::uint32_t unreached = ~0u;
+    std::vector<std::uint32_t> dist;
+    /** Claimed-for-next-level marks (bulk-synchronous discovery). */
+    std::vector<bool> claimed;
+    std::uint64_t epochsRun = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_BFS_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload factory: builds any of the eight evaluation applications
+ * (Section 6) from a size specification, with deterministic synthetic
+ * inputs (see DESIGN.md substitutions).
+ */
+
+#ifndef ABNDP_WORKLOADS_FACTORY_HH
+#define ABNDP_WORKLOADS_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Input sizes for every workload (defaults = benchmark scale). */
+struct WorkloadSpec
+{
+    /** Which application: pr, bfs, sssp, astar, gcn, kmeans, knn, spmv. */
+    std::string name = "pr";
+
+    std::uint64_t seed = 42;
+
+    // Graph applications (pr, bfs, sssp, astar, gcn, spmv): R-MAT
+    // inputs, or a SNAP-style edge-list file when graphFile is set.
+    std::uint32_t scale = 14;
+    std::uint32_t edgeFactor = 16;
+    std::string graphFile;
+    /** Programmer-supplied hint.workload (vs scheduler estimation). */
+    bool explicitLoadHints = false;
+
+    // pr
+    std::uint32_t prIters = 4;
+
+    // gcn
+    std::uint32_t gcnLayers = 2;
+
+    // spmv
+    std::uint32_t spmvIters = 3;
+
+    // kmeans
+    std::uint64_t kmeansPoints = 1ull << 16;
+    std::uint32_t kmeansClusters = 16;
+    std::uint32_t kmeansIters = 4;
+
+    // knn
+    std::uint32_t knnPoints = 1u << 16;
+    std::uint32_t knnQueries = 4096;
+    std::uint32_t knnK = 4;
+    double knnHotFraction = 0.8;
+    std::uint32_t knnLeafSize = 64;
+
+    // astar (ALT-A* over the R-MAT graph)
+    std::uint32_t astarQueries = 16;
+
+    /** Reduced sizes for unit/integration tests. */
+    static WorkloadSpec tiny(const std::string &name);
+};
+
+/** Instantiate a workload; fatal() on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const WorkloadSpec &spec);
+
+/** The paper's benchmark suite, in Figure-6 order. */
+const std::vector<std::string> &allWorkloadNames();
+
+/** The Figure 8/9 representative subset: pr, bfs, gcn, knn, spmv. */
+const std::vector<std::string> &representativeWorkloadNames();
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_FACTORY_HH

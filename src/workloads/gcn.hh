@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Graph convolutional network forward pass in the task model: each
+ * timestamp is one GCN layer; a per-vertex task mean-aggregates neighbor
+ * feature vectors, applies a dense FxF transform, and a ReLU.
+ */
+
+#ifndef ABNDP_WORKLOADS_GCN_HH
+#define ABNDP_WORKLOADS_GCN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.hh"
+#include "workloads/graph_layout.hh"
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Multi-layer GCN inference over a graph. */
+class GcnWorkload : public Workload
+{
+  public:
+    /** Feature dimension is fixed at 16 floats (one cache line). */
+    static constexpr std::uint32_t featureDim = 16;
+
+    GcnWorkload(Graph graph, std::uint32_t layers = 2,
+                std::uint64_t seed = 5);
+
+    std::string name() const override { return "gcn"; }
+    void setup(SimAllocator &alloc) override;
+    void emitInitialTasks(TaskSink &sink) override;
+    void executeTask(const Task &task, TaskSink &sink) override;
+    void endEpoch(std::uint64_t ts) override;
+    bool verify() const override;
+
+    /** Final feature of a vertex (after all layers). */
+    const float *featuresOf(std::uint32_t v) const
+    {
+        return &curr[static_cast<std::size_t>(v) * featureDim];
+    }
+
+  private:
+    Task makeTask(std::uint32_t v, std::uint64_t ts) const;
+    float weightAt(std::uint32_t layer, std::uint32_t i,
+                   std::uint32_t j) const;
+    float initialFeature(std::uint32_t v, std::uint32_t f) const;
+
+    Graph graph;
+    GraphLayout layout;
+    std::uint32_t layers;
+    std::uint64_t seed;
+
+    std::vector<float> curr;
+    std::vector<float> next;
+    std::uint64_t epochsRun = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_GCN_HH

@@ -1,0 +1,52 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+Graph
+Graph::fromEdges(std::uint32_t numVertices, std::vector<Edge> edges,
+                 bool undirected)
+{
+    if (undirected) {
+        std::size_t n = edges.size();
+        edges.reserve(n * 2);
+        for (std::size_t i = 0; i < n; ++i)
+            edges.emplace_back(edges[i].second, edges[i].first);
+    }
+
+    // Drop self-loops, sort, dedup.
+    std::erase_if(edges, [](const Edge &e) { return e.first == e.second; });
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    Graph g;
+    g.nV = numVertices;
+    g.rowPtr.assign(numVertices + 1, 0);
+    for (const auto &[src, dst] : edges) {
+        abndp_assert(src < numVertices && dst < numVertices,
+                     "edge endpoint out of range");
+        ++g.rowPtr[src + 1];
+    }
+    for (std::uint32_t v = 0; v < numVertices; ++v)
+        g.rowPtr[v + 1] += g.rowPtr[v];
+    g.colIdx.resize(edges.size());
+    std::vector<std::uint64_t> cursor(g.rowPtr.begin(), g.rowPtr.end() - 1);
+    for (const auto &[src, dst] : edges)
+        g.colIdx[cursor[src]++] = dst;
+    return g;
+}
+
+std::uint32_t
+Graph::maxDegree() const
+{
+    std::uint32_t m = 0;
+    for (std::uint32_t v = 0; v < nV; ++v)
+        m = std::max(m, degree(v));
+    return m;
+}
+
+} // namespace abndp

@@ -1,0 +1,47 @@
+#include "workloads/graph_layout.hh"
+
+namespace abndp
+{
+
+void
+GraphLayout::setup(SimAllocator &alloc)
+{
+    const std::uint32_t n = graph->numVertices();
+    recAddr = alloc.allocateArray(recBytes, n, placement);
+    adjAddr.resize(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        std::uint64_t bytes =
+            static_cast<std::uint64_t>(graph->degree(v)) * edgeBytes;
+        if (bytes == 0) {
+            adjAddr[v] = invalidAddr;
+            continue;
+        }
+        // Adjacency lives with its vertex (same home unit).
+        adjAddr[v] = alloc.allocate(bytes, alloc.map().homeOf(recAddr[v]),
+                                    cachelineBytes);
+    }
+}
+
+void
+GraphLayout::appendAdjacency(std::uint32_t v, TaskHint &hint) const
+{
+    if (adjAddr[v] == invalidAddr)
+        return;
+    hint.ranges.push_back(
+        {adjAddr[v],
+         static_cast<std::uint32_t>(
+             static_cast<std::uint64_t>(graph->degree(v)) * edgeBytes)});
+}
+
+void
+GraphLayout::buildVertexTaskHint(std::uint32_t v, TaskHint &hint) const
+{
+    hint.data.clear();
+    hint.ranges.clear();
+    hint.data.push_back(recAddr[v]);
+    appendAdjacency(v, hint);
+    for (std::uint32_t n : graph->neighbors(v))
+        hint.data.push_back(recAddr[n]);
+}
+
+} // namespace abndp

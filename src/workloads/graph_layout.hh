@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulated-memory layout shared by the graph workloads: per-vertex
+ * property records distributed element-interleaved across NDP units (the
+ * paper's baseline placement) and per-vertex adjacency lists stored in
+ * the same unit as their vertex.
+ */
+
+#ifndef ABNDP_WORKLOADS_GRAPH_LAYOUT_HH
+#define ABNDP_WORKLOADS_GRAPH_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/allocator.hh"
+#include "tasking/task.hh"
+#include "workloads/graph.hh"
+
+namespace abndp
+{
+
+/** Address layout of one graph's primary data. */
+class GraphLayout
+{
+  public:
+    /**
+     * @param graph the topology to lay out
+     * @param vertexRecBytes bytes per vertex property record
+     * @param bytesPerEdge bytes per adjacency entry (index + optional
+     *        weight)
+     */
+    GraphLayout(const Graph &graph, std::uint32_t vertexRecBytes,
+                std::uint32_t bytesPerEdge = 4,
+                Placement placement = Placement::Interleaved)
+        : graph(&graph), recBytes(vertexRecBytes), edgeBytes(bytesPerEdge),
+          placement(placement)
+    {
+    }
+
+    /** Allocate all records and adjacency lists. */
+    void setup(SimAllocator &alloc);
+
+    /** Address of vertex @p v's property record. */
+    Addr vertexAddr(std::uint32_t v) const { return recAddr[v]; }
+
+    /** Append @p v's adjacency list to the hint as an address range. */
+    void appendAdjacency(std::uint32_t v, TaskHint &hint) const;
+
+    /**
+     * Build the standard hint of a vertex-centric task on @p v:
+     * data[0] = v's record (main element), then v's adjacency lines,
+     * then every neighbor's record.
+     */
+    void buildVertexTaskHint(std::uint32_t v, TaskHint &hint) const;
+
+  private:
+    const Graph *graph;
+    std::uint32_t recBytes;
+    std::uint32_t edgeBytes;
+    Placement placement;
+    std::vector<Addr> recAddr;
+    std::vector<Addr> adjAddr;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_GRAPH_LAYOUT_HH

@@ -1,0 +1,74 @@
+#include "workloads/kdtree.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+KdTree::KdTree(const std::vector<float> &points, std::uint32_t leafSize)
+{
+    abndp_assert(points.size() % dims == 0);
+    auto n = static_cast<std::uint32_t>(points.size() / dims);
+    abndp_assert(n > 0 && leafSize > 0);
+    std::vector<std::uint32_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    order.reserve(n);
+    build(idx, 0, n, 0, points, leafSize);
+}
+
+std::uint32_t
+KdTree::build(std::vector<std::uint32_t> &idx, std::uint32_t lo,
+              std::uint32_t hi, std::uint32_t depth,
+              const std::vector<float> &points, std::uint32_t leafSize)
+{
+    maxDepth = std::max(maxDepth, depth);
+    auto me = static_cast<std::uint32_t>(tree.size());
+    tree.emplace_back();
+
+    if (hi - lo <= leafSize) {
+        auto begin = static_cast<std::uint32_t>(order.size());
+        for (std::uint32_t i = lo; i < hi; ++i)
+            order.push_back(idx[i]);
+        tree[me].begin = begin;
+        tree[me].end = static_cast<std::uint32_t>(order.size());
+        return me;
+    }
+
+    std::uint32_t dim = depth % dims;
+    std::uint32_t mid = lo + (hi - lo) / 2;
+    std::nth_element(idx.begin() + lo, idx.begin() + mid, idx.begin() + hi,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         float fa = points[a * dims + dim];
+                         float fb = points[b * dims + dim];
+                         return fa != fb ? fa < fb : a < b;
+                     });
+    float split = points[idx[mid] * dims + dim];
+
+    std::uint32_t left = build(idx, lo, mid, depth + 1, points, leafSize);
+    std::uint32_t right = build(idx, mid, hi, depth + 1, points, leafSize);
+    tree[me].splitDim = dim;
+    tree[me].splitVal = split;
+    tree[me].left = left;
+    tree[me].right = right;
+    return me;
+}
+
+float
+KdTree::boxDistance(const float *q, const float *lo, const float *hi)
+{
+    float d2 = 0.0f;
+    for (std::uint32_t d = 0; d < dims; ++d) {
+        float diff = 0.0f;
+        if (q[d] < lo[d])
+            diff = lo[d] - q[d];
+        else if (q[d] > hi[d])
+            diff = q[d] - hi[d];
+        d2 += diff * diff;
+    }
+    return d2;
+}
+
+} // namespace abndp

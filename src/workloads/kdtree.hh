@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Static KD-tree over low-dimensional points, used by the KNN workload.
+ * Built deterministically with median splits; nodes are indexed so they
+ * can be laid out in simulated memory.
+ */
+
+#ifndef ABNDP_WORKLOADS_KDTREE_HH
+#define ABNDP_WORKLOADS_KDTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace abndp
+{
+
+/** KD-tree with point indices stored contiguously per leaf. */
+class KdTree
+{
+  public:
+    static constexpr std::uint32_t dims = 2;
+    static constexpr std::uint32_t noChild = ~0u;
+
+    struct Node
+    {
+        /** Split dimension (internal nodes). */
+        std::uint32_t splitDim = 0;
+        float splitVal = 0.0f;
+        std::uint32_t left = noChild;
+        std::uint32_t right = noChild;
+        /** Range in pointOrder for leaves (begin == end for internal). */
+        std::uint32_t begin = 0;
+        std::uint32_t end = 0;
+
+        bool isLeaf() const { return left == noChild; }
+    };
+
+    /**
+     * Build over @p points (numPoints x dims, row-major).
+     * @param leafSize max points per leaf
+     */
+    KdTree(const std::vector<float> &points, std::uint32_t leafSize = 8);
+
+    const std::vector<Node> &nodes() const { return tree; }
+    std::uint32_t root() const { return 0; }
+    std::uint32_t numPoints() const
+    {
+        return static_cast<std::uint32_t>(order.size());
+    }
+
+    /** Point indices in leaf-contiguous order. */
+    const std::vector<std::uint32_t> &pointOrder() const { return order; }
+
+    /** Depth of the tree (root = level 0). */
+    std::uint32_t depth() const { return maxDepth; }
+
+    /**
+     * Lower bound on the squared distance from @p q (dims floats) to any
+     * point in @p node's region, given the path bounds accumulated in
+     * @p offsets (used internally; exposed for tests).
+     */
+    static float boxDistance(const float *q, const float *lo,
+                             const float *hi);
+
+  private:
+    std::uint32_t build(std::vector<std::uint32_t> &idx, std::uint32_t lo,
+                        std::uint32_t hi, std::uint32_t depth,
+                        const std::vector<float> &points,
+                        std::uint32_t leafSize);
+
+    std::vector<Node> tree;
+    std::vector<std::uint32_t> order;
+    std::uint32_t maxDepth = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_KDTREE_HH

@@ -1,0 +1,165 @@
+#include "workloads/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace abndp
+{
+
+KmeansWorkload::KmeansWorkload(std::uint64_t numPoints,
+                               std::uint32_t clusters,
+                               std::uint32_t iterations, std::uint64_t seed)
+    : numPoints(numPoints), k(clusters), iterations(iterations), seed(seed),
+      points(numPoints * dims),
+      centroid(static_cast<std::size_t>(clusters) * dims),
+      assign(numPoints, 0),
+      sums(static_cast<std::size_t>(clusters) * dims, 0.0),
+      counts(clusters, 0)
+{
+    abndp_assert(k >= 1 && iterations >= 1);
+    // Gaussian mixture around k true centers.
+    Rng rng(seed);
+    std::vector<double> centers(static_cast<std::size_t>(k) * dims);
+    for (auto &c : centers)
+        c = rng.uniform(-10.0, 10.0);
+    for (std::uint64_t p = 0; p < numPoints; ++p) {
+        auto c = static_cast<std::uint32_t>(rng.below(k));
+        for (std::uint32_t d = 0; d < dims; ++d)
+            points[p * dims + d] =
+                centers[static_cast<std::size_t>(c) * dims + d]
+                + rng.gaussian();
+    }
+    // Deterministic initialization: first k points.
+    for (std::uint32_t c = 0; c < k; ++c)
+        for (std::uint32_t d = 0; d < dims; ++d)
+            centroid[static_cast<std::size_t>(c) * dims + d] =
+                points[static_cast<std::size_t>(c) * dims + d];
+}
+
+void
+KmeansWorkload::setup(SimAllocator &alloc)
+{
+    pointAddr = alloc.allocateArray(dims * sizeof(double), numPoints,
+                                    Placement::Interleaved);
+}
+
+Task
+KmeansWorkload::makeTask(std::uint64_t p, std::uint64_t ts) const
+{
+    Task t;
+    t.timestamp = ts;
+    t.arg = p;
+    // The point is the only primary data; centroids are tiny and
+    // replicated into every unit's local SRAM.
+    t.hint.data.push_back(pointAddr[p]);
+    t.computeInstrs = 3ull * k * dims;
+    return t;
+}
+
+std::uint32_t
+KmeansWorkload::nearestCentroid(const double *point,
+                                const std::vector<double> &cents) const
+{
+    std::uint32_t best = 0;
+    double bestDist = 0.0;
+    for (std::uint32_t c = 0; c < k; ++c) {
+        double d2 = 0.0;
+        for (std::uint32_t d = 0; d < dims; ++d) {
+            double diff =
+                point[d] - cents[static_cast<std::size_t>(c) * dims + d];
+            d2 += diff * diff;
+        }
+        if (c == 0 || d2 < bestDist) {
+            bestDist = d2;
+            best = c;
+        }
+    }
+    return best;
+}
+
+void
+KmeansWorkload::emitInitialTasks(TaskSink &sink)
+{
+    for (std::uint64_t p = 0; p < numPoints; ++p)
+        sink.enqueueTask(makeTask(p, 0));
+}
+
+void
+KmeansWorkload::executeTask(const Task &task, TaskSink &sink)
+{
+    std::uint64_t p = task.arg;
+    assign[p] = nearestCentroid(&points[p * dims], centroid);
+    if (task.timestamp + 1 < iterations)
+        sink.enqueueTask(makeTask(p, task.timestamp + 1));
+}
+
+void
+KmeansWorkload::endEpoch(std::uint64_t ts)
+{
+    (void)ts;
+    // Accumulate in point order so the result is independent of the
+    // (scheduler-dependent) task execution order.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::uint64_t p = 0; p < numPoints; ++p) {
+        std::uint32_t c = assign[p];
+        for (std::uint32_t d = 0; d < dims; ++d)
+            sums[static_cast<std::size_t>(c) * dims + d] +=
+                points[p * dims + d];
+        ++counts[c];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+        if (counts[c] == 0)
+            continue;
+        for (std::uint32_t d = 0; d < dims; ++d)
+            centroid[static_cast<std::size_t>(c) * dims + d] =
+                sums[static_cast<std::size_t>(c) * dims + d] / counts[c];
+    }
+    ++epochsRun;
+}
+
+bool
+KmeansWorkload::verify() const
+{
+    // Reference Lloyd iterations with identical initialization and the
+    // same point-ordered accumulation, so the comparison is exact.
+    std::vector<double> cents(centroid.size());
+    std::vector<std::uint32_t> rassign(numPoints, 0);
+    for (std::uint32_t c = 0; c < k; ++c)
+        for (std::uint32_t d = 0; d < dims; ++d)
+            cents[static_cast<std::size_t>(c) * dims + d] =
+                points[static_cast<std::size_t>(c) * dims + d];
+    std::vector<double> rsums(cents.size());
+    std::vector<std::uint64_t> rcounts(k);
+    for (std::uint64_t it = 0; it < epochsRun; ++it) {
+        std::fill(rsums.begin(), rsums.end(), 0.0);
+        std::fill(rcounts.begin(), rcounts.end(), 0);
+        for (std::uint64_t p = 0; p < numPoints; ++p) {
+            std::uint32_t c = nearestCentroid(&points[p * dims], cents);
+            rassign[p] = c;
+            for (std::uint32_t d = 0; d < dims; ++d)
+                rsums[static_cast<std::size_t>(c) * dims + d] +=
+                    points[p * dims + d];
+            ++rcounts[c];
+        }
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (rcounts[c] == 0)
+                continue;
+            for (std::uint32_t d = 0; d < dims; ++d)
+                cents[static_cast<std::size_t>(c) * dims + d] =
+                    rsums[static_cast<std::size_t>(c) * dims + d]
+                    / rcounts[c];
+        }
+    }
+    if (rassign != assign)
+        return false;
+    for (std::size_t i = 0; i < cents.size(); ++i)
+        if (std::abs(cents[i] - centroid[i]) > 1e-6)
+            return false;
+    return true;
+}
+
+} // namespace abndp

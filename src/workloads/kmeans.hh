@@ -1,0 +1,62 @@
+/**
+ * @file
+ * K-means clustering in the task model: one task per point per
+ * iteration assigns the point to the nearest centroid; centroids are
+ * recomputed at the bulk-synchronous timestamp boundary. Points are
+ * purely local data, so this workload has neither remote-access nor
+ * load-imbalance problems (the paper's control case).
+ */
+
+#ifndef ABNDP_WORKLOADS_KMEANS_HH
+#define ABNDP_WORKLOADS_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Lloyd's k-means over a synthetic Gaussian-mixture dataset. */
+class KmeansWorkload : public Workload
+{
+  public:
+    /** Point dimensionality: 8 doubles = one cache line per point. */
+    static constexpr std::uint32_t dims = 8;
+
+    KmeansWorkload(std::uint64_t numPoints, std::uint32_t clusters,
+                   std::uint32_t iterations, std::uint64_t seed = 13);
+
+    std::string name() const override { return "kmeans"; }
+    void setup(SimAllocator &alloc) override;
+    void emitInitialTasks(TaskSink &sink) override;
+    void executeTask(const Task &task, TaskSink &sink) override;
+    void endEpoch(std::uint64_t ts) override;
+    bool verify() const override;
+
+    const std::vector<std::uint32_t> &assignments() const { return assign; }
+    const std::vector<double> &centroids() const { return centroid; }
+
+  private:
+    Task makeTask(std::uint64_t p, std::uint64_t ts) const;
+    std::uint32_t nearestCentroid(const double *point,
+                                  const std::vector<double> &cents) const;
+
+    std::uint64_t numPoints;
+    std::uint32_t k;
+    std::uint32_t iterations;
+    std::uint64_t seed;
+
+    std::vector<double> points;   ///< numPoints x dims
+    std::vector<Addr> pointAddr;
+    std::vector<double> centroid; ///< k x dims
+    std::vector<std::uint32_t> assign;
+    std::vector<double> sums;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t epochsRun = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_KMEANS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * K-nearest-neighbors over a KD-tree in the task model, in two phases:
+ * a *dive* pass first descends each query's near path one tree level per
+ * timestamp to seed the k-th-best bound with real candidates, then an
+ * *expand* pass re-descends from the root as a pruned wavefront. Subtree
+ * visits are pruned with the query's k-th-best distance as of the
+ * previous timestamp (bounds only shrink, so stale-bound pruning stays
+ * exact; without the dive, the bound would stay infinite until the first
+ * leaf and the wavefront would visit the whole tree).
+ *
+ * The query distribution is skewed (hot region), which concentrates
+ * accesses on the corresponding subtree — the paper's hardest workload
+ * for load balance.
+ */
+
+#ifndef ABNDP_WORKLOADS_KNN_HH
+#define ABNDP_WORKLOADS_KNN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kdtree.hh"
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Exact k-NN queries over a skewed synthetic point set. */
+class KnnWorkload : public Workload
+{
+  public:
+    static constexpr std::uint32_t dims = KdTree::dims;
+
+    /**
+     * @param numPoints dataset size
+     * @param numQueries number of k-NN queries
+     * @param k neighbors per query
+     * @param hotFraction fraction of points/queries drawn from the hot
+     *        cluster (the skew knob)
+     */
+    KnnWorkload(std::uint32_t numPoints, std::uint32_t numQueries,
+                std::uint32_t k = 4, double hotFraction = 0.8,
+                std::uint64_t seed = 17, std::uint32_t leafSize = 64);
+
+    std::string name() const override { return "knn"; }
+    void setup(SimAllocator &alloc) override;
+    void emitInitialTasks(TaskSink &sink) override;
+    void executeTask(const Task &task, TaskSink &sink) override;
+    void endEpoch(std::uint64_t ts) override;
+    bool verify() const override;
+
+    /** Sorted (squared distance, point id) results of one query. */
+    const std::vector<std::pair<float, std::uint32_t>> &
+    resultsOf(std::uint32_t q) const
+    {
+        return results[q];
+    }
+
+  private:
+    /** Task phases. */
+    enum Phase : std::uint32_t { Dive = 0, Expand = 1 };
+
+    Task makeTask(std::uint32_t query, std::uint32_t node, Phase phase,
+                  std::uint64_t ts) const;
+    float dist2(const float *a, const float *b) const;
+    void offerCandidate(std::uint32_t query, std::uint32_t point);
+
+    std::uint32_t numPoints;
+    std::uint32_t numQueries;
+    std::uint32_t k;
+    std::uint32_t leafSize;
+
+    std::vector<float> points;  ///< numPoints x dims
+    std::vector<float> queries; ///< numQueries x dims
+    KdTree tree;
+
+    std::vector<Addr> nodeAddr;
+    std::vector<Addr> leafBlockAddr; ///< per leaf, points in order[]
+    std::vector<std::uint32_t> nodeLeafIdx; ///< node -> leaf index or ~0
+
+    /** Per-query sorted candidates (squared distance, id), size <= k. */
+    std::vector<std::vector<std::pair<float, std::uint32_t>>> results;
+    /** Pruning bound snapshot from the previous timestamp. */
+    std::vector<float> boundSnap;
+    /** Leaf each query's dive pass scanned (skipped during expand). */
+    std::vector<std::uint32_t> divedLeaf;
+    std::uint64_t epochsRun = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_KNN_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Iterated sparse matrix-vector multiplication (power-iteration style):
+ * each timestamp computes y = A x with one task per matrix row, then
+ * renormalizes x <- y / ||y||_inf at the bulk boundary.
+ */
+
+#ifndef ABNDP_WORKLOADS_SPMV_HH
+#define ABNDP_WORKLOADS_SPMV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.hh"
+#include "workloads/graph_layout.hh"
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Power iteration over a sparse matrix with power-law row lengths. */
+class SpmvWorkload : public Workload
+{
+  public:
+    /**
+     * @param matrix sparsity pattern (row r has entries at matrix
+     *        neighbors(r)); values synthesized from @p seed
+     * @param iterations number of y = A x rounds
+     */
+    SpmvWorkload(Graph matrix, std::uint32_t iterations,
+                 std::uint64_t seed = 19);
+
+    std::string name() const override { return "spmv"; }
+    void setup(SimAllocator &alloc) override;
+    void emitInitialTasks(TaskSink &sink) override;
+    void executeTask(const Task &task, TaskSink &sink) override;
+    void endEpoch(std::uint64_t ts) override;
+    bool verify() const override;
+
+    const std::vector<double> &vector() const { return x; }
+
+  private:
+    Task makeTask(std::uint32_t row, std::uint64_t ts) const;
+    double valueAt(std::uint32_t row, std::size_t entryIdx) const;
+
+    Graph matrix;
+    GraphLayout layout;
+    std::uint32_t iterations;
+    std::uint64_t seed;
+
+    std::vector<double> x;
+    std::vector<double> y;
+    std::uint64_t epochsRun = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_SPMV_HH

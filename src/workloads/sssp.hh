@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Single-source shortest path as bulk-synchronous Bellman-Ford: each
+ * timestamp relaxes the out-edges of the vertices whose distance
+ * improved in the previous timestamp.
+ */
+
+#ifndef ABNDP_WORKLOADS_SSSP_HH
+#define ABNDP_WORKLOADS_SSSP_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "workloads/graph.hh"
+#include "workloads/graph_layout.hh"
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Frontier-based SSSP with non-negative edge weights. */
+class SsspWorkload : public Workload
+{
+  public:
+    /** Edge weights are synthesized deterministically from @p seed. */
+    SsspWorkload(Graph graph, std::uint32_t source = 0,
+                 std::uint64_t seed = 7);
+
+    std::string name() const override { return "sssp"; }
+    void setup(SimAllocator &alloc) override;
+    void emitInitialTasks(TaskSink &sink) override;
+    void executeTask(const Task &task, TaskSink &sink) override;
+    void endEpoch(std::uint64_t ts) override;
+    bool verify() const override;
+
+    const std::vector<double> &distances() const { return dist; }
+
+  private:
+    Task makeTask(std::uint32_t v, std::uint64_t ts) const;
+    double weight(std::uint32_t v, std::size_t edgeIdx) const;
+
+    Graph graph;
+    GraphLayout layout;
+    std::uint32_t source;
+    std::uint64_t seed;
+
+    static constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist;
+    std::vector<double> nextDist;
+    /** Vertices already enqueued for the next timestamp. */
+    std::vector<bool> enqueuedNext;
+    std::vector<std::uint32_t> enqueuedList;
+    std::uint64_t epochsRun = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_SSSP_HH

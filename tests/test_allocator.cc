@@ -1,0 +1,97 @@
+/** @file Tests for the simulated address space and allocator. */
+
+#include <gtest/gtest.h>
+
+#include "mem/allocator.hh"
+
+namespace abndp
+{
+
+TEST(AddressMap, HomeOfRangePartition)
+{
+    SystemConfig cfg;
+    AddressMap amap(cfg);
+    EXPECT_EQ(amap.homeOf(0), 0u);
+    EXPECT_EQ(amap.homeOf(cfg.memBytesPerUnit - 1), 0u);
+    EXPECT_EQ(amap.homeOf(cfg.memBytesPerUnit), 1u);
+    EXPECT_EQ(amap.homeOf(amap.unitBase(100) + 12345), 100u);
+    EXPECT_EQ(amap.offsetInUnit(amap.unitBase(100) + 12345), 12345u);
+}
+
+TEST(AddressMapDeath, OutOfRangePanics)
+{
+    SystemConfig cfg;
+    AddressMap amap(cfg);
+    EXPECT_DEATH(amap.homeOf(cfg.totalMemBytes()), "outside memory");
+}
+
+TEST(Allocator, InterleavedPlacementMatchesBaselineRule)
+{
+    SystemConfig cfg;
+    SimAllocator alloc(cfg);
+    auto addrs = alloc.allocateArray(16, 1000, Placement::Interleaved);
+    for (std::uint64_t i = 0; i < addrs.size(); ++i)
+        EXPECT_EQ(alloc.map().homeOf(addrs[i]), i % cfg.numUnits());
+}
+
+TEST(Allocator, InterleavedElementsPackWithinUnit)
+{
+    SystemConfig cfg;
+    SimAllocator alloc(cfg);
+    auto addrs = alloc.allocateArray(16, 1000, Placement::Interleaved);
+    // Elements i and i + numUnits are adjacent in the same unit.
+    EXPECT_EQ(addrs[cfg.numUnits()], addrs[0] + 16);
+}
+
+TEST(Allocator, BlockedPlacementSplitsIntoChunks)
+{
+    SystemConfig cfg;
+    SimAllocator alloc(cfg);
+    std::uint64_t count = cfg.numUnits() * 10;
+    auto addrs = alloc.allocateArray(8, count, Placement::Blocked);
+    EXPECT_EQ(alloc.map().homeOf(addrs[0]), 0u);
+    EXPECT_EQ(alloc.map().homeOf(addrs[9]), 0u);
+    EXPECT_EQ(alloc.map().homeOf(addrs[10]), 1u);
+    EXPECT_EQ(alloc.map().homeOf(addrs.back()), cfg.numUnits() - 1);
+}
+
+TEST(Allocator, SingleUnitPlacement)
+{
+    SystemConfig cfg;
+    SimAllocator alloc(cfg);
+    auto addrs = alloc.allocateArray(8, 100, Placement::SingleUnit, 17);
+    for (Addr a : addrs)
+        EXPECT_EQ(alloc.map().homeOf(a), 17u);
+}
+
+TEST(Allocator, RespectsAlignment)
+{
+    SystemConfig cfg;
+    SimAllocator alloc(cfg);
+    alloc.allocate(3, 0);
+    Addr a = alloc.allocate(100, 0, cachelineBytes);
+    EXPECT_EQ(a % cachelineBytes, 0u);
+}
+
+TEST(Allocator, ReservesTravellerCacheRegion)
+{
+    SystemConfig cfg;
+    cfg.memBytesPerUnit = 1ull << 20;
+    cfg.traveller.style = CacheStyle::TravellerSramTags;
+    cfg.traveller.ratioDenom = 2; // half the unit is cache
+    SimAllocator alloc(cfg);
+    // Allocating more than half of the unit must fail.
+    alloc.allocate(400 * 1024, 0);
+    EXPECT_DEATH(alloc.allocate(200 * 1024, 0), "out of simulated memory");
+}
+
+TEST(Allocator, TracksUsage)
+{
+    SystemConfig cfg;
+    SimAllocator alloc(cfg);
+    EXPECT_EQ(alloc.usedBytes(3), 0u);
+    alloc.allocate(100, 3);
+    EXPECT_EQ(alloc.usedBytes(3), 100u);
+}
+
+} // namespace abndp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Coverage properties of the camp-location design (Section 4.2): every
+ * requester must find a candidate copy of every block within its own
+ * localized group, bounding the probe distance; skewing must create the
+ * cross-group diversity the scheduler exploits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cache/camp_mapping.hh"
+#include "common/rng.hh"
+#include "mem/address_map.hh"
+#include "net/topology.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(std::uint32_t camps = 3, bool skewed = true)
+    {
+        cfg.traveller.style = CacheStyle::TravellerSramTags;
+        cfg.traveller.campCount = camps;
+        cfg.traveller.skewedMapping = skewed;
+        topo = std::make_unique<Topology>(cfg);
+        amap = std::make_unique<AddressMap>(cfg);
+        camps_ = std::make_unique<CampMapping>(cfg, *topo, *amap);
+    }
+
+    SystemConfig cfg;
+    std::unique_ptr<Topology> topo;
+    std::unique_ptr<AddressMap> amap;
+    std::unique_ptr<CampMapping> camps_;
+};
+
+} // namespace
+
+TEST(CampCoverage, EveryRequesterHasAnInGroupCandidate)
+{
+    Fixture f;
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        Addr a = (rng.below(1ull << 35)) & ~63ull;
+        auto requester = static_cast<UnitId>(rng.below(128));
+        UnitId inGroup =
+            f.camps_->locationInGroup(a, f.topo->groupOf(requester));
+        ASSERT_EQ(f.topo->groupOf(inGroup), f.topo->groupOf(requester));
+    }
+}
+
+TEST(CampCoverage, NearestProbeDistanceIsBoundedByGroupDiameter)
+{
+    // Because each group is a 2x2 stack tile, the nearest candidate is
+    // at most 2 inter-stack hops away — far below the mesh diameter 6.
+    Fixture f;
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        Addr a = (rng.below(1ull << 35)) & ~63ull;
+        auto requester = static_cast<UnitId>(rng.below(128));
+        UnitId nearest = f.camps_->nearestCandidate(a, requester);
+        EXPECT_LE(f.topo->interHops(requester, nearest), 2u);
+    }
+}
+
+TEST(CampCoverage, SkewGivesTasksCloserMultiDataPlacements)
+{
+    // Section 4.2's second benefit: for pairs of blocks, the best
+    // single-group distance between their candidates should (on
+    // average) be smaller under skewed mapping than identical mapping.
+    Fixture skew(3, true), ident(3, false);
+    Rng rng(7);
+    double skewTotal = 0.0, identTotal = 0.0;
+    const int pairs = 2000;
+    for (int i = 0; i < pairs; ++i) {
+        Addr a = (rng.below(1ull << 35)) & ~63ull;
+        Addr b = (rng.below(1ull << 35)) & ~63ull;
+        auto bestPairDist = [&](const Fixture &f) {
+            double best = 1e18;
+            for (GroupId g = 0; g < 4; ++g) {
+                UnitId ca = f.camps_->locationInGroup(a, g);
+                UnitId cb = f.camps_->locationInGroup(b, g);
+                best = std::min(best, f.topo->distanceCost(ca, cb));
+            }
+            return best;
+        };
+        skewTotal += bestPairDist(skew);
+        identTotal += bestPairDist(ident);
+    }
+    EXPECT_LT(skewTotal / pairs, identTotal / pairs);
+}
+
+TEST(CampCoverage, CandidatesNeverRepeatAUnit)
+{
+    Fixture f(7);
+    Rng rng(9);
+    for (int i = 0; i < 300; ++i) {
+        Addr a = (rng.below(1ull << 35)) & ~63ull;
+        CandidateList cl;
+        f.camps_->candidates(a, cl);
+        std::set<UnitId> unique(cl.loc.begin(), cl.loc.begin() + cl.n);
+        EXPECT_EQ(unique.size(), cl.n);
+    }
+}
+
+TEST(CampCoverage, SubStackGroupsStillCoverEveryRequester)
+{
+    // 15 camps = 16 groups on 16 stacks: one group per stack.
+    Fixture f(15);
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        Addr a = (rng.below(1ull << 35)) & ~63ull;
+        auto requester = static_cast<UnitId>(rng.below(128));
+        UnitId nearest = f.camps_->nearestCandidate(a, requester);
+        // A candidate exists in the requester's own stack.
+        EXPECT_LE(f.topo->interHops(requester, nearest), 0u);
+    }
+}
+
+} // namespace abndp

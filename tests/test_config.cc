@@ -1,0 +1,125 @@
+/** @file Tests for the Table-1 defaults and the Table-2 design matrix. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hh"
+
+namespace abndp
+{
+
+TEST(Config, Table1Defaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numStacks(), 16u);
+    EXPECT_EQ(cfg.numUnits(), 128u);
+    EXPECT_EQ(cfg.numCores(), 256u);
+    EXPECT_EQ(cfg.totalMemBytes(), 64ull << 30);
+    EXPECT_EQ(cfg.memBytesPerUnit, 512ull << 20);
+    EXPECT_EQ(cfg.l1d.sizeBytes, 64ull * 1024);
+    EXPECT_EQ(cfg.l1d.assoc, 4u);
+    EXPECT_EQ(cfg.l1i.sizeBytes, 32ull * 1024);
+    EXPECT_EQ(cfg.prefetchBufBytes, 4ull * 1024);
+    EXPECT_DOUBLE_EQ(cfg.dram.tCasNs, 17.0);
+    EXPECT_DOUBLE_EQ(cfg.dram.pjPerBitRw, 5.0);
+    EXPECT_DOUBLE_EQ(cfg.dram.pjActPre, 535.8);
+    EXPECT_DOUBLE_EQ(cfg.net.intraHopNs, 1.5);
+    EXPECT_DOUBLE_EQ(cfg.net.interHopNs, 10.0);
+    EXPECT_DOUBLE_EQ(cfg.net.interGBs, 32.0);
+    EXPECT_EQ(cfg.traveller.ratioDenom, 64u);
+    EXPECT_EQ(cfg.traveller.assoc, 4u);
+    EXPECT_EQ(cfg.traveller.campCount, 3u);
+    EXPECT_DOUBLE_EQ(cfg.traveller.bypassProb, 0.4);
+    EXPECT_EQ(cfg.sched.exchangeIntervalCycles, 100000u);
+    EXPECT_EQ(cfg.meshDiameter(), 6u);
+    EXPECT_EQ(cfg.ticksPerCycle(), 500u);
+}
+
+TEST(Config, DerivedTravellerGeometry)
+{
+    SystemConfig cfg;
+    // 512MB / 64 / 64B / 4-way = 32768 sets (Section 4.3).
+    EXPECT_EQ(cfg.travellerBytesPerUnit(), 8ull << 20);
+    EXPECT_EQ(cfg.travellerSets(), 32768u);
+}
+
+TEST(Config, ApplyDesignMatrix)
+{
+    SystemConfig base;
+
+    auto b = applyDesign(base, Design::B);
+    EXPECT_EQ(b.sched.policy, SchedPolicy::Colocate);
+    EXPECT_EQ(b.traveller.style, CacheStyle::None);
+    EXPECT_FALSE(b.sched.workStealing);
+
+    auto sm = applyDesign(base, Design::Sm);
+    EXPECT_EQ(sm.sched.policy, SchedPolicy::LowestDistance);
+    EXPECT_FALSE(sm.sched.workStealing);
+
+    auto sl = applyDesign(base, Design::Sl);
+    EXPECT_EQ(sl.sched.policy, SchedPolicy::LowestDistance);
+    EXPECT_TRUE(sl.sched.workStealing);
+
+    auto sh = applyDesign(base, Design::Sh);
+    EXPECT_EQ(sh.sched.policy, SchedPolicy::Hybrid);
+    EXPECT_EQ(sh.traveller.style, CacheStyle::None);
+
+    auto c = applyDesign(base, Design::C);
+    EXPECT_EQ(c.sched.policy, SchedPolicy::LowestDistance);
+    EXPECT_EQ(c.traveller.style, CacheStyle::TravellerSramTags);
+
+    auto o = applyDesign(base, Design::O);
+    EXPECT_EQ(o.sched.policy, SchedPolicy::Hybrid);
+    EXPECT_EQ(o.traveller.style, CacheStyle::TravellerSramTags);
+}
+
+TEST(Config, AutoAlphaTracksDiameter)
+{
+    SystemConfig base;
+    base.meshX = base.meshY = 8;
+    auto o = applyDesign(base, Design::O);
+    // d = 14 for an 8x8 mesh; alpha = d / 2.
+    EXPECT_DOUBLE_EQ(o.sched.hybridAlpha, 7.0);
+}
+
+TEST(Config, DesignNames)
+{
+    EXPECT_STREQ(designName(Design::H), "H");
+    EXPECT_STREQ(designName(Design::B), "B");
+    EXPECT_STREQ(designName(Design::Sm), "Sm");
+    EXPECT_STREQ(designName(Design::Sl), "Sl");
+    EXPECT_STREQ(designName(Design::Sh), "Sh");
+    EXPECT_STREQ(designName(Design::C), "C");
+    EXPECT_STREQ(designName(Design::O), "O");
+}
+
+TEST(Config, PrintMentionsKeyParameters)
+{
+    SystemConfig cfg = applyDesign(SystemConfig{}, Design::O);
+    std::ostringstream oss;
+    cfg.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("4x4 stacks"), std::string::npos);
+    EXPECT_NE(out.find("512MB per unit"), std::string::npos);
+    EXPECT_NE(out.find("C=3 camp loc."), std::string::npos);
+    EXPECT_NE(out.find("100000-cycle"), std::string::npos);
+}
+
+TEST(ConfigDeath, ValidateRejectsBadConfigs)
+{
+    SystemConfig cfg;
+    cfg.memBytesPerUnit = 1000; // not a power of two
+    EXPECT_DEATH(cfg.validate(), "power of two");
+
+    SystemConfig cfg2;
+    cfg2.traveller.style = CacheStyle::TravellerSramTags;
+    cfg2.traveller.bypassProb = 1.5;
+    EXPECT_DEATH(cfg2.validate(), "bypassProb");
+
+    SystemConfig cfg3;
+    cfg3.meshX = 0;
+    EXPECT_DEATH(cfg3.validate(), "mesh");
+}
+
+} // namespace abndp

@@ -1,0 +1,102 @@
+/** @file Tests for the DRAM channel timing and energy model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+#include "mem/dram.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+struct DramFixture
+{
+    SystemConfig cfg;
+    EnergyAccount energy{cfg};
+    DramChannel dram{cfg, energy};
+};
+
+} // namespace
+
+TEST(Dram, RowMissThenRowHitLatency)
+{
+    DramFixture f;
+    // Cold access: row miss = tRP + tRCD + tCAS (+ burst).
+    Tick first = f.dram.access(0, 64, false, false, 0);
+    Tick miss_core = static_cast<Tick>((17 + 17 + 17) * ticksPerNs);
+    EXPECT_GE(first, miss_core);
+
+    // Same row, later: row hit = tCAS (+ burst) only.
+    Tick second = f.dram.access(64, 64, false, false, first + 100000);
+    EXPECT_LT(second, first);
+    EXPECT_GE(second, static_cast<Tick>(17 * ticksPerNs));
+    EXPECT_EQ(f.dram.rowMisses(), 1u);
+}
+
+TEST(Dram, BankConflictQueues)
+{
+    DramFixture f;
+    // Two simultaneous accesses to the same row (same bank): the second
+    // queues behind the first.
+    Tick a = f.dram.access(0, 64, false, false, 0);
+    Tick b = f.dram.access(64, 64, false, false, 0);
+    EXPECT_GT(b, a - static_cast<Tick>(34 * ticksPerNs));
+    EXPECT_GT(a + b, a); // b includes queueing
+    EXPECT_GT(f.dram.queueWaitNs().max(), 0.0);
+}
+
+TEST(Dram, DifferentBanksDoNotConflict)
+{
+    DramFixture f;
+    Tick a = f.dram.access(0, 64, false, false, 0);
+    // Next row maps to the next bank (row interleaving).
+    Tick b = f.dram.access(f.cfg.dram.rowBytes, 64, false, false, 0);
+    // Both are cold row misses of equal latency; neither queues.
+    EXPECT_EQ(a, b);
+}
+
+TEST(Dram, CountsReadsAndWrites)
+{
+    DramFixture f;
+    f.dram.access(0, 64, false, false, 0);
+    f.dram.access(4096, 64, true, false, 0);
+    f.dram.access(8192, 64, true, true, 0);
+    EXPECT_EQ(f.dram.reads(), 1u);
+    EXPECT_EQ(f.dram.writes(), 2u);
+}
+
+TEST(Dram, EnergySplitsMemoryAndCacheRegions)
+{
+    DramFixture f;
+    f.dram.access(0, 64, false, false, 0);
+    double mem_only = f.energy.breakdown().dramMemPj;
+    EXPECT_GT(mem_only, 0.0);
+    EXPECT_DOUBLE_EQ(f.energy.breakdown().dramCachePj, 0.0);
+
+    f.dram.access(1ull << 20, 64, false, true, 0);
+    EXPECT_GT(f.energy.breakdown().dramCachePj, 0.0);
+    EXPECT_DOUBLE_EQ(f.energy.breakdown().dramMemPj, mem_only);
+}
+
+TEST(Dram, RowMissEnergyIncludesActPre)
+{
+    DramFixture f;
+    // Row miss: 64B * 8 * 5 pJ/bit + 535.8 pJ.
+    f.dram.access(0, 64, false, false, 0);
+    EXPECT_NEAR(f.energy.breakdown().dramMemPj, 64 * 8 * 5.0 + 535.8,
+                1e-9);
+}
+
+TEST(Dram, ResetStateClearsBanks)
+{
+    DramFixture f;
+    f.dram.access(0, 64, false, false, 0);
+    f.dram.resetState();
+    // After reset the row buffer is closed again: row miss.
+    f.dram.access(0, 64, false, false, 1000000);
+    EXPECT_EQ(f.dram.rowMisses(), 2u);
+}
+
+} // namespace abndp

@@ -1,0 +1,68 @@
+/** @file Tests for the energy accounting (Figure-7 breakdown). */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+
+namespace abndp
+{
+
+TEST(Energy, CoreInstructionsUseTable1Constant)
+{
+    SystemConfig cfg;
+    EnergyAccount e(cfg);
+    e.addCoreInstructions(100);
+    EXPECT_DOUBLE_EQ(e.breakdown().coreSramPj, 100 * 371.0);
+}
+
+TEST(Energy, ComponentsAccumulateIndependently)
+{
+    SystemConfig cfg;
+    EnergyAccount e(cfg);
+    e.addL1Access();
+    e.addPrefetchBufAccess();
+    e.addTagAccess();
+    e.addDramAccess(64, false, false);
+    e.addDramAccess(64, true, true);
+    e.addIntraTransfer(80);
+    e.addInterTransfer(80, 3);
+
+    const auto &bd = e.breakdown();
+    EXPECT_GT(bd.coreSramPj, 0.0);
+    EXPECT_DOUBLE_EQ(bd.dramMemPj, 64 * 8 * 5.0);
+    EXPECT_DOUBLE_EQ(bd.dramCachePj, 64 * 8 * 5.0 + 535.8);
+    EXPECT_DOUBLE_EQ(bd.netPj, 80 * 8 * 0.4 + 80 * 8 * 3 * 4.0);
+    EXPECT_DOUBLE_EQ(bd.total(), bd.coreSramPj + bd.dram() + bd.netPj);
+}
+
+TEST(Energy, StaticScalesWithTime)
+{
+    SystemConfig cfg;
+    EnergyAccount a(cfg), b(cfg);
+    a.finalizeStatic(1000000);
+    b.finalizeStatic(2000000);
+    EXPECT_GT(a.breakdown().staticPj, 0.0);
+    EXPECT_NEAR(b.breakdown().staticPj, 2 * a.breakdown().staticPj, 1e-6);
+}
+
+TEST(Energy, BreakdownAddition)
+{
+    EnergyBreakdown a, b;
+    a.coreSramPj = 1;
+    a.dramMemPj = 2;
+    b.netPj = 3;
+    b.staticPj = 4;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.total(), 10.0);
+}
+
+TEST(Energy, ResetClears)
+{
+    SystemConfig cfg;
+    EnergyAccount e(cfg);
+    e.addCoreInstructions(5);
+    e.reset();
+    EXPECT_DOUBLE_EQ(e.breakdown().total(), 0.0);
+}
+
+} // namespace abndp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cross-design integration properties: every Table-2 design must run
+ * every workload correctly, and the qualitative relationships the paper
+ * builds on must hold on representative inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/ndp_system.hh"
+#include "driver/experiment.hh"
+#include "host/host_system.hh"
+
+namespace abndp
+{
+
+/** design x workload sweep at tiny scale: correctness everywhere. */
+class DesignWorkloadMatrix
+    : public ::testing::TestWithParam<std::tuple<Design, std::string>>
+{
+};
+
+TEST_P(DesignWorkloadMatrix, RunsAndVerifies)
+{
+    auto [design, wlname] = GetParam();
+    SystemConfig base;
+    ExperimentOptions opts;
+    opts.verify = true;
+    opts.fatalOnVerifyFailure = false; // let gtest report instead
+    WorkloadSpec spec = WorkloadSpec::tiny(wlname);
+    auto cfg = applyDesign(base, design);
+    auto wl = makeWorkload(spec);
+    RunMetrics m;
+    if (design == Design::H) {
+        HostSystem host(cfg);
+        m = host.run(*wl);
+    } else {
+        NdpSystem sys(cfg);
+        m = sys.run(*wl);
+    }
+    EXPECT_TRUE(wl->verify());
+    EXPECT_GT(m.tasks, 0u);
+    EXPECT_GT(m.ticks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DesignWorkloadMatrix,
+    ::testing::Combine(::testing::ValuesIn(allDesigns()),
+                       ::testing::ValuesIn(allWorkloadNames())),
+    [](const auto &info) {
+        return std::string(designName(std::get<0>(info.param))) + "_"
+            + std::get<1>(info.param);
+    });
+
+namespace
+{
+
+RunMetrics
+runPr(Design d, std::uint32_t scale = 12)
+{
+    SystemConfig base;
+    WorkloadSpec spec;
+    spec.name = "pr";
+    spec.scale = scale;
+    spec.prIters = 3;
+    ExperimentOptions opts;
+    opts.verify = false;
+    return runExperiment(base, d, spec, opts);
+}
+
+} // namespace
+
+TEST(DesignProperties, LowestDistanceReducesHopsButWorsensBalance)
+{
+    // The Figure-2 motivation: Sm (LDM) lowers interconnect hops
+    // relative to B but concentrates load.
+    RunMetrics b = runPr(Design::B);
+    RunMetrics sm = runPr(Design::Sm);
+    EXPECT_LT(sm.interHops, b.interHops);
+    EXPECT_GT(sm.imbalance(), b.imbalance());
+}
+
+TEST(DesignProperties, WorkStealingBalancesButAddsHops)
+{
+    RunMetrics sm = runPr(Design::Sm);
+    RunMetrics sl = runPr(Design::Sl);
+    EXPECT_LT(sl.imbalance(), sm.imbalance());
+    EXPECT_GT(sl.interHops, sm.interHops);
+}
+
+TEST(DesignProperties, TravellerCacheReducesHops)
+{
+    RunMetrics sm = runPr(Design::Sm);
+    RunMetrics c = runPr(Design::C);
+    EXPECT_LT(c.interHops, sm.interHops);
+    EXPECT_GT(c.campHitRate(), 0.3);
+}
+
+TEST(DesignProperties, AbndpBeatsBaselineOnSkewedGraphs)
+{
+    RunMetrics b = runPr(Design::B, 13);
+    RunMetrics o = runPr(Design::O, 13);
+    EXPECT_LT(o.ticks, b.ticks);
+    EXPECT_LT(o.imbalance(), b.imbalance());
+}
+
+TEST(DesignProperties, HybridHopsBetweenColocateAndStealing)
+{
+    RunMetrics b = runPr(Design::B);
+    RunMetrics sl = runPr(Design::Sl);
+    RunMetrics sh = runPr(Design::Sh);
+    // Section 7.1: Sh has fewer remote accesses than Sl while balancing
+    // better than B-like static mappings.
+    EXPECT_LT(sh.interHops, sl.interHops);
+    EXPECT_LT(sh.imbalance(), b.imbalance() * 2.0);
+}
+
+TEST(DesignProperties, KmeansInsensitiveToDesign)
+{
+    // Section 7.1: kmeans tasks are fully independent and local.
+    SystemConfig base;
+    WorkloadSpec spec = WorkloadSpec::tiny("kmeans");
+    spec.kmeansPoints = 1 << 14;
+    ExperimentOptions opts;
+    opts.verify = false;
+    RunMetrics b = runExperiment(base, Design::B, spec, opts);
+    RunMetrics o = runExperiment(base, Design::O, spec, opts);
+    double ratio = static_cast<double>(b.ticks) / o.ticks;
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.1);
+}
+
+} // namespace abndp

@@ -1,0 +1,114 @@
+/** @file Tests for the KD-tree used by the KNN workload. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+#include "workloads/kdtree.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+std::vector<float>
+randomPoints(std::uint32_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> pts(static_cast<std::size_t>(n) * KdTree::dims);
+    for (auto &v : pts)
+        v = static_cast<float>(rng.uniform(-100.0, 100.0));
+    return pts;
+}
+
+} // namespace
+
+TEST(KdTree, LeavesPartitionAllPoints)
+{
+    auto pts = randomPoints(1000, 1);
+    KdTree tree(pts, 8);
+    std::set<std::uint32_t> seen;
+    std::uint64_t covered = 0;
+    for (const auto &node : tree.nodes()) {
+        if (!node.isLeaf())
+            continue;
+        EXPECT_LE(node.end - node.begin, 8u);
+        for (std::uint32_t i = node.begin; i < node.end; ++i) {
+            seen.insert(tree.pointOrder()[i]);
+            ++covered;
+        }
+    }
+    EXPECT_EQ(covered, 1000u);
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(KdTree, SplitSeparatesChildren)
+{
+    auto pts = randomPoints(512, 2);
+    KdTree tree(pts, 8);
+    // For each internal node, all points in the left subtree have
+    // coordinate <= splitVal (ties split by index, so allow equality).
+    for (std::uint32_t ni = 0; ni < tree.nodes().size(); ++ni) {
+        const auto &node = tree.nodes()[ni];
+        if (node.isLeaf())
+            continue;
+        // Collect leaf points under the left child.
+        std::vector<std::uint32_t> stack{node.left};
+        while (!stack.empty()) {
+            auto cur = stack.back();
+            stack.pop_back();
+            const auto &cn = tree.nodes()[cur];
+            if (cn.isLeaf()) {
+                for (std::uint32_t i = cn.begin; i < cn.end; ++i) {
+                    auto p = tree.pointOrder()[i];
+                    EXPECT_LE(pts[p * KdTree::dims + node.splitDim],
+                              node.splitVal);
+                }
+            } else {
+                stack.push_back(cn.left);
+                stack.push_back(cn.right);
+            }
+        }
+    }
+}
+
+TEST(KdTree, SmallInputSingleLeaf)
+{
+    auto pts = randomPoints(5, 3);
+    KdTree tree(pts, 8);
+    EXPECT_EQ(tree.nodes().size(), 1u);
+    EXPECT_TRUE(tree.nodes()[0].isLeaf());
+    EXPECT_EQ(tree.depth(), 0u);
+}
+
+TEST(KdTree, DepthIsLogarithmic)
+{
+    auto pts = randomPoints(4096, 4);
+    KdTree tree(pts, 8);
+    // 4096 / 8 = 512 leaves; a median-split tree has depth ~9-12.
+    EXPECT_GE(tree.depth(), 9u);
+    EXPECT_LE(tree.depth(), 14u);
+}
+
+TEST(KdTree, DeterministicBuild)
+{
+    auto pts = randomPoints(300, 5);
+    KdTree a(pts, 8), b(pts, 8);
+    EXPECT_EQ(a.nodes().size(), b.nodes().size());
+    EXPECT_EQ(a.pointOrder(), b.pointOrder());
+}
+
+TEST(KdTree, BoxDistanceIsZeroInsideBox)
+{
+    float q[2] = {1.0f, 2.0f};
+    float lo[2] = {0.0f, 0.0f};
+    float hi[2] = {3.0f, 3.0f};
+    EXPECT_FLOAT_EQ(KdTree::boxDistance(q, lo, hi), 0.0f);
+    float q2[2] = {5.0f, 2.0f};
+    EXPECT_FLOAT_EQ(KdTree::boxDistance(q2, lo, hi), 4.0f);
+}
+
+} // namespace abndp

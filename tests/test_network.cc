@@ -1,0 +1,100 @@
+/** @file Tests for the two-level interconnect model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+#include "net/network.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+struct NetFixture
+{
+    SystemConfig cfg;
+    Topology topo{cfg};
+    EnergyAccount energy{cfg};
+    Network net{cfg, topo, energy};
+};
+
+} // namespace
+
+TEST(Network, SameUnitIsFree)
+{
+    NetFixture f;
+    auto r = f.net.transfer(5, 5, 80, 1000);
+    EXPECT_EQ(r.latency, 0u);
+    EXPECT_EQ(r.interHops, 0u);
+    EXPECT_EQ(f.net.totalPackets(), 0u);
+}
+
+TEST(Network, IntraStackUsesCrossbarOnly)
+{
+    NetFixture f;
+    auto r = f.net.transfer(0, 1, 80, 0);
+    EXPECT_EQ(r.interHops, 0u);
+    // 1.5 ns traversal + 80B serialization at 16 GB/s (5 ns).
+    EXPECT_GE(r.latency, static_cast<Tick>(1.5 * ticksPerNs));
+    EXPECT_EQ(f.net.totalIntraTraversals(), 1u);
+    EXPECT_EQ(f.net.totalInterHops(), 0u);
+}
+
+TEST(Network, InterStackHopsMatchManhattanDistance)
+{
+    NetFixture f;
+    // Units 0 and 127 sit in opposite corner quadrants of the 4x4 mesh.
+    auto r = f.net.transfer(0, 127, 80, 0);
+    EXPECT_EQ(r.interHops, f.topo.interHops(0, 127));
+    EXPECT_GE(r.interHops, 1u);
+    // Latency at least hops * 10 ns.
+    EXPECT_GE(r.latency,
+              static_cast<Tick>(r.interHops * 10.0 * ticksPerNs));
+    EXPECT_EQ(f.net.totalInterHops(), r.interHops);
+}
+
+TEST(Network, HopCountAccumulates)
+{
+    NetFixture f;
+    std::uint64_t total = 0;
+    for (UnitId dst = 8; dst < 128; dst += 16)
+        total += f.net.transfer(0, dst, 80, 0).interHops;
+    EXPECT_EQ(f.net.totalInterHops(), total);
+}
+
+TEST(Network, ContentionDelaysLaterPackets)
+{
+    NetFixture f;
+    // Hammer the same destination port at the same tick.
+    Tick first = f.net.transfer(0, 1, 8192, 0).latency;
+    Tick worst = first;
+    for (int i = 0; i < 50; ++i)
+        worst = std::max(worst, f.net.transfer(2, 1, 8192, 0).latency);
+    EXPECT_GT(worst, first);
+}
+
+TEST(Network, EnergyScalesWithBytesAndHops)
+{
+    NetFixture f;
+    auto r = f.net.transfer(0, 127, 80, 0);
+    double expected_inter = 80 * 8 * 4.0 * r.interHops;
+    // Plus two crossbar traversals at 0.4 pJ/bit.
+    double expected_intra = 2 * 80 * 8 * 0.4;
+    EXPECT_NEAR(f.energy.breakdown().netPj,
+                expected_inter + expected_intra, 1e-6);
+}
+
+TEST(Network, ResetStateClearsContention)
+{
+    NetFixture f;
+    for (int i = 0; i < 50; ++i)
+        f.net.transfer(0, 1, 8192, 0);
+    f.net.resetState();
+    Tick fresh = f.net.transfer(2, 1, 8192, 0).latency;
+    // After reset, a transfer at t=0 sees an uncontended port again.
+    NetFixture g;
+    EXPECT_EQ(fresh, g.net.transfer(2, 1, 8192, 0).latency);
+}
+
+} // namespace abndp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the secondary hardware detail: DRAM refresh, per-core TLBs,
+ * L1-I streaming, and the pruned scheduler scoring mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ndp_system.hh"
+#include "driver/experiment.hh"
+#include "energy/energy.hh"
+#include "mem/dram.hh"
+#include "workloads/factory.hh"
+#include "workloads/graph_gen.hh"
+#include "workloads/pagerank.hh"
+
+namespace abndp
+{
+
+TEST(DramRefresh, ChargesRefreshesOverTime)
+{
+    SystemConfig cfg;
+    EnergyAccount energy(cfg);
+    DramChannel dram(cfg, energy);
+    // Access the same bank twice, 10 tREFI apart: refreshes are due.
+    dram.access(0, 64, false, false, 0);
+    Tick later = static_cast<Tick>(10 * cfg.dram.tRefiNs * ticksPerNs);
+    dram.access(0, 64, false, false, later);
+    EXPECT_GT(dram.refreshes(), 0u);
+}
+
+TEST(DramRefresh, BoundedCatchupAfterLongIdle)
+{
+    SystemConfig cfg;
+    EnergyAccount energy(cfg);
+    DramChannel dram(cfg, energy);
+    // A bank idle for a simulated hour must not charge millions of
+    // refreshes to the next access.
+    dram.access(0, 64, false, false, 0);
+    auto before = dram.refreshes();
+    dram.access(0, 64, false, false, 3'600'000'000'000'000ull);
+    EXPECT_LE(dram.refreshes() - before, 4u);
+}
+
+TEST(DramRefresh, CanBeDisabled)
+{
+    SystemConfig cfg;
+    cfg.dram.refreshEnabled = false;
+    EnergyAccount energy(cfg);
+    DramChannel dram(cfg, energy);
+    dram.access(0, 64, false, false, 0);
+    dram.access(0, 64, false, false, 1'000'000'000'000ull);
+    EXPECT_EQ(dram.refreshes(), 0u);
+}
+
+TEST(DramRefresh, ClosesTheRowBuffer)
+{
+    SystemConfig cfg;
+    EnergyAccount energy(cfg);
+    DramChannel dram(cfg, energy);
+    dram.access(0, 64, false, false, 0);
+    // Same row much later: the refresh in between forces a row miss.
+    Tick later = static_cast<Tick>(10 * cfg.dram.tRefiNs * ticksPerNs);
+    dram.access(64, 64, false, false, later);
+    EXPECT_EQ(dram.rowMisses(), 2u);
+}
+
+TEST(Tlb, MissesCostTimeComparedToDisabled)
+{
+    WorkloadSpec spec = WorkloadSpec::tiny("pr");
+    SystemConfig with = applyDesign(SystemConfig{}, Design::B);
+    SystemConfig without = with;
+    without.tlb.enabled = false;
+    ExperimentOptions opts;
+    opts.verify = false;
+
+    RunMetrics mw = runExperiment(with, Design::B, spec, opts);
+    RunMetrics mo = runExperiment(without, Design::B, spec, opts);
+    // Page walks add time; results stay correct either way.
+    EXPECT_GT(mw.ticks, mo.ticks);
+}
+
+TEST(Tlb, ConfigDefaultsMatchSection32)
+{
+    SystemConfig cfg;
+    EXPECT_TRUE(cfg.tlb.enabled);
+    EXPECT_EQ(cfg.tlb.entries, 64u);
+    EXPECT_EQ(cfg.tlb.pageBytes, 4096u);
+}
+
+TEST(PrunedScoring, RunsCorrectlyAndDeterministically)
+{
+    SystemConfig base;
+    base.sched.exhaustiveScoring = false;
+    WorkloadSpec spec = WorkloadSpec::tiny("pr");
+    ExperimentOptions opts;
+    opts.verify = true; // correctness independent of scoring mode
+
+    RunMetrics a = runExperiment(base, Design::O, spec, opts);
+    RunMetrics b = runExperiment(base, Design::O, spec, opts);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_GT(a.forwardedTasks, 0u);
+}
+
+TEST(ExplicitLoadHints, VerifiesAndRuns)
+{
+    WorkloadSpec spec = WorkloadSpec::tiny("pr");
+    spec.explicitLoadHints = true;
+    ExperimentOptions opts;
+    opts.verify = true;
+    RunMetrics m = runExperiment(SystemConfig{}, Design::O, spec, opts);
+    EXPECT_GT(m.tasks, 0u);
+}
+
+TEST(Placement, BlockedPlacementStillVerifies)
+{
+    SystemConfig cfg = applyDesign(SystemConfig{}, Design::O);
+    NdpSystem sys(cfg);
+    RmatParams p;
+    p.scale = 9;
+    PageRankWorkload pr(makeRmatGraph(p), 3, 1e-7, Placement::Blocked);
+    sys.run(pr);
+    EXPECT_TRUE(pr.verify());
+}
+
+} // namespace abndp

@@ -1,0 +1,75 @@
+/** @file Tests for the FIFO prefetch buffer. */
+
+#include <gtest/gtest.h>
+
+#include "cache/prefetch_buffer.hh"
+
+namespace abndp
+{
+
+TEST(PrefetchBuffer, MissReturnsNever)
+{
+    PrefetchBuffer pb(4);
+    EXPECT_EQ(pb.lookup(0x40, 100), tickNever);
+    EXPECT_EQ(pb.misses(), 1u);
+}
+
+TEST(PrefetchBuffer, HitReturnsReadyTick)
+{
+    PrefetchBuffer pb(4);
+    pb.fill(0x40, 500);
+    EXPECT_EQ(pb.lookup(0x40, 1000), 500u);
+    EXPECT_EQ(pb.hits(), 1u);
+}
+
+TEST(PrefetchBuffer, InFlightHitCountsAsLate)
+{
+    PrefetchBuffer pb(4);
+    pb.fill(0x40, 5000);
+    EXPECT_EQ(pb.lookup(0x40, 1000), 5000u);
+    EXPECT_EQ(pb.lateHits(), 1u);
+    EXPECT_EQ(pb.hits(), 0u);
+}
+
+TEST(PrefetchBuffer, FifoEvictsOldest)
+{
+    PrefetchBuffer pb(2);
+    pb.fill(0x40, 1);
+    pb.fill(0x80, 2);
+    pb.fill(0xc0, 3); // evicts 0x40
+    EXPECT_FALSE(pb.peek(0x40));
+    EXPECT_TRUE(pb.peek(0x80));
+    EXPECT_TRUE(pb.peek(0xc0));
+    EXPECT_EQ(pb.size(), 2u);
+}
+
+TEST(PrefetchBuffer, RefillKeepsEarlierReadyTime)
+{
+    PrefetchBuffer pb(4);
+    pb.fill(0x40, 100);
+    pb.fill(0x40, 900); // must not postpone availability
+    EXPECT_EQ(pb.lookup(0x40, 2000), 100u);
+    EXPECT_EQ(pb.size(), 1u);
+}
+
+TEST(PrefetchBuffer, InvalidateAllEmpties)
+{
+    PrefetchBuffer pb(4);
+    pb.fill(0x40, 1);
+    pb.fill(0x80, 1);
+    pb.invalidateAll();
+    EXPECT_EQ(pb.size(), 0u);
+    EXPECT_EQ(pb.lookup(0x40, 10), tickNever);
+}
+
+TEST(PrefetchBuffer, PeekHasNoStatSideEffects)
+{
+    PrefetchBuffer pb(4);
+    pb.fill(0x40, 1);
+    pb.peek(0x40);
+    pb.peek(0x80);
+    EXPECT_EQ(pb.hits(), 0u);
+    EXPECT_EQ(pb.misses(), 0u);
+}
+
+} // namespace abndp

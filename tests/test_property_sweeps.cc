@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cross-configuration property sweeps: determinism and correctness must
+ * hold for every design, workload, camp count, and mesh size — not just
+ * the Table-1 defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "driver/experiment.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+/** Determinism across the full design x workload grid (tiny inputs). */
+class DeterminismMatrix
+    : public ::testing::TestWithParam<std::tuple<Design, std::string>>
+{
+};
+
+TEST_P(DeterminismMatrix, SameConfigSameMetrics)
+{
+    auto [design, wlname] = GetParam();
+    WorkloadSpec spec = WorkloadSpec::tiny(wlname);
+    ExperimentOptions opts;
+    opts.verify = false;
+    SystemConfig base;
+    RunMetrics a = runExperiment(base, design, spec, opts);
+    RunMetrics b = runExperiment(base, design, spec, opts);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.interHops, b.interHops);
+    EXPECT_EQ(a.tasks, b.tasks);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeterminismMatrix,
+    ::testing::Combine(::testing::Values(Design::B, Design::Sl, Design::O),
+                       ::testing::ValuesIn(allWorkloadNames())),
+    [](const auto &info) {
+        return std::string(designName(std::get<0>(info.param))) + "_"
+            + std::get<1>(info.param);
+    });
+
+/** Camp-count sweep: O must stay correct for every legal C. */
+class CampCountSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CampCountSweep, VerifiesAndUsesTheCache)
+{
+    SystemConfig base;
+    base.traveller.campCount = GetParam();
+    WorkloadSpec spec = WorkloadSpec::tiny("pr");
+    ExperimentOptions opts;
+    opts.verify = true;
+    RunMetrics m = runExperiment(base, Design::O, spec, opts);
+    EXPECT_GT(m.campHits + m.campMisses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Camps, CampCountSweep,
+                         ::testing::Values(1u, 3u, 7u, 15u));
+
+/** Mesh-size sweep: geometry changes must not break anything. */
+class MeshSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(MeshSweep, VerifiesAcrossGeometries)
+{
+    auto [mx, my] = GetParam();
+    SystemConfig base;
+    base.meshX = mx;
+    base.meshY = my;
+    WorkloadSpec spec = WorkloadSpec::tiny("bfs");
+    ExperimentOptions opts;
+    opts.verify = true;
+    for (Design d : {Design::B, Design::O}) {
+        RunMetrics m = runExperiment(base, d, spec, opts);
+        EXPECT_GT(m.tasks, 0u) << designName(d) << " " << mx << "x" << my;
+        EXPECT_EQ(m.coreActiveTicks.size(),
+                  static_cast<std::size_t>(mx) * my * 8 * 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Meshes, MeshSweep,
+    ::testing::Values(std::make_pair(2u, 2u), std::make_pair(4u, 2u),
+                      std::make_pair(2u, 4u), std::make_pair(4u, 4u)));
+
+/** Pruned scoring should place tasks nearly as well as exhaustive. */
+TEST(PrunedScoringQuality, HopsWithinFactorOfExhaustive)
+{
+    WorkloadSpec spec = WorkloadSpec::tiny("pr");
+    spec.scale = 11;
+    ExperimentOptions opts;
+    opts.verify = false;
+
+    SystemConfig exhaustive;
+    exhaustive.sched.exhaustiveScoring = true;
+    SystemConfig pruned;
+    pruned.sched.exhaustiveScoring = false;
+
+    RunMetrics me = runExperiment(exhaustive, Design::O, spec, opts);
+    RunMetrics mp = runExperiment(pruned, Design::O, spec, opts);
+    EXPECT_LT(mp.interHops, me.interHops * 2);
+    EXPECT_LT(mp.ticks, me.ticks * 2);
+}
+
+/** Seeds change the input but never break verification. */
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, AllWorkloadsVerify)
+{
+    for (const auto &name : {std::string("pr"), std::string("knn"),
+                             std::string("astar")}) {
+        WorkloadSpec spec = WorkloadSpec::tiny(name);
+        spec.seed = GetParam();
+        ExperimentOptions opts;
+        opts.verify = true;
+        runExperiment(SystemConfig{}, Design::O, spec, opts);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 7ull, 12345ull));
+
+} // namespace abndp

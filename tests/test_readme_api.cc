@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The README's code snippets must stay true: this test mirrors the
+ * quickstart API usage verbatim (smaller inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "core/ndp_system.hh"
+#include "driver/experiment.hh"
+#include "workloads/graph_gen.hh"
+#include "workloads/pagerank.hh"
+
+namespace abndp
+{
+
+TEST(ReadmeApi, HighLevelRunExperiment)
+{
+    SystemConfig base; // Table-1 defaults: 4x4 stacks, 128 units
+    WorkloadSpec spec; // a synthetic power-law graph
+    spec.name = "pr";
+    spec.scale = 10;
+
+    RunMetrics baseline = runExperiment(base, Design::B, spec);
+    RunMetrics abndp = runExperiment(base, Design::O, spec);
+    EXPECT_GT(baseline.ticks, 0u);
+    EXPECT_GT(abndp.ticks, 0u);
+    EXPECT_GT(abndp.campHitRate(), 0.0);
+}
+
+TEST(ReadmeApi, LowLevelOwnWorkload)
+{
+    SystemConfig base;
+    NdpSystem sys(applyDesign(base, Design::O));
+    PageRankWorkload pr(makeRmatGraph({.scale = 10}), /*maxIters=*/3);
+    RunMetrics m = sys.run(pr);
+    EXPECT_TRUE(pr.verify());
+    EXPECT_GT(m.tasks, 0u);
+}
+
+} // namespace abndp

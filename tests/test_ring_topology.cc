@@ -1,0 +1,102 @@
+/** @file Tests for the ring intra-stack NoC option. */
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.hh"
+#include "energy/energy.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+SystemConfig
+ringCfg()
+{
+    SystemConfig cfg;
+    cfg.net.intraTopology = IntraTopology::Ring;
+    return cfg;
+}
+
+} // namespace
+
+TEST(RingTopology, IntraHopsAreRingDistances)
+{
+    Topology topo(ringCfg());
+    // Units 0..7 share stack 0 on an 8-ring.
+    EXPECT_EQ(topo.intraHops(0, 0), 0u);
+    EXPECT_EQ(topo.intraHops(0, 1), 1u);
+    EXPECT_EQ(topo.intraHops(0, 4), 4u);
+    EXPECT_EQ(topo.intraHops(0, 7), 1u); // wraps around
+    EXPECT_EQ(topo.intraHops(1, 6), 3u);
+}
+
+TEST(RingTopology, CrossbarIntraHopsAreConstant)
+{
+    Topology topo{SystemConfig{}};
+    for (UnitId b = 1; b < 8; ++b)
+        EXPECT_EQ(topo.intraHops(0, b), 1u);
+    EXPECT_DOUBLE_EQ(topo.meanIntraHops(), 1.0);
+}
+
+TEST(RingTopology, MeanIntraHopsMatchesClosedForm)
+{
+    Topology topo(ringCfg());
+    // 8-ring distances from any unit: 1,2,3,4,3,2,1 -> mean 16/7.
+    EXPECT_NEAR(topo.meanIntraHops(), 16.0 / 7.0, 1e-12);
+}
+
+TEST(RingTopology, DistanceCostScalesWithRingHops)
+{
+    Topology topo(ringCfg());
+    EXPECT_DOUBLE_EQ(topo.distanceCost(0, 4), 4 * 1.5);
+    EXPECT_DOUBLE_EQ(topo.distanceCost(0, 7), 1.5);
+}
+
+TEST(RingTopology, NetworkChargesPerHop)
+{
+    SystemConfig cfg = ringCfg();
+    Topology topo(cfg);
+    EnergyAccount energy(cfg);
+    Network net(cfg, topo, energy);
+    // Opposite side of the ring: 4 hops vs 1 crossbar traversal.
+    auto far = net.transfer(0, 4, 80, 0);
+    EXPECT_EQ(net.totalIntraTraversals(), 4u);
+
+    SystemConfig xcfg;
+    Topology xtopo(xcfg);
+    EnergyAccount xenergy(xcfg);
+    Network xnet(xcfg, xtopo, xenergy);
+    auto xfar = xnet.transfer(0, 4, 80, 0);
+    EXPECT_GT(far.latency, xfar.latency);
+    EXPECT_GT(energy.breakdown().netPj, xenergy.breakdown().netPj);
+}
+
+TEST(RingTopology, FullSystemStillVerifies)
+{
+    SystemConfig base = ringCfg();
+    WorkloadSpec spec = WorkloadSpec::tiny("pr");
+    ExperimentOptions opts;
+    opts.verify = true;
+    for (Design d : {Design::B, Design::O}) {
+        RunMetrics m = runExperiment(base, d, spec, opts);
+        EXPECT_GT(m.tasks, 0u) << designName(d);
+    }
+}
+
+TEST(RingTopology, Deterministic)
+{
+    SystemConfig base = ringCfg();
+    WorkloadSpec spec = WorkloadSpec::tiny("bfs");
+    ExperimentOptions opts;
+    opts.verify = false;
+    RunMetrics a = runExperiment(base, Design::O, spec, opts);
+    RunMetrics b = runExperiment(base, Design::O, spec, opts);
+    EXPECT_EQ(a.ticks, b.ticks);
+}
+
+} // namespace abndp

@@ -1,0 +1,107 @@
+/** @file Unit tests for the deterministic RNG and the mix64 hash. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace abndp
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 128ull, 1000000ull})
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(rng.below(16));
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.4) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.4, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(9);
+    const int n = 50000;
+    double sum = 0.0, sumSq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian();
+        sum += v;
+        sumSq += v * v;
+    }
+    double mean = sum / n;
+    double var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    // Consecutive inputs should map to well-separated outputs: count
+    // differing bits between neighbors.
+    int low = 64;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        int bits = __builtin_popcountll(mix64(i) ^ mix64(i + 1));
+        low = std::min(low, bits);
+    }
+    EXPECT_GT(low, 10);
+}
+
+TEST(Rng, ReseedResets)
+{
+    Rng rng(77);
+    std::uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(77);
+    EXPECT_EQ(rng.next(), first);
+}
+
+} // namespace abndp

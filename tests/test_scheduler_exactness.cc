@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Exactness of the scheduler's two-level costmem decomposition: for
+ * random tasks (below the sampling cap) the chosen unit must equal the
+ * brute-force argmin of Eq. 2 over all units, including tie handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/camp_mapping.hh"
+#include "common/rng.hh"
+#include "mem/address_map.hh"
+#include "net/topology.hh"
+#include "sched/scheduler.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(bool withCamps)
+    {
+        cfg.sched.policy = SchedPolicy::LowestDistance;
+        cfg.traveller.style = withCamps ? CacheStyle::TravellerSramTags
+                                        : CacheStyle::None;
+        topo = std::make_unique<Topology>(cfg);
+        amap = std::make_unique<AddressMap>(cfg);
+        camps = std::make_unique<CampMapping>(cfg, *topo, *amap);
+        sched = std::make_unique<Scheduler>(cfg, *topo, *camps);
+    }
+
+    /** Brute-force Eq. 2 with home-only candidates + tie preferences. */
+    UnitId
+    bruteForce(const Task &task, UnitId creator) const
+    {
+        std::vector<double> score(topo->numUnits(), 0.0);
+        for (UnitId u = 0; u < topo->numUnits(); ++u) {
+            double total = 0.0;
+            for (Addr a : task.hint.data)
+                total += topo->distanceCost(u, amap->homeOf(a));
+            score[u] = total / task.hint.data.size();
+        }
+        UnitId best = 0;
+        for (UnitId u = 1; u < topo->numUnits(); ++u)
+            if (score[u] < score[best])
+                best = u;
+        constexpr double eps = 1e-9;
+        if (score[creator] <= score[best] + eps)
+            return creator;
+        if (task.mainHome < topo->numUnits()
+            && score[task.mainHome] <= score[best] + eps)
+            return task.mainHome;
+        return best;
+    }
+
+    SystemConfig cfg;
+    std::unique_ptr<Topology> topo;
+    std::unique_ptr<AddressMap> amap;
+    std::unique_ptr<CampMapping> camps;
+    std::unique_ptr<Scheduler> sched;
+};
+
+} // namespace
+
+TEST(SchedulerExactness, LowestDistanceMatchesBruteForce)
+{
+    Fixture f(/*withCamps=*/false);
+    Rng rng(21);
+    for (int trial = 0; trial < 300; ++trial) {
+        Task task;
+        auto n_addrs = 1 + rng.below(20);
+        for (std::uint64_t i = 0; i < n_addrs; ++i) {
+            auto unit = static_cast<UnitId>(rng.below(128));
+            task.hint.data.push_back(f.amap->unitBase(unit)
+                                     + rng.below(1 << 20) * 64);
+        }
+        task.mainHome = f.amap->homeOf(task.hint.data[0]);
+        auto creator = static_cast<UnitId>(rng.below(128));
+        EXPECT_EQ(f.sched->choose(task, creator),
+                  f.bruteForce(task, creator))
+            << "trial " << trial;
+    }
+}
+
+TEST(SchedulerExactness, SingleAddressAlwaysGoesHome)
+{
+    Fixture f(false);
+    Rng rng(22);
+    for (int trial = 0; trial < 100; ++trial) {
+        Task task;
+        auto unit = static_cast<UnitId>(rng.below(128));
+        task.hint.data.push_back(f.amap->unitBase(unit) + 64);
+        task.mainHome = unit;
+        EXPECT_EQ(f.sched->choose(task, static_cast<UnitId>(
+                                      rng.below(128))),
+                  unit);
+    }
+}
+
+TEST(SchedulerExactness, AllAddressesInOneStackStayInThatStack)
+{
+    Fixture f(false);
+    Rng rng(23);
+    for (int trial = 0; trial < 100; ++trial) {
+        // All homes inside stack of unit base (units 8..15 share stack).
+        Task task;
+        for (int i = 0; i < 6; ++i) {
+            auto unit = static_cast<UnitId>(8 + rng.below(8));
+            task.hint.data.push_back(f.amap->unitBase(unit)
+                                     + rng.below(1 << 20) * 64);
+        }
+        task.mainHome = f.amap->homeOf(task.hint.data[0]);
+        UnitId dst = f.sched->choose(task, 0);
+        EXPECT_TRUE(f.topo->sameStack(dst, 8));
+    }
+}
+
+} // namespace abndp

@@ -1,0 +1,101 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace abndp
+{
+namespace stats
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Scalar, AccumulatesDoubles)
+{
+    Scalar s;
+    s += 1.5;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.set(7.0);
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 6.0, 8.0})
+        d.sample(v);
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+    EXPECT_DOUBLE_EQ(d.total(), 20.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(5.0), 1e-9);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution d;
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(0.0);
+    h.sample(3.0);
+    h.sample(9.99);
+    h.sample(10.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+TEST(StatGroup, DumpsTree)
+{
+    StatGroup root("sys");
+    StatGroup child("core");
+    Counter c;
+    c += 3;
+    Scalar s;
+    s += 1.25;
+    root.addCounter("events", &c);
+    child.addScalar("energy", &s);
+    root.addChild(&child);
+
+    std::ostringstream oss;
+    root.dump(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("sys.events 3"), std::string::npos);
+    EXPECT_NE(out.find("sys.core.energy 1.25"), std::string::npos);
+}
+
+TEST(StatGroupDeath, DuplicateNamePanics)
+{
+    StatGroup g("g");
+    Counter c;
+    g.addCounter("x", &c);
+    EXPECT_DEATH(g.addCounter("x", &c), "duplicate");
+}
+
+} // namespace stats
+} // namespace abndp

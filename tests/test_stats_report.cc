@@ -1,0 +1,87 @@
+/** @file Tests for the statistics dump and JSON report. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/ndp_system.hh"
+#include "core/stats_report.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+struct ReportFixture
+{
+    ReportFixture()
+        : cfg(applyDesign(SystemConfig{}, Design::O)), sys(cfg)
+    {
+        auto wl = makeWorkload(WorkloadSpec::tiny("bfs"));
+        metrics = sys.run(*wl);
+    }
+
+    SystemConfig cfg;
+    NdpSystem sys;
+    RunMetrics metrics;
+};
+
+} // namespace
+
+TEST(StatsReport, DumpContainsAllSections)
+{
+    ReportFixture f;
+    std::ostringstream oss;
+    dumpStats(oss, f.sys, f.metrics);
+    std::string out = oss.str();
+    for (const char *key :
+         {"system.ticks", "system.tasks", "network.interHops",
+          "sched.decisions", "prefetchBuffer.hits", "l1d.hits",
+          "travellerCache.hitRate", "dram.reads", "dram.refreshes",
+          "energy.totalPj"})
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+}
+
+TEST(StatsReport, NoTravellerSectionWithoutCache)
+{
+    SystemConfig cfg = applyDesign(SystemConfig{}, Design::B);
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("bfs"));
+    RunMetrics m = sys.run(*wl);
+    std::ostringstream oss;
+    dumpStats(oss, sys, m);
+    EXPECT_EQ(oss.str().find("travellerCache"), std::string::npos);
+}
+
+TEST(StatsReport, JsonIsWellFormedEnough)
+{
+    ReportFixture f;
+    std::ostringstream oss;
+    dumpJson(oss, f.cfg, f.metrics);
+    std::string out = oss.str();
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_EQ(out.back(), '}');
+    // Balanced braces and the headline keys.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    for (const char *key : {"\"ticks\":", "\"interHops\":",
+                            "\"energyPj\":", "\"total\":"})
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+}
+
+TEST(StatsReport, JsonValuesMatchMetrics)
+{
+    ReportFixture f;
+    std::ostringstream oss;
+    dumpJson(oss, f.cfg, f.metrics);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("\"ticks\":" + std::to_string(f.metrics.ticks)),
+              std::string::npos);
+    EXPECT_NE(out.find("\"tasks\":" + std::to_string(f.metrics.tasks)),
+              std::string::npos);
+}
+
+} // namespace abndp

@@ -1,0 +1,59 @@
+/** @file Tests for the per-epoch CSV trace. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/ndp_system.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+TEST(Trace, WritesOneRowPerEpochPlusHeader)
+{
+    char tmpl[] = "/tmp/abndp_trace_XXXXXX";
+    int fd = mkstemp(tmpl);
+    ASSERT_GE(fd, 0);
+    close(fd);
+    std::string path = tmpl;
+
+    SystemConfig cfg = applyDesign(SystemConfig{}, Design::O);
+    cfg.traceFile = path;
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    RunMetrics m = sys.run(*wl);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_NE(line.find("epoch,start_ns"), std::string::npos);
+    std::uint64_t rows = 0;
+    std::uint64_t totalTasks = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+        // Column 4 (0-based 3) is the epoch task count.
+        std::istringstream iss(line);
+        std::string cell;
+        for (int c = 0; c <= 3; ++c)
+            std::getline(iss, cell, ',');
+        totalTasks += std::stoull(cell);
+    }
+    EXPECT_EQ(rows, m.epochs);
+    EXPECT_EQ(totalTasks, m.tasks);
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, UnwritablePathIsFatal)
+{
+    SystemConfig cfg = applyDesign(SystemConfig{}, Design::B);
+    cfg.traceFile = "/nonexistent-dir/trace.csv";
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("bfs"));
+    EXPECT_DEATH(sys.run(*wl), "cannot open trace file");
+}
+
+} // namespace abndp
