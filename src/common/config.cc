@@ -18,17 +18,41 @@ isPow2(std::uint64_t x)
 
 } // namespace
 
+namespace
+{
+
+/** Shared geometry checks for the per-core SRAM caches. */
+void
+validateCacheGeometry(const CacheGeometry &geom, const char *name)
+{
+    if (geom.sizeBytes == 0 || !isPow2(geom.sizeBytes))
+        fatal(name, " size (", geom.sizeBytes,
+              " bytes) must be a nonzero power of two");
+    if (geom.lineBytes == 0 || !isPow2(geom.lineBytes))
+        fatal(name, " line size (", geom.lineBytes,
+              " bytes) must be a nonzero power of two");
+    if (geom.assoc == 0)
+        fatal(name, " associativity must be nonzero");
+    if (geom.numSets() == 0)
+        fatal(name, " geometry degenerate: ", geom.sizeBytes, "B / ",
+              geom.lineBytes, "B lines / ", geom.assoc,
+              "-way leaves zero sets");
+}
+
+} // namespace
+
 void
 SystemConfig::validate() const
 {
     if (meshX == 0 || meshY == 0)
         fatal("mesh dimensions must be nonzero");
     if (unitsPerStack == 0 || coresPerUnit == 0)
-        fatal("unitsPerStack and coresPerUnit must be nonzero");
+        fatal("unitsPerStack and coresPerUnit must be nonzero (a system "
+              "with zero NDP units cannot execute tasks)");
     if (!isPow2(memBytesPerUnit))
         fatal("memBytesPerUnit must be a power of two");
-    if (!isPow2(l1d.sizeBytes) || !isPow2(l1i.sizeBytes))
-        fatal("L1 cache sizes must be powers of two");
+    validateCacheGeometry(l1d, "L1-D");
+    validateCacheGeometry(l1i, "L1-I");
     if (traveller.style != CacheStyle::None) {
         if (!isPow2(traveller.ratioDenom))
             fatal("traveller ratio denominator must be a power of two");
@@ -44,8 +68,76 @@ SystemConfig::validate() const
     }
     if (sched.prefetchWindow == 0)
         fatal("prefetchWindow must be nonzero");
+    if (sched.schedulingWindow == 0)
+        fatal("schedulingWindow must be nonzero");
+    if (sched.stealBatch == 0 && sched.workStealing)
+        fatal("stealBatch must be nonzero when work stealing is enabled");
+    if (sched.exchangeIntervalCycles == 0)
+        fatal("exchangeIntervalCycles must be nonzero (a zero-cycle "
+              "exchange interval re-arms the snapshot chain every tick "
+              "and livelocks the epoch)");
+    if (sched.missPipelineDepth < 1 || sched.missPipelineDepth > 64)
+        fatal("missPipelineDepth must be within [1, 64], got ",
+              sched.missPipelineDepth);
     if (coreFreqGHz <= 0.0)
         fatal("coreFreqGHz must be positive");
+    if (tlb.enabled) {
+        if (tlb.pageBytes == 0 || !isPow2(tlb.pageBytes))
+            fatal("TLB page size must be a nonzero power of two");
+        if (tlb.assoc == 0 || tlb.entries == 0
+            || tlb.entries % tlb.assoc != 0)
+            fatal("TLB entries (", tlb.entries,
+                  ") must be a nonzero multiple of the associativity (",
+                  tlb.assoc, ")");
+    }
+
+    // ---- Fault injection (src/fault) ----
+    const auto &st = fault.straggler;
+    if (st.computeDerate <= 0.0 || st.computeDerate > 1.0)
+        fatal("straggler computeDerate must be within (0, 1], got ",
+              st.computeDerate, " (1.0 = full speed; use count=0 to "
+              "disable straggler injection)");
+    if (st.bandwidthDerate <= 0.0 || st.bandwidthDerate > 1.0)
+        fatal("straggler bandwidthDerate must be within (0, 1], got ",
+              st.bandwidthDerate);
+    if (st.count > numUnits())
+        fatal("straggler count (", st.count, ") exceeds the unit count (",
+              numUnits(), ")");
+    for (std::uint32_t u : st.units)
+        if (u >= numUnits())
+            fatal("straggler unit id ", u, " is out of range (system has ",
+                  numUnits(), " units, ids 0..", numUnits() - 1, ")");
+    if (st.windowEndNs < 0.0 || st.windowStartNs < 0.0)
+        fatal("straggler window bounds must be non-negative");
+    if (st.windowEndNs != 0.0 && st.windowEndNs <= st.windowStartNs)
+        fatal("straggler window is empty: windowEndNs (", st.windowEndNs,
+              ") must exceed windowStartNs (", st.windowStartNs,
+              "), or be 0 for an always-on straggler");
+
+    const auto &lf = fault.link;
+    if (lf.dropProb < 0.0 || lf.dropProb >= 1.0)
+        fatal("link dropProb must be within [0, 1), got ", lf.dropProb,
+              " (a link dropping every packet never delivers)");
+    if (lf.extraLatencyNs < 0.0 || lf.retryBackoffNs < 0.0)
+        fatal("link extraLatencyNs and retryBackoffNs must be "
+              "non-negative");
+    if (lf.count > numStacks() * 4)
+        fatal("faulty link count (", lf.count, ") exceeds the directed "
+              "mesh link count (", numStacks() * 4, ")");
+    for (std::uint32_t l : lf.links)
+        if (l >= numStacks() * 4)
+            fatal("faulty link index ", l, " is out of range (mesh has ",
+                  numStacks() * 4, " directed links, stack*4+dir)");
+    if (lf.enabled() && lf.dropProb > 0.0 && lf.maxRetries == 0)
+        fatal("link maxRetries must be nonzero when dropProb > 0 "
+              "(a dropped packet needs at least one retry to arrive)");
+
+    const auto &df = fault.dram;
+    if (df.eccRetryProb < 0.0 || df.eccRetryProb >= 1.0)
+        fatal("dram eccRetryProb must be within [0, 1), got ",
+              df.eccRetryProb);
+    if (df.eccRetryNs < 0.0)
+        fatal("dram eccRetryNs must be non-negative");
 }
 
 void
@@ -83,6 +175,30 @@ SystemConfig::print(std::ostream &os) const
     os << "Scheduler       : " << sched.exchangeIntervalCycles
        << "-cycle workload exchange interval; hybrid scheduling weight B="
        << sched.hybridAlpha << "*Dinter\n";
+    if (fault.anyInjector()) {
+        os << "Fault injection :";
+        if (fault.straggler.enabled())
+            os << " stragglers="
+               << (fault.straggler.units.empty()
+                       ? fault.straggler.count
+                       : static_cast<std::uint32_t>(
+                             fault.straggler.units.size()))
+               << " (compute x" << fault.straggler.computeDerate
+               << ", bandwidth x" << fault.straggler.bandwidthDerate
+               << ");";
+        if (fault.link.enabled())
+            os << " faulty links="
+               << (fault.link.links.empty()
+                       ? fault.link.count
+                       : static_cast<std::uint32_t>(
+                             fault.link.links.size()))
+               << " (drop " << fault.link.dropProb << ", +"
+               << fault.link.extraLatencyNs << "ns);";
+        if (fault.dram.enabled())
+            os << " dram ECC retry p=" << fault.dram.eccRetryProb << " (+"
+               << fault.dram.eccRetryNs << "ns);";
+        os << "\n";
+    }
 }
 
 const char *

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "fault/fault_config.hh"
 
 namespace abndp
 {
@@ -286,6 +287,13 @@ struct SystemConfig
      * the Figure-7 baseline breakdown is in the paper's range.
      */
     double staticMwPerUnit = 12.0;
+
+    /**
+     * Hardware fault & straggler injection (off by default). All draws
+     * are seeded from @ref seed, so injected faults keep runs
+     * bit-deterministic.
+     */
+    FaultConfig fault;
 
     // ---- Simulation ----
     std::uint64_t seed = 1;

@@ -6,9 +6,10 @@ namespace abndp
 {
 
 MemSystem::MemSystem(const SystemConfig &cfg, const Topology &topo,
-                     const AddressMap &amap, EnergyAccount &energy)
+                     const AddressMap &amap, EnergyAccount &energy,
+                     FaultModel *faults)
     : cfg(cfg), topo(topo), amap(amap), energy(energy),
-      net(cfg, topo, energy),
+      net(cfg, topo, energy, faults),
       camps(cfg, topo, amap),
       style(cfg.traveller.style),
       tagCheckTicks(1 * ticksPerNs),
@@ -16,7 +17,8 @@ MemSystem::MemSystem(const SystemConfig &cfg, const Topology &topo,
 {
     drams.reserve(cfg.numUnits());
     for (UnitId u = 0; u < cfg.numUnits(); ++u)
-        drams.push_back(std::make_unique<DramChannel>(cfg, energy));
+        drams.push_back(
+            std::make_unique<DramChannel>(cfg, energy, u, faults));
 
     traceReads = std::getenv("ABNDP_READ_HIST") != nullptr;
 

@@ -18,6 +18,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "energy/energy.hh"
+#include "fault/fault_model.hh"
 #include "mem/address_map.hh"
 #include "mem/dram.hh"
 #include "net/network.hh"
@@ -30,8 +31,14 @@ namespace abndp
 class MemSystem
 {
   public:
+    /**
+     * @param faults optional fault-injection engine, forwarded to the
+     *               interconnect (link faults) and the DRAM channels
+     *               (ECC retries, straggler bandwidth derating).
+     */
     MemSystem(const SystemConfig &cfg, const Topology &topo,
-              const AddressMap &amap, EnergyAccount &energy);
+              const AddressMap &amap, EnergyAccount &energy,
+              FaultModel *faults = nullptr);
 
     /**
      * Read one cache block from unit @p u at tick @p start, following the

@@ -61,6 +61,14 @@ struct RunMetrics
     std::uint64_t dramWrites = 0;
     std::uint64_t dramRowMisses = 0;
 
+    // Fault injection (all zero when no faults are configured).
+    /** Transmission attempts lost on injected faulty mesh links. */
+    std::uint64_t netDropped = 0;
+    /** Retransmissions issued to repair faulty-link drops. */
+    std::uint64_t netRetries = 0;
+    /** DRAM accesses that paid an injected ECC-retry cycle. */
+    std::uint64_t dramEccRetries = 0;
+
     /** End-to-end block read latency (ns) seen below the L1/buffers. */
     double readLatMeanNs = 0.0;
     double readLatMaxNs = 0.0;

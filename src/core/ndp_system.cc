@@ -4,6 +4,7 @@
 #include <bit>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -13,10 +14,11 @@ namespace abndp
 NdpSystem::NdpSystem(const SystemConfig &cfg_)
     : cfg(cfg_),
       topo((cfg.validate(), cfg)),
+      faults(cfg),
       energy(cfg),
       alloc(cfg),
-      mem(cfg, topo, alloc.map(), energy),
-      sched(cfg, topo, mem.campMapping()),
+      mem(cfg, topo, alloc.map(), energy, &faults),
+      sched(cfg, topo, mem.campMapping(), &faults),
       units(cfg.numUnits()),
       hybridPolicy(cfg.sched.policy == SchedPolicy::Hybrid),
       pbHitTicks(1 * ticksPerNs),
@@ -29,6 +31,9 @@ NdpSystem::NdpSystem(const SystemConfig &cfg_)
           std::countr_zero(static_cast<std::uint64_t>(
               cfg_.tlb.pageBytes))))
 {
+    eq.setWatchdog(cfg.fault.watchdog.maxEpochTicks,
+                   cfg.fault.watchdog.maxEpochEvents);
+
     std::uint64_t pb_blocks = cfg.prefetchBufBytes / cachelineBytes;
     // The prefetch unit fetches every hint address of window tasks, up
     // to the buffer capacity per task (larger hints finish on demand).
@@ -96,7 +101,10 @@ NdpSystem::pumpScheduler(UnitId u)
     if (unit.schedBusy || unit.pending.empty())
         return;
     unit.schedBusy = true;
-    eq.scheduleIn(schedDecisionTicks, [this, u] {
+    // A straggler unit's hardware scorer is clocked down with its cores.
+    auto decision = static_cast<Tick>(
+        schedDecisionTicks * faults.computeSlowdown(u, eq.now()));
+    eq.scheduleIn(decision, [this, u] {
         auto &unit = units[u];
         unit.schedBusy = false;
         if (unit.pending.empty())
@@ -193,6 +201,15 @@ NdpSystem::executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
 
     collectBlocks(task);
 
+    // Straggler compute derating stretches every core-local latency
+    // (instruction fetch, TLB walks, L1/buffer hits, compute cycles);
+    // remote-memory latencies are derated at their own subsystems. The
+    // default slowdown of 1.0 leaves every term bit-identical.
+    const double slow = faults.computeSlowdown(u, start);
+    auto stretch = [slow](Tick ticks) {
+        return static_cast<Tick>(ticks * slow);
+    };
+
     // Instruction fetch: the task handler's code streams through the
     // L1-I; only cold/capacity misses cost latency (local code fill).
     if (cfg.taskCodeBytes > 0) {
@@ -201,7 +218,7 @@ NdpSystem::executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
         for (Addr a = code_base; a < code_base + cfg.taskCodeBytes;
              a += cachelineBytes) {
             if (!core.l1i->access(a)) {
-                t += l1iMissTicks;
+                t += stretch(l1iMissTicks);
                 core.l1i->insert(a);
             }
             energy.addL1Access();
@@ -219,7 +236,7 @@ NdpSystem::executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
             last_page = page;
             energy.addTlbAccess();
             if (!core.tlb->access(page << cachelineBits)) {
-                t += tlbMissTicks;
+                t += stretch(tlbMissTicks);
                 core.tlb->insert(page << cachelineBits);
             }
         }
@@ -237,14 +254,14 @@ NdpSystem::executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
         if (ready != tickNever) {
             if (ready > t)
                 t = ready; // prefetch still in flight
-            t += pbHitTicks;
+            t += stretch(pbHitTicks);
             energy.addPrefetchBufAccess();
             // Consumed prefetches are installed into the core's L1 so a
             // block fetched once serves every later task on this core
             // within the timestamp (the FIFO buffer itself is tiny).
             core.l1d->insert(block);
         } else if (core.l1d->access(block)) {
-            t += l1HitTicks;
+            t += stretch(l1HitTicks);
             energy.addL1Access();
         } else {
             energy.addL1Access(); // the miss probe
@@ -257,7 +274,7 @@ NdpSystem::executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
         }
     }
 
-    t += task.computeInstrs * cfg.ticksPerCycle();
+    t += stretch(task.computeInstrs * cfg.ticksPerCycle());
     energy.addCoreInstructions(task.computeInstrs + blockScratch.size());
 
     for (Addr w : task.writes)
@@ -409,7 +426,7 @@ NdpSystem::scheduleExchange()
         arm(NdpSystem &sys, Tick interval)
         {
             sys.eq.scheduleIn(interval, [&sys, interval] {
-                sys.sched.exchangeSnapshot();
+                sys.sched.exchangeSnapshot(sys.eq.now());
                 if (sys.activeRemaining > 0) {
                     arm(sys, interval);
                 } else {
@@ -443,7 +460,7 @@ NdpSystem::startEpoch(std::uint64_t ts)
         // The barrier is already a global synchronization point, so the
         // workload information exchange piggybacks on it; further
         // exchanges follow every interval within the epoch.
-        sched.exchangeSnapshot();
+        sched.exchangeSnapshot(eq.now());
         scheduleExchange();
     }
 
@@ -451,6 +468,43 @@ NdpSystem::startEpoch(std::uint64_t ts)
         pumpScheduler(u);
         tryDispatch(u);
     }
+}
+
+void
+NdpSystem::dumpStallDiagnostics(const std::string &reason,
+                                bool simulatorBug)
+{
+    std::ostringstream oss;
+    oss << reason << "\n";
+    oss << "  tick " << eq.now() << " (" << eq.now() / 1000.0
+        << " ns), epoch " << curEpoch << ", " << activeRemaining
+        << " tasks live, " << eq.size() << " events pending, "
+        << eq.executed() << " executed\n";
+    oss << "  per-unit queue depths (units with work or busy cores):\n";
+    std::uint32_t listed = 0;
+    constexpr std::uint32_t maxListed = 32;
+    for (UnitId u = 0; u < units.size(); ++u) {
+        const auto &unit = units[u];
+        std::uint32_t busy = 0;
+        for (const auto &core : unit.cores)
+            busy += core.busy ? 1 : 0;
+        if (unit.pending.empty() && unit.ready.empty() && busy == 0)
+            continue;
+        if (++listed > maxListed) {
+            oss << "    ... (further units elided)\n";
+            break;
+        }
+        oss << "    unit " << u << ": pending=" << unit.pending.size()
+            << " ready=" << unit.ready.size() << " busyCores=" << busy
+            << (unit.schedBusy ? " schedBusy" : "")
+            << (unit.stealInFlight ? " stealInFlight" : "")
+            << (faults.isStraggler(u) ? " [straggler]" : "") << "\n";
+    }
+    if (listed == 0)
+        oss << "    (none: all queues empty and all cores idle)\n";
+    if (simulatorBug)
+        panic(oss.str());
+    fatal(oss.str());
 }
 
 RunMetrics
@@ -481,13 +535,26 @@ NdpSystem::run(Workload &wl)
     std::uint64_t prevForwards = 0, prevSteals = 0;
     while (stagedCount > 0 && (cfg.maxEpochs == 0 || ts < cfg.maxEpochs)) {
         Tick epoch_begin = eq.now();
+        eq.armWatchdog();
         startEpoch(ts);
         // Drain the epoch: stop as soon as every task completed so that
         // periodic bookkeeping events (exchange ticks, steal backoffs)
         // cannot stretch the barrier, then cancel them.
         while (activeRemaining > 0) {
-            bool ran = eq.runOne();
-            abndp_assert(ran, "deadlock: live tasks but no events");
+            if (!eq.runOne())
+                dumpStallDiagnostics(
+                    "deadlock: live tasks but no events", true);
+            if (eq.watchdogTripped())
+                dumpStallDiagnostics(
+                    logging_detail::concat(
+                        "watchdog: epoch ", ts, " exceeded its budget (",
+                        eq.watchdogEvents(), " events, ",
+                        eq.watchdogTicks() / 1000, " ns simulated; "
+                        "limits: maxEpochEvents=",
+                        cfg.fault.watchdog.maxEpochEvents,
+                        ", maxEpochTicks=",
+                        cfg.fault.watchdog.maxEpochTicks, ")"),
+                    false);
         }
         eq.clearPending();
         exchangeScheduled = false;
@@ -531,6 +598,10 @@ NdpSystem::run(Workload &wl)
         ++ts;
     }
 
+    if (ts == 0)
+        warn("workload ", wl.name(), " emitted no initial tasks; zero "
+             "epochs were simulated and every metric is zero");
+
     energy.finalizeStatic(lastCompletionTick);
 
     RunMetrics m;
@@ -565,7 +636,10 @@ NdpSystem::run(Workload &wl)
         m.dramReads += mem.dram(u).reads();
         m.dramWrites += mem.dram(u).writes();
         m.dramRowMisses += mem.dram(u).rowMisses();
+        m.dramEccRetries += mem.dram(u).eccRetries();
     }
+    m.netDropped = mem.network().totalDropped();
+    m.netRetries = mem.network().totalRetries();
     return m;
 }
 

@@ -20,6 +20,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/prefetch_buffer.hh"
@@ -29,6 +30,7 @@
 #include "core/mem_system.hh"
 #include "core/metrics.hh"
 #include "energy/energy.hh"
+#include "fault/fault_model.hh"
 #include "mem/allocator.hh"
 #include "net/topology.hh"
 #include "sched/scheduler.hh"
@@ -63,6 +65,7 @@ class NdpSystem : public TaskSink
     MemSystem &memSystem() { return mem; }
     Scheduler &scheduler() { return sched; }
     EventQueue &eventQueue() { return eq; }
+    const FaultModel &faultModel() const { return faults; }
 
   private:
     struct CoreState
@@ -122,8 +125,18 @@ class NdpSystem : public TaskSink
     /** Dedup a task's hint into block addresses (into blockScratch). */
     void collectBlocks(const Task &task);
 
+    /**
+     * Abort with a diagnostic dump — simulated tick, epoch, and
+     * per-unit pending/ready queue depths — instead of hanging or
+     * dying bare. @p simulatorBug picks panic() (deadlock = internal
+     * invariant broken) vs fatal() (watchdog = user-set budget hit).
+     */
+    [[noreturn]] void dumpStallDiagnostics(const std::string &reason,
+                                           bool simulatorBug);
+
     SystemConfig cfg;
     Topology topo;
+    FaultModel faults;
     EnergyAccount energy;
     SimAllocator alloc;
     MemSystem mem;

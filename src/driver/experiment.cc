@@ -14,6 +14,8 @@ runExperiment(const SystemConfig &base, Design d, const WorkloadSpec &spec,
     SystemConfig cfg = applyDesign(base, d);
     if (opts.cacheStyle)
         cfg.traveller.style = *opts.cacheStyle;
+    if (opts.fault)
+        cfg.fault = *opts.fault;
     auto wl = makeWorkload(spec);
 
     RunMetrics metrics;

@@ -31,6 +31,12 @@ struct ExperimentOptions
      * keeping the O scheduling policy).
      */
     std::optional<CacheStyle> cacheStyle;
+    /**
+     * Override the fault-injection configuration after applyDesign()
+     * (bench_resilience sweeps fault points over a shared base config).
+     * The host-only design H models no NDP hardware and ignores it.
+     */
+    std::optional<FaultConfig> fault;
 };
 
 /**

@@ -1,0 +1,74 @@
+#include "fault/fault_model.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace abndp
+{
+
+namespace
+{
+
+/**
+ * Resolve an injection target set: the explicit list when given,
+ * otherwise @p count ids drawn without replacement from [0, space) via
+ * a seeded partial Fisher-Yates shuffle (deterministic per seed).
+ */
+std::vector<std::uint32_t>
+resolveSet(const std::vector<std::uint32_t> &explicitIds,
+           std::uint32_t count, std::uint32_t space, std::uint64_t seed)
+{
+    if (!explicitIds.empty()) {
+        auto ids = explicitIds;
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        return ids;
+    }
+    std::vector<std::uint32_t> ids(space);
+    std::iota(ids.begin(), ids.end(), 0u);
+    Rng pick(mix64(seed));
+    std::uint32_t n = std::min(count, space);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto j = i + static_cast<std::uint32_t>(pick.below(space - i));
+        std::swap(ids[i], ids[j]);
+    }
+    ids.resize(n);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+} // namespace
+
+FaultModel::FaultModel(const SystemConfig &sysCfg)
+    : cfg(sysCfg.fault),
+      injectorsOn(sysCfg.fault.anyInjector()),
+      stragglerMask(sysCfg.numUnits(), 0),
+      computeStretch(1.0 / cfg.straggler.computeDerate),
+      bandwidthStretch(1.0 / cfg.straggler.bandwidthDerate),
+      minDerate(std::min(cfg.straggler.computeDerate,
+                         cfg.straggler.bandwidthDerate)),
+      windowStart(static_cast<Tick>(cfg.straggler.windowStartNs
+                                    * ticksPerNs)),
+      windowEnd(static_cast<Tick>(cfg.straggler.windowEndNs * ticksPerNs)),
+      extraTicks(static_cast<Tick>(cfg.link.extraLatencyNs * ticksPerNs)),
+      backoffTicks(static_cast<Tick>(cfg.link.retryBackoffNs * ticksPerNs)),
+      eccTicks(static_cast<Tick>(cfg.dram.eccRetryNs * ticksPerNs)),
+      linkRng(mix64(sysCfg.seed ^ 0xFA177001ull))
+{
+    stragglerIds = resolveSet(cfg.straggler.units, cfg.straggler.count,
+                              sysCfg.numUnits(),
+                              sysCfg.seed ^ 0xFA177002ull);
+    for (UnitId u : stragglerIds)
+        stragglerMask[u] = 1;
+
+    std::uint32_t nLinks = sysCfg.numStacks() * 4;
+    auto faulty = resolveSet(cfg.link.links, cfg.link.count, nLinks,
+                             sysCfg.seed ^ 0xFA177003ull);
+    if (!faulty.empty()) {
+        linkMask.assign(nLinks, 0);
+        for (std::uint32_t l : faulty)
+            linkMask[l] = 1;
+    }
+}
+
+} // namespace abndp

@@ -3,8 +3,12 @@
 namespace abndp
 {
 
-DramChannel::DramChannel(const SystemConfig &cfg, EnergyAccount &energy)
+DramChannel::DramChannel(const SystemConfig &cfg, EnergyAccount &energy,
+                         UnitId unit, const FaultModel *faults)
     : energy(energy),
+      faults(faults),
+      unit(unit),
+      faultRng(mix64(cfg.seed ^ (0x7000ull + unit))),
       banks(cfg.dram.banks),
       rowBytes(cfg.dram.rowBytes),
       tCas(static_cast<Tick>(cfg.dram.tCasNs * ticksPerNs)),
@@ -62,6 +66,22 @@ DramChannel::access(Addr addr, std::uint32_t bytes, bool isWrite,
     }
 
     auto burst = static_cast<Tick>(ticksPerByte * bytes);
+    if (faults) {
+        // Injected DRAM error-retry: this access hits an ECC
+        // correction/retry cycle on its bank and pays a latency adder.
+        double p = faults->eccRetryProb();
+        if (p > 0.0 && faultRng.chance(p)) {
+            ++nEccRetries;
+            core += faults->eccRetryTicks();
+        }
+        // Straggler bandwidth derating stretches the channel's service
+        // time (exact no-op at the default slowdown of 1.0).
+        double slow = faults->bandwidthSlowdown(unit, start);
+        if (slow != 1.0) {
+            core = static_cast<Tick>(core * slow);
+            burst = static_cast<Tick>(burst * slow);
+        }
+    }
     Tick begin = bank.meter.reserve(start, core + burst);
     Tick queue = begin - start;
     waitNs.sample(static_cast<double>(queue) / ticksPerNs);

@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "energy/energy.hh"
+#include "fault/fault_model.hh"
 #include "sim/bandwidth_meter.hh"
 
 namespace abndp
@@ -27,7 +29,14 @@ namespace abndp
 class DramChannel
 {
   public:
-    DramChannel(const SystemConfig &cfg, EnergyAccount &energy);
+    /**
+     * @param unit owning NDP unit (straggler/ECC fault targeting)
+     * @param faults optional fault-injection engine: probabilistic
+     *               per-bank ECC-retry latency adders and straggler
+     *               bandwidth derating apply to this channel
+     */
+    DramChannel(const SystemConfig &cfg, EnergyAccount &energy,
+                UnitId unit = 0, const FaultModel *faults = nullptr);
 
     /**
      * Perform one access and reserve the bank.
@@ -47,6 +56,9 @@ class DramChannel
     std::uint64_t writes() const { return nWrites.value(); }
     std::uint64_t rowMisses() const { return nRowMisses.value(); }
     std::uint64_t refreshes() const { return nRefreshes.value(); }
+
+    /** Accesses that paid an injected ECC-retry cycle. */
+    std::uint64_t eccRetries() const { return nEccRetries.value(); }
 
     /** Queueing delay behind earlier same-bank accesses (ns). */
     const stats::Distribution &queueWaitNs() const { return waitNs; }
@@ -69,6 +81,10 @@ class DramChannel
     };
 
     EnergyAccount &energy;
+    const FaultModel *faults;
+    UnitId unit;
+    /** Per-channel stream for the ECC-retry draws (seeded per unit). */
+    Rng faultRng;
     std::vector<Bank> banks;
     std::uint32_t rowBytes;
     Tick tCas;
@@ -84,6 +100,7 @@ class DramChannel
     stats::Counter nWrites;
     stats::Counter nRowMisses;
     stats::Counter nRefreshes;
+    stats::Counter nEccRetries;
     stats::Distribution waitNs;
 };
 

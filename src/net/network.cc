@@ -6,9 +6,10 @@ namespace abndp
 {
 
 Network::Network(const SystemConfig &cfg, const Topology &topo,
-                 EnergyAccount &energy)
+                 EnergyAccount &energy, FaultModel *faults)
     : topo(topo),
       energy(energy),
+      faults(faults),
       meshX(cfg.meshX),
       intraLatency(static_cast<Tick>(cfg.net.intraHopNs * ticksPerNs)),
       interLatency(static_cast<Tick>(cfg.net.interHopNs * ticksPerNs)),
@@ -98,9 +99,28 @@ Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
     StackId cur = s;
     auto hop = [&](std::uint32_t dir, StackId next) {
         auto ser = static_cast<Tick>(interTicksPerByte * bytes);
-        Tick begin = linkMeter[linkIndex(cur, dir)].reserve(t, ser);
+        std::size_t li = linkIndex(cur, dir);
+        Tick begin = linkMeter[li].reserve(t, ser);
         linkWait.sample(static_cast<double>(begin - t) / ticksPerNs);
         t = begin + interLatency + ser;
+        if (faults && faults->linkFaulty(li)) {
+            // Injected link fault: a fixed latency adder plus transient
+            // drops. Each drop is repaired sender-side — an exponential
+            // backoff timeout, then a retransmission that reserves the
+            // link again (so retries contend for bandwidth like any
+            // other packet). drawLinkDrops() bounds the drop run by the
+            // retry budget, so delivery always completes.
+            t += faults->linkExtraTicks();
+            std::uint32_t drops = faults->drawLinkDrops();
+            for (std::uint32_t a = 0; a < drops; ++a) {
+                ++dropped;
+                ++retries;
+                t += faults->retryBackoffTicks(a);
+                Tick rb = linkMeter[li].reserve(t, ser);
+                t = rb + interLatency + ser + faults->linkExtraTicks();
+                energy.addInterTransfer(bytes, 1);
+            }
+        }
         cur = next;
         ++res.interHops;
     };

@@ -16,6 +16,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "energy/energy.hh"
+#include "fault/fault_model.hh"
 #include "net/topology.hh"
 #include "sim/bandwidth_meter.hh"
 
@@ -42,8 +43,13 @@ struct PacketSizes
 class Network
 {
   public:
+    /**
+     * @param faults optional fault-injection engine; faulty mesh links
+     *               add latency and transiently drop packets (bounded
+     *               retry with exponential backoff).
+     */
     Network(const SystemConfig &cfg, const Topology &topo,
-            EnergyAccount &energy);
+            EnergyAccount &energy, FaultModel *faults = nullptr);
 
     /**
      * Send @p bytes from @p src to @p dst starting at @p start, reserving
@@ -59,6 +65,12 @@ class Network
     std::uint64_t totalIntraTraversals() const { return intraHops.value(); }
 
     std::uint64_t totalPackets() const { return packets.value(); }
+
+    /** Transmission attempts lost on faulty links (fault injection). */
+    std::uint64_t totalDropped() const { return dropped.value(); }
+
+    /** Retransmissions issued to repair faulty-link drops. */
+    std::uint64_t totalRetries() const { return retries.value(); }
 
     /** Queueing delay at crossbar ports (ns). */
     const stats::Distribution &portWaitNs() const { return portWait; }
@@ -79,6 +91,7 @@ class Network
 
     const Topology &topo;
     EnergyAccount &energy;
+    FaultModel *faults;
     std::uint32_t meshX;
     IntraTopology intraTopo;
     std::uint32_t unitsPerStack;
@@ -100,6 +113,8 @@ class Network
     stats::Counter interHops;
     stats::Counter intraHops;
     stats::Counter packets;
+    stats::Counter dropped;
+    stats::Counter retries;
     stats::Distribution portWait;
     stats::Distribution linkWait;
 };

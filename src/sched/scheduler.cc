@@ -8,8 +8,8 @@ namespace abndp
 {
 
 Scheduler::Scheduler(const SystemConfig &cfg, const Topology &topo,
-                     const CampMapping &camps)
-    : cfg(cfg), topo(topo), camps(camps),
+                     const CampMapping &camps, const FaultModel *faults)
+    : cfg(cfg), topo(topo), camps(camps), faults(faults),
       policy(cfg.sched.policy),
       campAware(cfg.sched.policy == SchedPolicy::Hybrid
                 && cfg.traveller.style != CacheStyle::None),
@@ -22,6 +22,7 @@ Scheduler::Scheduler(const SystemConfig &cfg, const Topology &topo,
       wTrue(nUnits, 0.0),
       wSnap(nUnits, 0.0),
       wDelta(nUnits, std::vector<double>(nUnits, 0.0)),
+      speed(nUnits, 1.0),
       stackBase(nStacks, 0.0),
       unitBonus(nUnits, 0.0),
       unitScore(nUnits, 0.0)
@@ -159,8 +160,12 @@ Scheduler::choose(const Task &task, UnitId creator)
             for (UnitId u = 0; u < nUnits; ++u) {
                 // A unit always knows its own queue exactly; everyone
                 // else is seen through the snapshot + local adjustments.
+                // Dividing by the service speed sampled at the last
+                // exchange makes derated (straggler) units look
+                // proportionally busier (exact no-op at speed 1.0).
                 double w = u == creator ? wTrue[u]
                                         : wSnap[u] + delta[u];
+                w /= speed[u];
                 double r = w / avg - 1.0;
                 // Small deviations are measurement noise on shallow
                 // queues, not imbalance worth moving tasks for.
@@ -262,12 +267,17 @@ Scheduler::onForwarded(UnitId from, UnitId to, double load, UnitId viewer)
 }
 
 void
-Scheduler::exchangeSnapshot()
+Scheduler::exchangeSnapshot(Tick now)
 {
     wSnap = wTrue;
+    if (faults && faults->anyInjector())
+        for (UnitId u = 0; u < nUnits; ++u)
+            speed[u] = faults->speedFactor(u, now);
+    // The average uses the same effective (speed-scaled) W values the
+    // per-unit costload terms see.
     wSnapSum = 0.0;
-    for (double w : wSnap)
-        wSnapSum += w;
+    for (UnitId u = 0; u < nUnits; ++u)
+        wSnapSum += wSnap[u] / speed[u];
     // Refresh the most-idle hint used by the pruned scoring mode.
     if (!exhaustiveScoring) {
         idleHint.resize(nUnits);

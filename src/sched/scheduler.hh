@@ -22,6 +22,7 @@
 #include "cache/camp_mapping.hh"
 #include "common/config.hh"
 #include "common/types.hh"
+#include "fault/fault_model.hh"
 #include "net/topology.hh"
 #include "tasking/task.hh"
 
@@ -32,8 +33,15 @@ namespace abndp
 class Scheduler
 {
   public:
+    /**
+     * @param faults optional fault-injection engine: the periodic load
+     *               snapshot divides each unit's W by its service-speed
+     *               factor, so costload sees derated (straggler) units
+     *               as proportionally busier and steers tasks away.
+     */
     Scheduler(const SystemConfig &cfg, const Topology &topo,
-              const CampMapping &camps);
+              const CampMapping &camps,
+              const FaultModel *faults = nullptr);
 
     /**
      * Scheduler-visible load estimate of a task: the programmer-supplied
@@ -66,9 +74,10 @@ class Scheduler
     /**
      * Periodic hierarchical workload information exchange: refresh the
      * global snapshot from true per-unit W values and clear all local
-     * adjustment deltas.
+     * adjustment deltas. @p now (the exchange tick) samples the
+     * straggler service speeds the snapshot observes.
      */
-    void exchangeSnapshot();
+    void exchangeSnapshot(Tick now = 0);
 
     /** Snapshot W value of a unit (used for steal victim choice too). */
     double snapshotW(UnitId u) const { return wSnap[u]; }
@@ -91,6 +100,7 @@ class Scheduler
     const SystemConfig &cfg;
     const Topology &topo;
     const CampMapping &camps;
+    const FaultModel *faults;
     SchedPolicy policy;
     bool campAware;
     bool exhaustiveScoring;
@@ -110,6 +120,13 @@ class Scheduler
     // Per-unit local adjustments since the last exchange (tracking only
     // that unit's own forwarding decisions).
     std::vector<std::vector<double>> wDelta;
+    /**
+     * Service-speed factor of each unit as of the last exchange (1.0
+     * healthy, the straggler derating otherwise). costload divides W by
+     * it, so a half-speed unit with the same queue looks twice as
+     * loaded.
+     */
+    std::vector<double> speed;
 
     /** Most-idle units as of the last exchange (pruned-mode hint). */
     std::vector<UnitId> idleHint;

@@ -112,6 +112,53 @@ class EventQueue
         curTick = 0;
         nextSeq = 0;
         numExecuted = 0;
+        wdBaseTick = 0;
+        wdBaseEvents = 0;
+    }
+
+    // ---- Watchdog ----
+    //
+    // Guard against silent hangs/livelocks: the driver sets budgets for
+    // one drain phase (a bulk-synchronous epoch), re-arms the baseline
+    // at each phase start, and polls watchdogTripped() while draining.
+    // The queue itself stays policy-free: the caller decides how to
+    // report (NdpSystem dumps per-unit queue depths and calls fatal()).
+
+    /** Set the per-phase budgets; 0 disables the respective check. */
+    void
+    setWatchdog(Tick maxTicks, std::uint64_t maxEvents)
+    {
+        wdMaxTicks = maxTicks;
+        wdMaxEvents = maxEvents;
+    }
+
+    /** Restart the watchdog budgets from the current time/event count. */
+    void
+    armWatchdog()
+    {
+        wdBaseTick = curTick;
+        wdBaseEvents = numExecuted;
+    }
+
+    /** Has the current phase exceeded a configured budget? */
+    bool
+    watchdogTripped() const
+    {
+        if (wdMaxTicks > 0 && curTick - wdBaseTick > wdMaxTicks)
+            return true;
+        if (wdMaxEvents > 0 && numExecuted - wdBaseEvents > wdMaxEvents)
+            return true;
+        return false;
+    }
+
+    /** Ticks elapsed in the current watchdog phase. */
+    Tick watchdogTicks() const { return curTick - wdBaseTick; }
+
+    /** Events executed in the current watchdog phase. */
+    std::uint64_t
+    watchdogEvents() const
+    {
+        return numExecuted - wdBaseEvents;
     }
 
   private:
@@ -137,6 +184,11 @@ class EventQueue
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+
+    Tick wdMaxTicks = 0;
+    std::uint64_t wdMaxEvents = 0;
+    Tick wdBaseTick = 0;
+    std::uint64_t wdBaseEvents = 0;
 };
 
 } // namespace abndp
