@@ -18,6 +18,8 @@ parseOptions(int argc, char **argv, bool sweepBench)
     opts.verify = opts.flags.getBool("verify", false);
     opts.seed = opts.flags.getUint("seed", 42);
     opts.base.seed = opts.flags.getUint("sim-seed", 1);
+    opts.threads = static_cast<std::uint32_t>(
+        opts.flags.getUint("threads", defaultThreads()));
     return opts;
 }
 
@@ -47,6 +49,23 @@ runCell(const SystemConfig &base, Design d, const WorkloadSpec &spec,
     eopts.verify = verify;
     eopts.fatalOnVerifyFailure = true;
     return runExperiment(base, d, spec, eopts);
+}
+
+CellSpec
+cellFor(Design d, const WorkloadSpec &spec, const Options &opts)
+{
+    CellSpec cell;
+    cell.design = d;
+    cell.workload = spec;
+    cell.opts.verify = opts.verify;
+    cell.opts.fatalOnVerifyFailure = true;
+    return cell;
+}
+
+std::vector<RunMetrics>
+runGrid(const Options &opts, const std::vector<CellSpec> &cells)
+{
+    return runCells(opts.base, cells, opts.threads);
 }
 
 double

@@ -16,6 +16,7 @@
 #include "common/config.hh"
 #include "common/table.hh"
 #include "core/metrics.hh"
+#include "driver/cell_runner.hh"
 #include "driver/experiment.hh"
 #include "workloads/factory.hh"
 
@@ -33,6 +34,8 @@ struct Options
     std::uint32_t scale = 14;
     bool verify = false;
     std::uint64_t seed = 42;
+    /** Host threads for the cell grid (--threads; 0 = all cores). */
+    std::uint32_t threads = 0;
 };
 
 /**
@@ -47,6 +50,16 @@ WorkloadSpec specFor(const std::string &name, const Options &opts);
 /** Run one (design, workload) cell. */
 RunMetrics runCell(const SystemConfig &base, Design d,
                    const WorkloadSpec &spec, bool verify);
+
+/** Cell spec with the benchmark's standard verify behavior applied. */
+CellSpec cellFor(Design d, const WorkloadSpec &spec, const Options &opts);
+
+/**
+ * Run a whole grid of cells on opts.threads host threads (results in
+ * cell order; per-cell metrics independent of the thread count).
+ */
+std::vector<RunMetrics> runGrid(const Options &opts,
+                                const std::vector<CellSpec> &cells);
 
 /** Geometric mean of a list of ratios. */
 double geomean(const std::vector<double> &values);

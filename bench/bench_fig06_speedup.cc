@@ -31,16 +31,25 @@ main(int argc, char **argv)
         return header;
     }());
 
-    std::map<Design, std::vector<double>> speedups;
+    std::vector<CellSpec> grid;
     for (const auto &wl : workloads) {
         WorkloadSpec spec = specFor(wl, opts);
-        std::map<Design, RunMetrics> row;
         for (Design d : designs)
-            row[d] = runCell(opts.base, d, spec, opts.verify);
-        double baseTicks = static_cast<double>(row[Design::B].ticks);
-        std::vector<std::string> cells{wl};
+            grid.push_back(cellFor(d, spec, opts));
+    }
+    std::vector<RunMetrics> results = runGrid(opts, grid);
+
+    std::map<Design, std::vector<double>> speedups;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const RunMetrics *row = &results[w * designs.size()];
+        std::map<Design, RunMetrics> byDesign;
+        for (std::size_t i = 0; i < designs.size(); ++i)
+            byDesign[designs[i]] = row[i];
+        double baseTicks =
+            static_cast<double>(byDesign[Design::B].ticks);
+        std::vector<std::string> cells{workloads[w]};
         for (Design d : designs) {
-            double s = baseTicks / row[d].ticks;
+            double s = baseTicks / byDesign[d].ticks;
             speedups[d].push_back(s);
             cells.push_back(fmt(s));
         }

@@ -28,12 +28,20 @@ main(int argc, char **argv)
     TextTable table({"workload", "design", "core+SRAM", "DRAM(mem)",
                      "DRAM(cache)", "interconnect", "static", "total"});
 
-    std::vector<double> oReduction;
+    std::vector<CellSpec> grid;
     for (const auto &wl : workloads) {
         WorkloadSpec spec = specFor(wl, opts);
+        for (Design d : designs)
+            grid.push_back(cellFor(d, spec, opts));
+    }
+    std::vector<RunMetrics> results = runGrid(opts, grid);
+
+    std::vector<double> oReduction;
+    std::size_t cell = 0;
+    for (const auto &wl : workloads) {
         double baseTotal = 0.0;
         for (Design d : designs) {
-            RunMetrics m = runCell(opts.base, d, spec, opts.verify);
+            const RunMetrics &m = results[cell++];
             const auto &e = m.energy;
             if (d == Design::B)
                 baseTotal = e.total();

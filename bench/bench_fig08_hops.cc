@@ -29,12 +29,20 @@ main(int argc, char **argv)
         return header;
     }());
 
+    std::vector<CellSpec> grid;
     for (const auto &wl : workloads) {
         WorkloadSpec spec = specFor(wl, opts);
+        for (Design d : designs)
+            grid.push_back(cellFor(d, spec, opts));
+    }
+    std::vector<RunMetrics> results = runGrid(opts, grid);
+
+    std::size_t cell = 0;
+    for (const auto &wl : workloads) {
         std::vector<std::string> cells{wl};
         double base = 0.0;
         for (Design d : designs) {
-            RunMetrics m = runCell(opts.base, d, spec, opts.verify);
+            const RunMetrics &m = results[cell++];
             if (d == Design::B)
                 base = static_cast<double>(m.interHops);
             cells.push_back(

@@ -32,17 +32,23 @@ main(int argc, char **argv)
     TextTable table({"workload", "identical(k)", "skewed(k)",
                      "skewed/identical"});
 
-    std::vector<double> ratios;
+    std::vector<CellSpec> grid;
     for (const auto &wl : representativeWorkloadNames()) {
         WorkloadSpec spec = specFor(wl, opts);
+        for (bool skewed : {false, true}) {
+            CellSpec cell = cellFor(Design::O, spec, opts);
+            cell.config = opts.base;
+            cell.config->traveller.skewedMapping = skewed;
+            grid.push_back(cell);
+        }
+    }
+    std::vector<RunMetrics> results = runGrid(opts, grid);
 
-        SystemConfig ident = opts.base;
-        ident.traveller.skewedMapping = false;
-        RunMetrics mi = runCell(ident, Design::O, spec, opts.verify);
-
-        SystemConfig skew = opts.base;
-        skew.traveller.skewedMapping = true;
-        RunMetrics ms = runCell(skew, Design::O, spec, opts.verify);
+    std::vector<double> ratios;
+    std::size_t cellIdx = 0;
+    for (const auto &wl : representativeWorkloadNames()) {
+        RunMetrics mi = results[cellIdx++];
+        RunMetrics ms = results[cellIdx++];
 
         double ratio = mi.interHops > 0
             ? static_cast<double>(ms.interHops) / mi.interHops

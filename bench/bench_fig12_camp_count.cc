@@ -23,13 +23,23 @@ main(int argc, char **argv)
     TextTable table({"workload", "C", "DRAM", "interconnect",
                      "DRAM+net"});
 
+    std::vector<CellSpec> grid;
     for (const auto &wl : representativeWorkloadNames()) {
         WorkloadSpec spec = specFor(wl, opts);
+        for (std::uint32_t c : {1u, 3u, 7u, 15u}) {
+            CellSpec cell = cellFor(Design::O, spec, opts);
+            cell.config = opts.base;
+            cell.config->traveller.campCount = c;
+            grid.push_back(cell);
+        }
+    }
+    std::vector<RunMetrics> results = runGrid(opts, grid);
+
+    std::size_t cellIdx = 0;
+    for (const auto &wl : representativeWorkloadNames()) {
         double base = 0.0;
         for (std::uint32_t c : {1u, 3u, 7u, 15u}) {
-            SystemConfig cfg = opts.base;
-            cfg.traveller.campCount = c;
-            RunMetrics m = runCell(cfg, Design::O, spec, opts.verify);
+            const RunMetrics &m = results[cellIdx++];
             double dram = m.energy.dram();
             double net = m.energy.netPj;
             if (c == 1)

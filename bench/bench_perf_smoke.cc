@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simulator performance smoke test (not a paper figure): runs a fixed
+ * small (design, workload) grid and reports host-side throughput as one
+ * machine-readable JSON line, so CI can archive a perf trajectory and
+ * regressions in the event kernel or cache models show up as a drop in
+ * events/sec.
+ *
+ * The simulated metrics of every cell are bit-deterministic; only the
+ * wall-clock figures vary between hosts and runs.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace abndp;
+    using namespace abndp::bench;
+
+    Options opts = parseOptions(argc, argv, /*sweepBench=*/true);
+    // Fixed grid: two contrasting workloads on the baseline and the
+    // full design; --scale only changes fidelity, not the grid.
+    std::uint32_t scale = static_cast<std::uint32_t>(
+        opts.flags.getUint("scale", 12));
+    opts.scale = scale;
+    const std::string outPath = opts.flags.getString("out", "");
+
+    std::vector<CellSpec> grid;
+    for (const char *wl : {"pr", "bfs"})
+        for (Design d : {Design::B, Design::O})
+            grid.push_back(cellFor(d, specFor(wl, opts), opts));
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<RunMetrics> results = runGrid(opts, grid);
+    auto end = std::chrono::steady_clock::now();
+
+    double wall = std::chrono::duration<double>(end - start).count();
+    std::uint64_t events = 0;
+    std::uint64_t tasks = 0;
+    for (const RunMetrics &m : results) {
+        events += m.simEvents;
+        tasks += m.tasks;
+    }
+
+    std::uint32_t threads = opts.threads ? opts.threads
+                                         : defaultThreads();
+    std::ostringstream json;
+    json << "{\"bench\":\"perf_smoke\""
+         << ",\"scale\":" << scale
+         << ",\"threads\":" << threads
+         << ",\"cells\":" << grid.size()
+         << ",\"sim_events\":" << events
+         << ",\"sim_tasks\":" << tasks
+         << ",\"wall_seconds\":" << wall
+         << ",\"cells_per_sec\":" << (wall > 0 ? grid.size() / wall : 0)
+         << ",\"events_per_sec\":" << (wall > 0 ? events / wall : 0)
+         << "}";
+
+    std::cout << json.str() << "\n";
+    if (!outPath.empty()) {
+        std::ofstream out(outPath);
+        if (!out)
+            fatal("cannot write ", outPath);
+        out << json.str() << "\n";
+    }
+    return 0;
+}

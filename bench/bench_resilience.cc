@@ -74,15 +74,26 @@ main(int argc, char **argv)
                      "vs_B", "hops", "netRetries", "eccRetries",
                      "imbalance", "util"});
 
+    std::vector<CellSpec> grid;
+    for (const auto &point : points) {
+        for (Design d : designs) {
+            CellSpec cell;
+            cell.design = d;
+            cell.workload = spec;
+            cell.opts.verify = opts.verify;
+            cell.opts.fault = point.fault;
+            grid.push_back(cell);
+        }
+    }
+    std::vector<RunMetrics> results = runGrid(opts, grid);
+
     std::vector<double> cleanMs(designs.size(), 0.0);
+    std::size_t cellIdx = 0;
     for (const auto &point : points) {
         double baseMs = 0.0;
         for (std::size_t i = 0; i < designs.size(); ++i) {
             Design d = designs[i];
-            ExperimentOptions eopts;
-            eopts.verify = opts.verify;
-            eopts.fault = point.fault;
-            RunMetrics m = runExperiment(opts.base, d, spec, eopts);
+            const RunMetrics &m = results[cellIdx++];
             const double ms = m.seconds() * 1e3;
             if (d == Design::B)
                 baseMs = ms;

@@ -1,8 +1,10 @@
 /**
  * @file
  * sweep — run a (workload x design) grid of independent simulations in
- * parallel and emit one JSON line per cell. Simulator instances share
- * nothing, so cells parallelize perfectly across host threads.
+ * parallel and emit one JSON line per cell. Cells run on the shared
+ * grid runner (driver/cell_runner.hh): simulator instances share
+ * nothing, results land in cell order, and per-cell metrics are
+ * bit-identical for any --threads value.
  *
  * Usage:
  *   sweep --workloads=pr,bfs,gcn --designs=B,Sl,O --scale=13 \
@@ -11,18 +13,15 @@
 
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
-#include "core/ndp_system.hh"
 #include "core/stats_report.hh"
-#include "host/host_system.hh"
+#include "driver/cell_runner.hh"
 #include "workloads/factory.hh"
 
 namespace
@@ -62,8 +61,8 @@ main(int argc, char **argv)
     auto workloads =
         splitList(flags.getString("workloads", "pr,bfs,gcn,spmv"));
     auto designNames = splitList(flags.getString("designs", "B,Sl,O"));
-    auto threads = static_cast<std::uint32_t>(flags.getUint(
-        "threads", std::max(1u, std::thread::hardware_concurrency())));
+    auto threads = static_cast<std::uint32_t>(
+        flags.getUint("threads", defaultThreads()));
     bool verify = flags.getBool("verify", false);
     std::string outPath = flags.getString("out", "");
 
@@ -74,69 +73,27 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(flags.getUint("edge-factor", 16));
     baseSpec.seed = flags.getUint("seed", 42);
 
-    struct Cell
-    {
-        std::string workload;
-        Design design;
-        std::string json;
-    };
-    std::vector<Cell> cells;
-    for (const auto &wl : workloads)
-        for (const auto &dn : designNames)
-            cells.push_back({wl, parseDesign(dn), {}});
-
-    std::mutex progressLock;
-    std::size_t nextCell = 0;
-    std::size_t doneCells = 0;
-
-    auto worker = [&] {
-        while (true) {
-            std::size_t idx;
-            {
-                std::lock_guard<std::mutex> lock(progressLock);
-                if (nextCell >= cells.size())
-                    return;
-                idx = nextCell++;
-            }
-            Cell &cell = cells[idx];
-            WorkloadSpec spec = baseSpec;
-            spec.name = cell.workload;
-            SystemConfig cfg = applyDesign(SystemConfig{}, cell.design);
-            auto wl = makeWorkload(spec);
-            RunMetrics m;
-            if (cell.design == Design::H) {
-                HostSystem host(cfg);
-                m = host.run(*wl);
-            } else {
-                NdpSystem sys(cfg);
-                m = sys.run(*wl);
-            }
-            if (verify && !wl->verify())
-                fatal("verification failed: ", cell.workload, " under ",
-                      designName(cell.design));
-            std::ostringstream oss;
-            oss << "{\"workload\":\"" << cell.workload << "\",\"design\":\""
-                << designName(cell.design) << "\",\"metrics\":";
-            dumpJson(oss, cfg, m);
-            oss << "}";
-            {
-                std::lock_guard<std::mutex> lock(progressLock);
-                cell.json = oss.str();
-                ++doneCells;
-                std::cerr << "[" << doneCells << "/" << cells.size()
-                          << "] " << cell.workload << "/"
-                          << designName(cell.design) << "\n";
-            }
+    std::vector<CellSpec> cells;
+    for (const auto &wl : workloads) {
+        for (const auto &dn : designNames) {
+            CellSpec cell;
+            cell.design = parseDesign(dn);
+            cell.workload = baseSpec;
+            cell.workload.name = wl;
+            cell.opts.verify = verify;
+            cell.opts.fatalOnVerifyFailure = true;
+            cells.push_back(cell);
         }
-    };
+    }
 
-    std::vector<std::thread> pool;
-    for (std::uint32_t i = 0; i < std::min<std::size_t>(threads,
-                                                        cells.size());
-         ++i)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    auto progress = [&](std::size_t done, std::size_t total,
+                        std::size_t idx) {
+        std::cerr << "[" << done << "/" << total << "] "
+                  << cells[idx].workload.name << "/"
+                  << designName(cells[idx].design) << "\n";
+    };
+    std::vector<RunMetrics> results =
+        runCells(SystemConfig{}, cells, threads, progress);
 
     std::ofstream file;
     std::ostream *os = &std::cout;
@@ -146,7 +103,13 @@ main(int argc, char **argv)
             fatal("cannot open ", outPath);
         os = &file;
     }
-    for (const auto &cell : cells)
-        *os << cell.json << "\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SystemConfig cfg = applyDesign(SystemConfig{}, cells[i].design);
+        *os << "{\"workload\":\"" << cells[i].workload.name
+            << "\",\"design\":\"" << designName(cells[i].design)
+            << "\",\"metrics\":";
+        dumpJson(*os, cfg, results[i]);
+        *os << "}\n";
+    }
     return 0;
 }

@@ -2,16 +2,22 @@
  * @file
  * SRAM prefetch buffer (Section 3.2, Table 1): a small FIFO of cache
  * blocks prefetched according to task hints. Hits bypass the L1 caches.
+ *
+ * Backed by a preallocated ring of entries plus an open-addressed index
+ * (linear probing, backward-shift deletion), so the per-access path of
+ * the core model performs no hashing-container allocation: lookups are
+ * a mix, a masked probe, and one ring read.
  */
 
 #ifndef ABNDP_CACHE_PREFETCH_BUFFER_HH
 #define ABNDP_CACHE_PREFETCH_BUFFER_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -23,9 +29,15 @@ class PrefetchBuffer
 {
   public:
     explicit PrefetchBuffer(std::uint64_t capacityBlocks)
-        : capacity(capacityBlocks)
+        : capacity(capacityBlocks), ring(capacityBlocks)
     {
         abndp_assert(capacity > 0);
+        // Index at most half full so probe chains stay short.
+        std::size_t slots = 16;
+        while (slots < 2 * capacity)
+            slots *= 2;
+        index.assign(slots, 0);
+        indexMask = slots - 1;
     }
 
     /**
@@ -36,24 +48,38 @@ class PrefetchBuffer
     void
     fill(Addr blockAddr, Tick readyTick)
     {
-        auto it = entries.find(blockAddr);
-        if (it != entries.end()) {
-            if (readyTick < it->second)
-                it->second = readyTick;
+        std::size_t pos = findIndex(blockAddr);
+        if (index[pos] != 0) {
+            Entry &e = ring[index[pos] - 1];
+            if (readyTick < e.ready)
+                e.ready = readyTick;
             return;
         }
-        if (entries.size() >= capacity) {
-            entries.erase(fifo.front());
-            fifo.pop_front();
+        std::size_t slot;
+        if (count == capacity) {
+            eraseIndex(ring[head].block);
+            slot = head;
+            head = head + 1 == capacity ? 0 : head + 1;
             ++nEvicts;
+        } else {
+            slot = head + count >= capacity ? head + count - capacity
+                                            : head + count;
+            ++count;
         }
-        entries.emplace(blockAddr, readyTick);
-        fifo.push_back(blockAddr);
+        ring[slot] = {blockAddr, readyTick};
+        // The probe position may have shifted if the eviction above
+        // backward-shifted entries through it; re-find.
+        index[findIndex(blockAddr)] =
+            static_cast<std::uint32_t>(slot + 1);
         ++nFills;
     }
 
     /** Presence check without stats (used by the prefetch unit). */
-    bool peek(Addr blockAddr) const { return entries.count(blockAddr) > 0; }
+    bool
+    peek(Addr blockAddr) const
+    {
+        return index[findIndex(blockAddr)] != 0;
+    }
 
     /**
      * Look up a block at time @p now.
@@ -63,36 +89,87 @@ class PrefetchBuffer
     Tick
     lookup(Addr blockAddr, Tick now)
     {
-        auto it = entries.find(blockAddr);
-        if (it == entries.end()) {
+        std::size_t pos = findIndex(blockAddr);
+        if (index[pos] == 0) {
             ++nMisses;
             return tickNever;
         }
-        if (it->second <= now)
+        Tick ready = ring[index[pos] - 1].ready;
+        if (ready <= now)
             ++nHits;
         else
             ++nLateHits;
-        return it->second;
+        return ready;
     }
 
     /** Drop everything (bulk invalidation at epoch end). */
     void
     invalidateAll()
     {
-        entries.clear();
-        fifo.clear();
+        std::fill(index.begin(), index.end(), 0);
+        head = 0;
+        count = 0;
     }
 
     std::uint64_t hits() const { return nHits.value(); }
     std::uint64_t lateHits() const { return nLateHits.value(); }
     std::uint64_t misses() const { return nMisses.value(); }
     std::uint64_t fills() const { return nFills.value(); }
-    std::size_t size() const { return entries.size(); }
+    std::size_t size() const { return count; }
 
   private:
+    struct Entry
+    {
+        Addr block;
+        Tick ready;
+    };
+
+    static std::size_t hashOf(Addr block)
+    {
+        return static_cast<std::size_t>(mix64(blockNumber(block)));
+    }
+
+    /**
+     * Probe position of @p block: the slot holding it, or the first
+     * empty slot of its probe chain if absent.
+     */
+    std::size_t
+    findIndex(Addr block) const
+    {
+        std::size_t pos = hashOf(block) & indexMask;
+        while (index[pos] != 0 && ring[index[pos] - 1].block != block)
+            pos = (pos + 1) & indexMask;
+        return pos;
+    }
+
+    /** Remove @p block from the index (backward-shift deletion). */
+    void
+    eraseIndex(Addr block)
+    {
+        std::size_t hole = findIndex(block);
+        abndp_assert(index[hole] != 0, "evicting unindexed block");
+        std::size_t next = (hole + 1) & indexMask;
+        while (index[next] != 0) {
+            std::size_t home =
+                hashOf(ring[index[next] - 1].block) & indexMask;
+            // The entry at `next` may move into the hole iff the hole
+            // lies on its probe path (cyclic home <= hole < next).
+            if (((next - home) & indexMask) >= ((next - hole) & indexMask)) {
+                index[hole] = index[next];
+                hole = next;
+            }
+            next = (next + 1) & indexMask;
+        }
+        index[hole] = 0;
+    }
+
     std::uint64_t capacity;
-    std::unordered_map<Addr, Tick> entries;
-    std::deque<Addr> fifo;
+    std::vector<Entry> ring;
+    /** Open-addressed map block -> ring slot + 1 (0 = empty). */
+    std::vector<std::uint32_t> index;
+    std::size_t indexMask = 0;
+    std::size_t head = 0;
+    std::size_t count = 0;
 
     stats::Counter nHits;
     stats::Counter nLateHits;

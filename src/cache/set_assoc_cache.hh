@@ -4,6 +4,11 @@
  * simulator never stores data contents; workloads keep real data in host
  * memory). Used for L1-D/L1-I, the host LLC, and as the storage engine of
  * the Traveller Cache variants.
+ *
+ * The lookup path is one of the hottest in the simulator (every modelled
+ * memory reference probes an L1), so it is defined inline here: ways are
+ * 16 bytes (sentinel address instead of a valid flag), and power-of-two
+ * set counts index with a mask instead of a 64-bit division.
  */
 
 #ifndef ABNDP_CACHE_SET_ASSOC_CACHE_HH
@@ -33,7 +38,15 @@ class SetAssocCache
      */
     SetAssocCache(std::uint64_t numSets, std::uint32_t assoc,
                   ReplPolicy repl, std::uint64_t seed = Rng::defaultSeed,
-                  bool hashedIndex = true);
+                  bool hashedIndex = true)
+        : sets(numSets), ways(assoc), repl(repl), hashed(hashedIndex),
+          pow2(numSets > 0 && (numSets & (numSets - 1)) == 0),
+          rng(seed),
+          store(static_cast<std::size_t>(numSets) * assoc)
+    {
+        abndp_assert(numSets > 0 && assoc > 0,
+                     "degenerate cache geometry");
+    }
 
     /** Build from a CacheGeometry. */
     SetAssocCache(const CacheGeometry &geom,
@@ -47,22 +60,68 @@ class SetAssocCache
      * Look up a block; updates recency on hit, counts hit/miss stats.
      * Does NOT allocate on miss (see insert()).
      */
-    bool access(Addr blockAddr);
+    bool
+    access(Addr blockAddr)
+    {
+        if (Way *way = findWay(blockAddr)) {
+            if (repl == ReplPolicy::Lru)
+                way->stamp = ++tick;
+            ++nHits;
+            return true;
+        }
+        ++nMisses;
+        return false;
+    }
 
     /** Presence check without stats or recency side effects. */
-    bool contains(Addr blockAddr) const;
+    bool
+    contains(Addr blockAddr) const
+    {
+        return findWay(blockAddr) != nullptr;
+    }
 
     /**
      * Insert a block, evicting per the replacement policy if needed.
      * @return the evicted block address, or invalidAddr if none.
      */
-    Addr insert(Addr blockAddr);
+    Addr
+    insert(Addr blockAddr)
+    {
+        std::size_t set = setIndex(blockAddr);
+        if (Way *way = findWay(blockAddr)) {
+            // Already present: refresh recency only.
+            if (repl == ReplPolicy::Lru)
+                way->stamp = ++tick;
+            return invalidAddr;
+        }
+        Way &way = store[set * ways + victimWay(set)];
+        Addr evicted = way.block;
+        if (evicted != invalidAddr)
+            ++nEvicts;
+        way.block = blockAddr;
+        way.stamp = ++tick;
+        ++nInserts;
+        return evicted;
+    }
 
     /** Invalidate one block if present. @return true if it was present. */
-    bool invalidate(Addr blockAddr);
+    bool
+    invalidate(Addr blockAddr)
+    {
+        if (Way *way = findWay(blockAddr)) {
+            way->block = invalidAddr;
+            return true;
+        }
+        return false;
+    }
 
     /** Drop all blocks (bulk invalidation; tag clear). */
-    void invalidateAll();
+    void
+    invalidateAll()
+    {
+        for (auto &way : store)
+            way.block = invalidAddr;
+    }
 
     std::uint64_t hits() const { return nHits.value(); }
     std::uint64_t misses() const { return nMisses.value(); }
@@ -72,7 +131,14 @@ class SetAssocCache
     std::uint32_t associativity() const { return ways; }
 
     /** Number of valid blocks currently cached. */
-    std::uint64_t occupancy() const;
+    std::uint64_t
+    occupancy() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &way : store)
+            n += way.block != invalidAddr ? 1 : 0;
+        return n;
+    }
 
     void
     resetStats()
@@ -88,7 +154,6 @@ class SetAssocCache
     {
         Addr block = invalidAddr;
         std::uint64_t stamp = 0; // recency (LRU) or insertion order (FIFO)
-        bool valid = false;
     };
 
     /**
@@ -98,19 +163,57 @@ class SetAssocCache
      * few sets. Sequential-access caches (L1-I) use low-bit indexing so
      * consecutive blocks occupy distinct sets.
      */
-    std::size_t setIndex(Addr blockAddr) const
+    std::size_t
+    setIndex(Addr blockAddr) const
     {
         std::uint64_t block = blockNumber(blockAddr);
-        return (hashed ? mix64(block) : block) % sets;
+        std::uint64_t h = hashed ? mix64(block) : block;
+        return pow2 ? (h & (sets - 1)) : (h % sets);
     }
-    Way *findWay(Addr blockAddr);
-    const Way *findWay(Addr blockAddr) const;
-    std::uint32_t victimWay(std::size_t set);
+
+    Way *
+    findWay(Addr blockAddr)
+    {
+        Way *base = &store[setIndex(blockAddr) * ways];
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (base[w].block == blockAddr)
+                return &base[w];
+        return nullptr;
+    }
+
+    const Way *
+    findWay(Addr blockAddr) const
+    {
+        const Way *base = &store[setIndex(blockAddr) * ways];
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (base[w].block == blockAddr)
+                return &base[w];
+        return nullptr;
+    }
+
+    std::uint32_t
+    victimWay(std::size_t set)
+    {
+        const Way *base = &store[set * ways];
+        // Prefer an invalid way.
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (base[w].block == invalidAddr)
+                return w;
+        if (repl == ReplPolicy::Random)
+            return static_cast<std::uint32_t>(rng.below(ways));
+        // LRU and FIFO both evict the smallest stamp.
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < ways; ++w)
+            if (base[w].stamp < base[victim].stamp)
+                victim = w;
+        return victim;
+    }
 
     std::uint64_t sets;
     std::uint32_t ways;
     ReplPolicy repl;
     bool hashed;
+    bool pow2;
     Rng rng;
     std::uint64_t tick = 0;
     std::vector<Way> store;

@@ -6,16 +6,20 @@
  * bulk-synchronous timestamp. Only read-only primary data are cached, so
  * no writebacks ever occur.
  *
- * The tag array is stored sparsely (hash map of occupied sets): a unit's
- * cache has up to 128k blocks but short runs touch a small fraction, and
- * bulk invalidation becomes O(occupancy) instead of O(capacity).
+ * The tag array is a contiguous preallocated ways[numSets * assoc] block
+ * (the set count is fixed at construction), so the hottest loop of the
+ * memory system indexes a flat array instead of probing a hash map and
+ * chasing a heap-allocated per-set vector. Bulk invalidation stays O(1)
+ * through per-set generation stamps: a set whose stamp is stale is
+ * logically empty and is lazily re-initialized on its first insertion of
+ * the new timestamp, so untouched sets never even fault their pages in.
  */
 
 #ifndef ABNDP_CACHE_TRAVELLER_CACHE_HH
 #define ABNDP_CACHE_TRAVELLER_CACHE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/config.hh"
@@ -35,7 +39,12 @@ class TravellerCache
           assoc(cfg.traveller.assoc),
           repl(cfg.traveller.repl),
           rng(mix64(seed ^ 0x7261764c6c657243ULL)),
-          bypassProb(cfg.traveller.bypassProb)
+          bypassProb(cfg.traveller.bypassProb),
+          // Default-initialized on purpose: ways of a set are written
+          // before first use (lazy clear below), so the untouched bulk
+          // of the array stays in never-faulted zero pages.
+          ways(new Way[nSets * assoc]),
+          setGen(nSets, 0)
     {
     }
 
@@ -43,12 +52,16 @@ class TravellerCache
     bool
     lookup(Addr blockAddr)
     {
-        auto it = sets.find(setOf(blockAddr));
-        if (it != sets.end()) {
-            for (auto &way : it->second) {
-                if (way.block == blockAddr) {
+        std::uint64_t s = setOf(blockAddr);
+        if (setGen[s] == curGen) {
+            Way *set = &ways[s * assoc];
+            // Occupied ways form a contiguous prefix (insertions fill
+            // the first free slot, evictions replace in place).
+            for (std::uint32_t w = 0;
+                 w < assoc && set[w].block != invalidAddr; ++w) {
+                if (set[w].block == blockAddr) {
                     if (repl == ReplPolicy::Lru)
-                        way.stamp = ++tick;
+                        set[w].stamp = ++tick;
                     ++nHits;
                     return true;
                 }
@@ -62,11 +75,13 @@ class TravellerCache
     bool
     contains(Addr blockAddr) const
     {
-        auto it = sets.find(setOf(blockAddr));
-        if (it == sets.end())
+        std::uint64_t s = setOf(blockAddr);
+        if (setGen[s] != curGen)
             return false;
-        for (const auto &way : it->second)
-            if (way.block == blockAddr)
+        const Way *set = &ways[s * assoc];
+        for (std::uint32_t w = 0; w < assoc && set[w].block != invalidAddr;
+             ++w)
+            if (set[w].block == blockAddr)
                 return true;
         return false;
     }
@@ -82,23 +97,30 @@ class TravellerCache
             ++nBypasses;
             return false;
         }
-        auto &set = sets[setOf(blockAddr)];
-        for (auto &way : set) {
-            if (way.block == blockAddr) {
+        std::uint64_t s = setOf(blockAddr);
+        Way *set = &ways[s * assoc];
+        if (setGen[s] != curGen) {
+            for (std::uint32_t w = 0; w < assoc; ++w)
+                set[w] = {invalidAddr, 0};
+            setGen[s] = curGen;
+        }
+        std::uint32_t size = 0;
+        for (; size < assoc && set[size].block != invalidAddr; ++size) {
+            if (set[size].block == blockAddr) {
                 if (repl == ReplPolicy::Lru)
-                    way.stamp = ++tick;
+                    set[size].stamp = ++tick;
                 return true; // raced insert of an already-present block
             }
         }
-        if (set.size() < assoc) {
-            set.push_back({blockAddr, ++tick});
+        if (size < assoc) {
+            set[size] = {blockAddr, ++tick};
             ++nOccupied;
         } else {
-            std::size_t victim = 0;
+            std::uint32_t victim = 0;
             if (repl == ReplPolicy::Random) {
-                victim = static_cast<std::size_t>(rng.below(set.size()));
+                victim = static_cast<std::uint32_t>(rng.below(assoc));
             } else {
-                for (std::size_t w = 1; w < set.size(); ++w)
+                for (std::uint32_t w = 1; w < assoc; ++w)
                     if (set[w].stamp < set[victim].stamp)
                         victim = w;
             }
@@ -113,7 +135,7 @@ class TravellerCache
     void
     bulkInvalidate()
     {
-        sets.clear();
+        ++curGen; // every set's stamp is now stale: logically empty
         nOccupied = 0;
         ++nBulkInvalidations;
     }
@@ -153,7 +175,9 @@ class TravellerCache
     double bypassProb;
     std::uint64_t tick = 0;
     std::uint64_t nOccupied = 0;
-    std::unordered_map<std::uint64_t, std::vector<Way>> sets;
+    std::uint64_t curGen = 1;
+    std::unique_ptr<Way[]> ways;
+    std::vector<std::uint64_t> setGen;
 
     stats::Counter nHits;
     stats::Counter nMisses;

@@ -50,7 +50,9 @@ MemSystem::readBlock(UnitId u, Addr addr, Tick start)
 {
     Tick lat = readBlockImpl(u, addr, start);
     latencyNs.sample(static_cast<double>(lat) / ticksPerNs);
-    if (traceReads)
+    // Debug histogram: opt-in via ABNDP_READ_HIST=1 (checked once at
+    // construction); benchmark runs never touch the hash map.
+    if (traceReads) [[unlikely]]
         ++debugReadHist[blockAlign(addr)];
     return lat;
 }

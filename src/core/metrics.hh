@@ -73,6 +73,23 @@ struct RunMetrics
     double readLatMeanNs = 0.0;
     double readLatMaxNs = 0.0;
 
+    // ---- Simulator self-measurement ----
+    /** Kernel events executed during the run (deterministic). */
+    std::uint64_t simEvents = 0;
+    /**
+     * Host wall-clock seconds spent inside run(). Reporting only — the
+     * one sanctioned use of wall time; it never feeds simulation state
+     * and is excluded from determinism comparisons.
+     */
+    double hostSeconds = 0.0;
+
+    /** Simulator throughput: kernel events per host second. */
+    double
+    eventsPerSec() const
+    {
+        return hostSeconds > 0.0 ? simEvents / hostSeconds : 0.0;
+    }
+
     /** Fraction of core-time spent busy (mean over cores). */
     double
     utilization() const

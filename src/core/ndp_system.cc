@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -10,6 +11,23 @@
 
 namespace abndp
 {
+
+// The event kernel stores captures inline with no heap fallback; the
+// largest closure this file schedules (forwarding path: this + UnitId +
+// shared_ptr<Task> + bool) must fit its fixed slot.
+namespace
+{
+struct LargestCapture
+{
+    NdpSystem *sys;
+    UnitId dst;
+    std::shared_ptr<Task> moved;
+    bool reexamine;
+};
+} // namespace
+static_assert(sizeof(LargestCapture) <= EventQueue::callbackCapacity,
+              "NdpSystem event captures no longer fit the event kernel's "
+              "inline slot; grow EventQueue::callbackCapacity");
 
 NdpSystem::NdpSystem(const SystemConfig &cfg_)
     : cfg(cfg_),
@@ -446,10 +464,14 @@ NdpSystem::startEpoch(std::uint64_t ts)
     for (auto &unit : units) {
         abndp_assert(unit.ready.empty() && unit.pending.empty(),
                      "previous epoch not drained");
-        unit.pending = std::move(unit.stagedPending);
-        unit.ready = std::move(unit.stagedReady);
+        // Swap, don't move: the drained live queues hand their buffers
+        // to the staging side, so steady-state epochs allocate nothing.
+        unit.pending.swap(unit.stagedPending);
+        unit.ready.swap(unit.stagedReady);
         unit.stagedPending.clear();
         unit.stagedReady.clear();
+        // Hybrid scheduling drains pending into ready over the epoch.
+        unit.ready.reserve(unit.ready.size() + unit.pending.size());
         unit.prefetchedCount = 0;
         unit.stealBackoff = 0;
         activeRemaining += unit.pending.size() + unit.ready.size();
@@ -511,6 +533,9 @@ RunMetrics
 NdpSystem::run(Workload &wl)
 {
     abndp_assert(workload == nullptr, "NdpSystem::run() may be called once");
+    // Host-side self-measurement (simulator throughput). Wall-clock is
+    // reporting only and never feeds back into simulation state.
+    const auto hostStart = std::chrono::steady_clock::now();
     workload = &wl;
     wl.setup(alloc);
 
@@ -640,6 +665,9 @@ NdpSystem::run(Workload &wl)
     }
     m.netDropped = mem.network().totalDropped();
     m.netRetries = mem.network().totalRetries();
+    m.simEvents = eq.executed();
+    m.hostSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - hostStart).count();
     return m;
 }
 

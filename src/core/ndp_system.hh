@@ -18,7 +18,6 @@
 #ifndef ABNDP_CORE_NDP_SYSTEM_HH
 #define ABNDP_CORE_NDP_SYSTEM_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +35,7 @@
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
 #include "tasking/task.hh"
+#include "tasking/task_deque.hh"
 #include "workloads/workload.hh"
 
 namespace abndp
@@ -82,12 +82,13 @@ class NdpSystem : public TaskSink
     struct UnitState
     {
         /** Tasks awaiting a scheduling decision (hybrid policy only). */
-        std::deque<Task> pending;
+        SlidingDeque<Task> pending;
         /** Tasks placed on this unit, awaiting execution. */
-        std::deque<Task> ready;
-        /** Next-epoch tasks (moved to pending/ready at the barrier). */
-        std::deque<Task> stagedPending;
-        std::deque<Task> stagedReady;
+        SlidingDeque<Task> ready;
+        /** Next-epoch tasks (swapped into pending/ready at the barrier;
+         *  the barrier swap recycles the drained queues' buffers). */
+        SlidingDeque<Task> stagedPending;
+        SlidingDeque<Task> stagedReady;
 
         std::vector<CoreState> cores;
         std::unique_ptr<PrefetchBuffer> pb;

@@ -76,6 +76,12 @@ dumpStats(std::ostream &os, NdpSystem &sys, const RunMetrics &m)
     line(os, "mem.readLatencyAvgNs", m.readLatMeanNs);
     line(os, "mem.readLatencyMaxNs", m.readLatMaxNs);
 
+    line(os, "sim.events", m.simEvents);
+    // Host-side throughput: wall-clock, so these two lines (alone) vary
+    // between otherwise identical runs.
+    line(os, "sim.hostSeconds", m.hostSeconds);
+    line(os, "sim.eventsPerSec", m.eventsPerSec());
+
     line(os, "energy.coreSramPj", m.energy.coreSramPj);
     line(os, "energy.dramMemPj", m.energy.dramMemPj);
     line(os, "energy.dramCachePj", m.energy.dramCachePj);

@@ -1,6 +1,7 @@
 #include "host/host_system.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -114,6 +115,7 @@ RunMetrics
 HostSystem::run(Workload &wl)
 {
     abndp_assert(workload == nullptr, "HostSystem::run() may be called once");
+    const auto hostStart = std::chrono::steady_clock::now();
     workload = &wl;
     wl.setup(alloc);
 
@@ -123,7 +125,7 @@ HostSystem::run(Workload &wl)
     std::uint64_t ts = 0;
     while (!staged.empty() && (cfg.maxEpochs == 0 || ts < cfg.maxEpochs)) {
         curEpoch = ts;
-        active = std::move(staged);
+        active.swap(staged);
         staged.clear();
         activeRemaining = active.size();
         tryDispatch();
@@ -144,6 +146,9 @@ HostSystem::run(Workload &wl)
         m.coreActiveTicks.push_back(core.activeTicks);
     m.l1Hits = llc.hits();
     m.l1Misses = llc.misses();
+    m.simEvents = eq.executed();
+    m.hostSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - hostStart).count();
     return m;
 }
 

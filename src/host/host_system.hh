@@ -10,7 +10,6 @@
 #ifndef ABNDP_HOST_HOST_SYSTEM_HH
 #define ABNDP_HOST_HOST_SYSTEM_HH
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "sim/bandwidth_meter.hh"
 #include "sim/event_queue.hh"
 #include "tasking/task.hh"
+#include "tasking/task_deque.hh"
 #include "workloads/workload.hh"
 
 namespace abndp
@@ -56,8 +56,8 @@ class HostSystem : public TaskSink
     std::vector<BandwidthMeter> channelMeter;
     std::vector<CoreState> cores;
 
-    std::deque<Task> active;
-    std::deque<Task> staged;
+    SlidingDeque<Task> active;
+    SlidingDeque<Task> staged;
     Workload *workload = nullptr;
     std::uint64_t curEpoch = 0;
     std::uint64_t activeRemaining = 0;

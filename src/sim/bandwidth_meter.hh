@@ -10,13 +10,20 @@
  * instead divides time into fixed buckets of service capacity and lets
  * requests backfill the earliest bucket with room, which converges to the
  * same steady-state queueing delay as a FIFO server without the runaway.
+ *
+ * reserve() is the single hottest call in the simulator (every DRAM
+ * access and every mesh hop reserves a bucket), so buckets live in flat
+ * fixed-size pages found through a last-page cache — no hashing and no
+ * per-reservation allocation — while time-sparse use (a bank idle for a
+ * simulated hour) still costs one page, not a dense array.
  */
 
 #ifndef ABNDP_SIM_BANDWIDTH_METER_HH
 #define ABNDP_SIM_BANDWIDTH_METER_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
@@ -49,38 +56,100 @@ class BandwidthMeter
         if (service == 0)
             return t;
         std::uint64_t b = t / width;
-        while (used[b] >= width)
+        while (fillOf(b) >= width)
             ++b;
         // Requests landing mid-bucket start no earlier than t; the
         // bucket's fill level approximates the queue ahead of them.
-        Tick begin = b * width + used[b];
+        Tick begin = b * width + fillOf(b);
         if (begin < t)
             begin = t;
         Tick remaining = service;
-        while (remaining > 0) {
-            Tick &used_in = used[b];
-            Tick free = width - used_in;
+        while (true) {
+            Tick &used = slot(b);
+            Tick free = width - used;
             Tick take = remaining < free ? remaining : free;
-            used_in += take;
+            if (take > 0 && used == 0)
+                ++nTouched;
+            used += take;
             remaining -= take;
-            if (remaining > 0)
-                ++b;
+            if (remaining == 0)
+                break;
+            ++b;
         }
         return begin;
     }
 
-    /** Drop all reservations (e.g., between independent runs). */
+    /**
+     * Drop all reservations (e.g., between independent runs); pages
+     * are zeroed in place, so the next run allocates nothing.
+     */
     void
     reset()
     {
-        used.clear();
+        for (Page &p : pages)
+            std::fill(p.fill.begin(), p.fill.end(), Tick{0});
+        nTouched = 0;
     }
 
-    std::size_t bucketsInUse() const { return used.size(); }
+    /** Buckets holding at least one reservation. */
+    std::size_t bucketsInUse() const { return nTouched; }
 
   private:
+    /** Buckets per page; a power of two. */
+    static constexpr std::uint64_t pageBuckets = 1024;
+
+    struct Page
+    {
+        std::uint64_t first;     // bucket number of fill[0]
+        std::vector<Tick> fill;  // pageBuckets entries
+    };
+
+    /** Fill level of bucket @p b; absent pages read as empty. */
+    Tick
+    fillOf(std::uint64_t b) const
+    {
+        std::uint64_t first = b & ~(pageBuckets - 1);
+        if (lastIdx < pages.size() && pages[lastIdx].first == first)
+            return pages[lastIdx].fill[b - first];
+        const Page *p = findPage(first);
+        if (!p)
+            return 0;
+        lastIdx = static_cast<std::size_t>(p - pages.data());
+        return p->fill[b - first];
+    }
+
+    /** Writable fill slot of bucket @p b, creating its page if needed. */
+    Tick &
+    slot(std::uint64_t b)
+    {
+        std::uint64_t first = b & ~(pageBuckets - 1);
+        if (lastIdx < pages.size() && pages[lastIdx].first == first)
+            return pages[lastIdx].fill[b - first];
+        auto it = std::lower_bound(
+            pages.begin(), pages.end(), first,
+            [](const Page &p, std::uint64_t f) { return p.first < f; });
+        if (it == pages.end() || it->first != first)
+            it = pages.insert(it, Page{first,
+                                       std::vector<Tick>(pageBuckets, 0)});
+        lastIdx = static_cast<std::size_t>(it - pages.begin());
+        return it->fill[b - first];
+    }
+
+    const Page *
+    findPage(std::uint64_t first) const
+    {
+        auto it = std::lower_bound(
+            pages.begin(), pages.end(), first,
+            [](const Page &p, std::uint64_t f) { return p.first < f; });
+        return it != pages.end() && it->first == first ? &*it : nullptr;
+    }
+
     Tick width;
-    std::unordered_map<std::uint64_t, Tick> used;
+    /** Pages sorted by first bucket; benchmarks touch a handful. */
+    std::vector<Page> pages;
+    /** Index of the most recently touched page (almost always hits). */
+    mutable std::size_t lastIdx = 0;
+    std::size_t nTouched = 0;
 };
 
 } // namespace abndp

@@ -4,14 +4,25 @@
  *
  * A single global event queue per simulation orders callbacks by tick,
  * with insertion order breaking ties so runs are fully deterministic.
+ *
+ * The kernel is allocation-free on the hot path: callbacks are stored
+ * in fixed-size inline slots of a pooled, chunked arena (no per-event
+ * malloc/free), and the binary heap itself holds only trivially
+ * copyable (tick, seq, slot) entries, so sift operations are plain
+ * memcpys. Oversized captures are rejected at compile time — there is
+ * deliberately no heap fallback.
  */
 
 #ifndef ABNDP_SIM_EVENT_QUEUE_HH
 #define ABNDP_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <limits>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -25,7 +36,23 @@ namespace abndp
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Inline storage per event callback, in bytes. Sized for the
+     * largest capture in the simulator core (NdpSystem's forward path:
+     * this + UnitId + shared_ptr<Task> + bool) with headroom for a
+     * std::function-sized closure; callbackFits<F> rejects anything
+     * larger at compile time instead of silently heap-allocating.
+     */
+    static constexpr std::size_t callbackCapacity = 48;
+    static constexpr std::size_t callbackAlign = alignof(std::max_align_t);
+
+    /** Can @p F be scheduled (fits inline, invocable, nothrow-movable)? */
+    template <typename F>
+    static constexpr bool callbackFits =
+        std::is_invocable_r_v<void, std::decay_t<F> &>
+        && sizeof(std::decay_t<F>) <= callbackCapacity
+        && alignof(std::decay_t<F>) <= callbackAlign
+        && std::is_nothrow_move_constructible_v<std::decay_t<F>>;
 
     /** Current simulated time. */
     Tick now() const { return curTick; }
@@ -40,20 +67,36 @@ class EventQueue
 
     /**
      * Schedule a callback at an absolute tick; must not be in the past.
+     * The capture is placement-constructed into a pooled inline slot;
+     * captures above callbackCapacity bytes fail to compile.
      */
+    template <typename F>
+        requires callbackFits<F>
     void
-    schedule(Tick when, Callback cb)
+    schedule(Tick when, F &&cb)
     {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= callbackCapacity,
+                      "event capture exceeds the inline slot; enlarge "
+                      "callbackCapacity or shrink the capture");
         abndp_assert(when >= curTick, "scheduling into the past: ", when,
                      " < ", curTick);
-        heap.push(Event{when, nextSeq++, std::move(cb)});
+        std::uint32_t idx = allocSlot();
+        Slot &slot = slotAt(idx);
+        ::new (static_cast<void *>(slot.store)) Fn(std::forward<F>(cb));
+        slot.invoke = [](void *p) { (*static_cast<Fn *>(p))(); };
+        slot.destroy = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+        heap.push_back(HeapEntry{when, nextSeq++, idx});
+        std::push_heap(heap.begin(), heap.end(), Later{});
     }
 
     /** Schedule a callback delta ticks from now. */
+    template <typename F>
+        requires callbackFits<F>
     void
-    scheduleIn(Tick delta, Callback cb)
+    scheduleIn(Tick delta, F &&cb)
     {
-        schedule(curTick + delta, std::move(cb));
+        schedule(curTick + delta, std::forward<F>(cb));
     }
 
     /**
@@ -65,13 +108,17 @@ class EventQueue
     {
         if (heap.empty())
             return false;
-        // Moving out of the priority queue top is safe: pop() follows
-        // immediately and never inspects the moved-from callback.
-        Event ev = std::move(const_cast<Event &>(heap.top()));
-        heap.pop();
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        HeapEntry ev = heap.back();
+        heap.pop_back();
         curTick = ev.when;
         ++numExecuted;
-        ev.cb();
+        // Slot addresses are stable (chunked arena), so the callback may
+        // freely schedule further events while it runs; its own slot is
+        // released only after it returns.
+        Slot &slot = slotAt(ev.slot);
+        slot.invoke(slot.store);
+        releaseSlot(ev.slot);
         return true;
     }
 
@@ -86,7 +133,7 @@ class EventQueue
     void
     runUntil(Tick limit)
     {
-        while (!heap.empty() && heap.top().when <= limit)
+        while (!heap.empty() && heap.front().when <= limit)
             runOne();
         if (curTick < limit)
             curTick = limit;
@@ -96,25 +143,42 @@ class EventQueue
      * Drop all pending events without running them; the clock keeps its
      * current value. Used at bulk-synchronous barriers to cancel
      * periodic bookkeeping events (exchange ticks, steal backoffs) that
-     * must not stretch the epoch.
+     * must not stretch the epoch. Clears in place: both the heap's
+     * vector capacity and the slot arena survive, so the next epoch
+     * ramps up without reallocating.
      */
     void
     clearPending()
     {
-        heap = {};
+        for (const HeapEntry &ev : heap)
+            releaseSlot(ev.slot);
+        heap.clear();
     }
 
-    /** Reset to an empty queue at tick 0. */
+    /**
+     * Reset to an empty queue at tick 0. Keeps the heap capacity and
+     * the callback arena (capacity-preserving, like clearPending()) as
+     * well as the configured watchdog budgets; only the watchdog
+     * baselines are rewound.
+     */
     void
     reset()
     {
-        heap = {};
+        clearPending();
         curTick = 0;
         nextSeq = 0;
         numExecuted = 0;
         wdBaseTick = 0;
         wdBaseEvents = 0;
     }
+
+    // ---- Capacity introspection (tests / self-measurement) ----
+
+    /** Current capacity of the pending-event heap, in events. */
+    std::size_t heapCapacity() const { return heap.capacity(); }
+
+    /** Callback slots allocated in the arena (high-water mark). */
+    std::size_t arenaSlots() const { return slotsUsed; }
 
     // ---- Watchdog ----
     //
@@ -161,18 +225,38 @@ class EventQueue
         return numExecuted - wdBaseEvents;
     }
 
+    ~EventQueue() { clearPending(); }
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
   private:
-    struct Event
+    /**
+     * One pooled callback slot: inline capture storage plus its type's
+     * invoke/destroy thunks. Slots live in fixed chunks so their
+     * addresses never move while the arena grows.
+     */
+    struct Slot
+    {
+        alignas(callbackAlign) unsigned char store[callbackCapacity];
+        void (*invoke)(void *) = nullptr;
+        void (*destroy)(void *) = nullptr;
+        std::uint32_t nextFree = noSlot;
+    };
+
+    /** Trivially copyable heap element; sifts are plain memcpys. */
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
     };
 
     struct Later
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -180,7 +264,43 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    static constexpr std::uint32_t chunkSlots = 256;
+    static constexpr std::uint32_t noSlot =
+        std::numeric_limits<std::uint32_t>::max();
+
+    Slot &
+    slotAt(std::uint32_t idx)
+    {
+        return chunks[idx / chunkSlots][idx % chunkSlots];
+    }
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (freeHead != noSlot) {
+            std::uint32_t idx = freeHead;
+            freeHead = slotAt(idx).nextFree;
+            return idx;
+        }
+        if (slotsUsed == chunks.size() * chunkSlots)
+            chunks.push_back(std::make_unique<Slot[]>(chunkSlots));
+        return slotsUsed++;
+    }
+
+    void
+    releaseSlot(std::uint32_t idx)
+    {
+        Slot &slot = slotAt(idx);
+        slot.destroy(slot.store);
+        slot.nextFree = freeHead;
+        freeHead = idx;
+    }
+
+    std::vector<HeapEntry> heap;
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    std::uint32_t freeHead = noSlot;
+    std::uint32_t slotsUsed = 0;
+
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;

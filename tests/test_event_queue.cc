@@ -1,5 +1,7 @@
 /** @file Unit tests for the discrete-event kernel. */
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "sim/event_queue.hh"
@@ -73,6 +75,113 @@ TEST(EventQueueDeath, SchedulingIntoThePastPanics)
     eq.schedule(100, [] {});
     eq.runAll();
     EXPECT_DEATH(eq.schedule(50, [] {}), "scheduling into the past");
+}
+
+namespace
+{
+
+/** A callable whose capture exceeds the inline slot. */
+struct OversizedCallback
+{
+    unsigned char payload[EventQueue::callbackCapacity + 1] = {};
+    void operator()() {}
+};
+
+/** A callable that fills the inline slot exactly. */
+struct MaxSizeCallback
+{
+    unsigned char payload[EventQueue::callbackCapacity] = {};
+    void operator()() {}
+};
+
+} // namespace
+
+// Oversized captures must be rejected at compile time — there is
+// deliberately no heap fallback in the kernel.
+static_assert(!EventQueue::callbackFits<OversizedCallback>,
+              "oversized capture must not be schedulable");
+static_assert(EventQueue::callbackFits<MaxSizeCallback>,
+              "captures up to callbackCapacity must be schedulable");
+static_assert(!EventQueue::callbackFits<int>,
+              "non-invocable types must not be schedulable");
+
+TEST(EventQueue, ClearPendingKeepsCapacityAndDestroysCaptures)
+{
+    EventQueue eq;
+    auto token = std::make_shared<int>(7);
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(10 + i, [token] {});
+    EXPECT_EQ(token.use_count(), 101);
+
+    std::size_t heapCap = eq.heapCapacity();
+    std::size_t arena = eq.arenaSlots();
+    EXPECT_GE(heapCap, 100u);
+    EXPECT_GE(arena, 100u);
+
+    eq.clearPending();
+    EXPECT_TRUE(eq.empty());
+    // Dropped events release their captures immediately...
+    EXPECT_EQ(token.use_count(), 1);
+    // ...but both the heap vector and the slot arena keep their
+    // storage, so the next epoch ramps up without reallocating.
+    EXPECT_EQ(eq.heapCapacity(), heapCap);
+    EXPECT_EQ(eq.arenaSlots(), arena);
+
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(20 + i, [token] {});
+    EXPECT_EQ(eq.heapCapacity(), heapCap);
+    EXPECT_EQ(eq.arenaSlots(), arena);
+    eq.runAll();
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, ResetRewindsClockCountersAndWatchdog)
+{
+    EventQueue eq;
+    eq.setWatchdog(1000, 8);
+    eq.armWatchdog();
+    for (int i = 0; i < 32; ++i)
+        eq.schedule(10 * (i + 1), [] {});
+    std::size_t heapCap = eq.heapCapacity();
+    std::size_t arena = eq.arenaSlots();
+    eq.runAll();
+    EXPECT_GT(eq.now(), 0u);
+    EXPECT_EQ(eq.executed(), 32u);
+    EXPECT_TRUE(eq.watchdogTripped());
+
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 0u);
+    // Watchdog baselines are rewound with the clock...
+    EXPECT_EQ(eq.watchdogTicks(), 0u);
+    EXPECT_EQ(eq.watchdogEvents(), 0u);
+    EXPECT_FALSE(eq.watchdogTripped());
+    // ...capacity survives...
+    EXPECT_EQ(eq.heapCapacity(), heapCap);
+    EXPECT_EQ(eq.arenaSlots(), arena);
+    // ...and the configured budgets still apply to the next phase.
+    int fired = 0;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(i, [&] { ++fired; });
+    eq.runAll();
+    EXPECT_EQ(fired, 16);
+    EXPECT_TRUE(eq.watchdogTripped());
+}
+
+TEST(EventQueue, CallbacksMayClearPendingWhileRunning)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.clearPending();
+    });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.empty());
 }
 
 } // namespace abndp

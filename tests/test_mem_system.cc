@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 
 #include "core/mem_system.hh"
@@ -155,6 +156,35 @@ TEST(MemSystem, ReadLatencySampled)
     f.mem->readBlock(0, f.amap->unitBase(64) + 0x40, 0);
     EXPECT_EQ(f.mem->readLatencyNs().samples(), 1u);
     EXPECT_GT(f.mem->readLatencyNs().mean(), 0.0);
+}
+
+// The per-block read histogram is a debug aid, opt-in via the
+// ABNDP_READ_HIST environment variable (checked once at construction)
+// so benchmark runs never pay for the hash map on the read path.
+TEST(MemSystem, ReadHistogramOffByDefault)
+{
+    MemFixture f(CacheStyle::None);
+    f.mem->readBlock(0, f.amap->unitBase(64) + 0x40, 0);
+    f.mem->readBlock(0, f.amap->unitBase(64) + 0x80, 0);
+    EXPECT_TRUE(f.mem->readHist().empty());
+}
+
+TEST(MemSystem, ReadHistogramCountsWhenEnabled)
+{
+    ::setenv("ABNDP_READ_HIST", "1", 1);
+    MemFixture f(CacheStyle::None);
+    ::unsetenv("ABNDP_READ_HIST");
+
+    Addr a = f.amap->unitBase(64) + 0x40;
+    Addr b = f.amap->unitBase(64) + 0x80;
+    f.mem->readBlock(0, a, 0);
+    f.mem->readBlock(0, a, 1000000);
+    f.mem->readBlock(0, b, 2000000);
+
+    const auto &hist = f.mem->readHist();
+    ASSERT_EQ(hist.size(), 2u);
+    EXPECT_EQ(hist.at(blockAlign(a)), 2u);
+    EXPECT_EQ(hist.at(blockAlign(b)), 1u);
 }
 
 } // namespace abndp
