@@ -8,14 +8,46 @@
  *
  * The simulated metrics of every cell are bit-deterministic; only the
  * wall-clock figures vary between hosts and runs.
+ *
+ * --compare=FILE checks this run's events_per_sec against a baseline
+ * JSON line written by a previous run (--out): the process exits
+ * nonzero when throughput regressed by more than --tolerance (default
+ * 0.10). A missing or unparsable baseline warns and passes, so the
+ * first CI run on a fresh cache succeeds.
  */
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "bench_common.hh"
+
+namespace
+{
+
+/**
+ * Extract the number after "\"key\":" from a one-line JSON record.
+ * @return false when the key is absent (malformed baseline).
+ */
+bool
+extractJsonNumber(const std::string &json, const std::string &key,
+                  double &out)
+{
+    auto pos = json.find("\"" + key + "\":");
+    if (pos == std::string::npos)
+        return false;
+    pos += key.size() + 3;
+    try {
+        out = std::stod(json.substr(pos));
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -68,6 +100,36 @@ main(int argc, char **argv)
         if (!out)
             fatal("cannot write ", outPath);
         out << json.str() << "\n";
+    }
+
+    const std::string comparePath =
+        opts.flags.getString("compare", "");
+    if (!comparePath.empty()) {
+        double tolerance = opts.flags.getDouble("tolerance", 0.10);
+        std::ifstream baseFile(comparePath);
+        std::string baseline;
+        if (!baseFile || !std::getline(baseFile, baseline)) {
+            warn("perf baseline ", comparePath,
+                 " missing; skipping comparison (first run?)");
+            return 0;
+        }
+        double baseEps = 0.0;
+        if (!extractJsonNumber(baseline, "events_per_sec", baseEps)
+            || baseEps <= 0.0) {
+            warn("perf baseline ", comparePath,
+                 " has no usable events_per_sec; skipping comparison");
+            return 0;
+        }
+        double curEps = wall > 0 ? events / wall : 0;
+        double ratio = curEps / baseEps;
+        std::cerr << "perf_smoke compare: " << curEps << " vs baseline "
+                  << baseEps << " events/sec (x" << ratio
+                  << ", tolerance -" << tolerance * 100 << "%)\n";
+        if (ratio < 1.0 - tolerance) {
+            std::cerr << "perf_smoke: throughput regression beyond "
+                      << tolerance * 100 << "% tolerance\n";
+            return 1;
+        }
     }
     return 0;
 }

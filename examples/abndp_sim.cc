@@ -59,7 +59,12 @@ printUsage()
         "            --points/--knn-points/--queries/--astar-queries\n"
         "            --explicit-hints (programmer hint.workload)\n"
         "Output:     --stats (full dump) --json --print-config\n"
-        "            --trace=FILE (per-epoch CSV) --heatmap\n";
+        "            --trace=FILE (per-epoch CSV) --heatmap\n"
+        "            --stats-registry (hierarchical registry dump)\n"
+        "            --stats-interval=N (dump deltas every N epochs)\n"
+        "            --stats-out=FILE (interval dump target)\n"
+        "            --trace-out=FILE (Chrome/Perfetto trace JSON)\n"
+        "            --trace-buffer-events=N (tracer ring capacity)\n";
 }
 
 } // namespace
@@ -120,6 +125,11 @@ main(int argc, char **argv)
     cfg.maxEpochs = flags.getUint("max-epochs", 0);
     cfg.seed = flags.getUint("sim-seed", 1);
     cfg.traceFile = flags.getString("trace", "");
+    cfg.traceOut = flags.getString("trace-out", "");
+    cfg.traceBufferEvents =
+        flags.getUint("trace-buffer-events", cfg.traceBufferEvents);
+    cfg.statsInterval = flags.getUint("stats-interval", 0);
+    cfg.statsOut = flags.getString("stats-out", "");
 
     Design design = parseDesign(flags.getString("design", "O"));
     cfg = applyDesign(cfg, design);
@@ -149,6 +159,10 @@ main(int argc, char **argv)
         if (flags.getBool("json", false)) {
             dumpJson(std::cout, cfg, m);
             std::cout << "\n";
+            return 0;
+        }
+        if (flags.getBool("stats-registry", false)) {
+            sys.statsRegistry().dump(std::cout);
             return 0;
         }
         if (flags.getBool("stats", false)) {

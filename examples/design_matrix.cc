@@ -5,6 +5,11 @@
  * remote-access/load-balance tradeoff the paper studies.
  *
  * Usage: design_matrix [--workload=pr] [--scale=13] [--verify=true]
+ *                      [--trace-out=trace.json] [--stats-interval=N]
+ *                      [--stats-out=stats.txt]
+ *
+ * With --trace-out / --stats-out the design name is inserted before the
+ * extension (trace.json -> trace.O.json), one file per Table-2 design.
  */
 
 #include <iostream>
@@ -29,6 +34,10 @@ main(int argc, char **argv)
     SystemConfig base;
     base.seed = flags.getUint("seed", 1);
 
+    std::string traceOut = flags.getString("trace-out", "");
+    std::string statsOut = flags.getString("stats-out", "");
+    base.statsInterval = flags.getUint("stats-interval", 0);
+
     ExperimentOptions opts;
     opts.verify = flags.getBool("verify", true);
 
@@ -42,7 +51,12 @@ main(int argc, char **argv)
 
     double baseTicks = 0.0;
     for (Design d : ndpDesigns()) {
-        RunMetrics m = runExperiment(base, d, spec, opts);
+        SystemConfig cellBase = base;
+        if (!traceOut.empty())
+            cellBase.traceOut = tagPath(traceOut, designName(d));
+        if (!statsOut.empty())
+            cellBase.statsOut = tagPath(statsOut, designName(d));
+        RunMetrics m = runExperiment(cellBase, d, spec, opts);
         if (d == Design::B)
             baseTicks = static_cast<double>(m.ticks);
         double pbTotal =

@@ -8,7 +8,13 @@
  *
  * Usage:
  *   sweep --workloads=pr,bfs,gcn --designs=B,Sl,O --scale=13 \
- *         --threads=8 [--verify] [--out=results.jsonl]
+ *         --threads=8 [--verify] [--out=results.jsonl] \
+ *         [--trace-out=trace.json] [--stats-interval=N] \
+ *         [--stats-out=stats.txt]
+ *
+ * With --trace-out / --stats-out every cell writes its own file, the
+ * workload and design tags inserted before the extension
+ * (trace.json -> trace.pr.O.json).
  */
 
 #include <fstream>
@@ -65,6 +71,9 @@ main(int argc, char **argv)
         flags.getUint("threads", defaultThreads()));
     bool verify = flags.getBool("verify", false);
     std::string outPath = flags.getString("out", "");
+    std::string traceOut = flags.getString("trace-out", "");
+    std::string statsOut = flags.getString("stats-out", "");
+    std::uint64_t statsInterval = flags.getUint("stats-interval", 0);
 
     WorkloadSpec baseSpec;
     baseSpec.scale =
@@ -82,6 +91,25 @@ main(int argc, char **argv)
             cell.workload.name = wl;
             cell.opts.verify = verify;
             cell.opts.fatalOnVerifyFailure = true;
+            if (!traceOut.empty() || !statsOut.empty()
+                || statsInterval > 0) {
+                // Per-cell output files via the config-override path;
+                // interval dumps to stdout would interleave across the
+                // pool, so a file is required with --threads > 1.
+                SystemConfig cfg;
+                std::string tag = wl + "." + dn;
+                if (!traceOut.empty())
+                    cfg.traceOut = tagPath(traceOut, tag);
+                cfg.statsInterval = statsInterval;
+                if (statsInterval > 0) {
+                    if (statsOut.empty())
+                        fatal("--stats-interval under sweep requires "
+                              "--stats-out (per-cell interval dumps "
+                              "cannot share stdout)");
+                    cfg.statsOut = tagPath(statsOut, tag);
+                }
+                cell.config = cfg;
+            }
             cells.push_back(cell);
         }
     }

@@ -20,6 +20,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/stats_registry.hh"
 
 namespace abndp
 {
@@ -116,6 +117,17 @@ class PrefetchBuffer
     std::uint64_t misses() const { return nMisses.value(); }
     std::uint64_t fills() const { return nFills.value(); }
     std::size_t size() const { return count; }
+
+    /** Register this buffer's stats under @p node. */
+    void
+    regStats(obs::StatNode &node) const
+    {
+        node.addCounter("hits", &nHits);
+        node.addCounter("lateHits", &nLateHits);
+        node.addCounter("misses", &nMisses);
+        node.addCounter("fills", &nFills);
+        node.addCounter("evictions", &nEvicts);
+    }
 
   private:
     struct Entry

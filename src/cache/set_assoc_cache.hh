@@ -22,6 +22,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/stats_registry.hh"
 
 namespace abndp
 {
@@ -147,6 +148,16 @@ class SetAssocCache
         nMisses.reset();
         nInserts.reset();
         nEvicts.reset();
+    }
+
+    /** Register this cache's stats under @p node. */
+    void
+    regStats(obs::StatNode &node) const
+    {
+        node.addCounter("hits", &nHits);
+        node.addCounter("misses", &nMisses);
+        node.addCounter("insertions", &nInserts);
+        node.addCounter("evictions", &nEvicts);
     }
 
   private:

@@ -26,6 +26,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/stats_registry.hh"
 
 namespace abndp
 {
@@ -149,6 +150,23 @@ class TravellerCache
     std::uint64_t capacityBlocks() const { return nSets * assoc; }
     std::uint64_t numSets() const { return nSets; }
     std::uint32_t associativity() const { return assoc; }
+
+    /** Register this camp cache's stats under @p node. */
+    void
+    regStats(obs::StatNode &node) const
+    {
+        node.addCounter("hits", &nHits);
+        node.addCounter("misses", &nMisses);
+        node.addCounter("insertions", &nInserts);
+        node.addCounter("evictions", &nEvicts);
+        node.addCounter("bypasses", &nBypasses);
+        node.addCounter("bulkInvalidations", &nBulkInvalidations);
+        node.addValue("occupancyBlocks",
+                      [this]() {
+                          return static_cast<double>(nOccupied);
+                      },
+                      obs::StatKind::Gauge, true);
+    }
 
   private:
     struct Way

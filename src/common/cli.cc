@@ -83,4 +83,15 @@ CliFlags::getBool(const std::string &name, bool defval) const
     fatal("bad boolean flag --", name, "=", v);
 }
 
+std::string
+tagPath(const std::string &path, const std::string &tag)
+{
+    auto slash = path.find_last_of('/');
+    auto dot = path.find_last_of('.');
+    if (dot == std::string::npos
+        || (slash != std::string::npos && dot < slash))
+        return path + "." + tag;
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
 } // namespace abndp

@@ -42,6 +42,14 @@ class CliFlags
     std::vector<std::string> args;
 };
 
+/**
+ * Insert @p tag into @p path before its extension — "out/trace.json"
+ * with tag "pr.O" becomes "out/trace.pr.O.json". Paths without an
+ * extension get ".tag" appended. Used by the multi-run front ends to
+ * derive per-design output files from one --trace-out/--stats-out flag.
+ */
+std::string tagPath(const std::string &path, const std::string &tag);
+
 } // namespace abndp
 
 #endif // ABNDP_COMMON_CLI_HH

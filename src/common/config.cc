@@ -132,6 +132,10 @@ SystemConfig::validate() const
         fatal("link maxRetries must be nonzero when dropProb > 0 "
               "(a dropped packet needs at least one retry to arrive)");
 
+    if (!traceOut.empty() && traceBufferEvents == 0)
+        fatal("traceBufferEvents must be nonzero when event tracing is "
+              "enabled (--trace-out)");
+
     const auto &df = fault.dram;
     if (df.eccRetryProb < 0.0 || df.eccRetryProb >= 1.0)
         fatal("dram eccRetryProb must be within [0, 1), got ",

@@ -302,6 +302,26 @@ struct SystemConfig
     /** Optional per-epoch CSV trace file ("" = disabled). */
     std::string traceFile;
 
+    // ---- Observability (src/obs; see docs/OBSERVABILITY.md) ----
+    /**
+     * Chrome trace-event JSON output path ("" = tracing disabled).
+     * When set, hot paths record task/cache/CAMP/NoC events into a
+     * ring buffer and the run exports a Perfetto-loadable trace.
+     * Tracing is observational only: it never changes simulated
+     * timing, so metrics are bit-identical with tracing on or off.
+     */
+    std::string traceOut;
+    /** Event ring-buffer capacity; oldest events drop once full. */
+    std::uint64_t traceBufferEvents = 1ull << 20;
+    /**
+     * Dump interval stats from the hierarchical registry every N
+     * bulk-synchronous epochs (0 = disabled). Counters print as
+     * per-interval deltas, gauges as current values.
+     */
+    std::uint64_t statsInterval = 0;
+    /** Interval-stats output path ("" = stdout). */
+    std::string statsOut;
+
     // ---- Derived quantities ----
     std::uint32_t numStacks() const { return meshX * meshY; }
     std::uint32_t numUnits() const { return numStacks() * unitsPerStack; }

@@ -7,13 +7,15 @@ namespace abndp
 
 MemSystem::MemSystem(const SystemConfig &cfg, const Topology &topo,
                      const AddressMap &amap, EnergyAccount &energy,
-                     FaultModel *faults)
+                     FaultModel *faults, obs::Tracer *tracer)
     : cfg(cfg), topo(topo), amap(amap), energy(energy),
-      net(cfg, topo, energy, faults),
+      net(cfg, topo, energy, faults, tracer),
       camps(cfg, topo, amap),
       style(cfg.traveller.style),
+      tracer(tracer),
       tagCheckTicks(1 * ticksPerNs),
-      sramDataTicks(2 * ticksPerNs)
+      sramDataTicks(2 * ticksPerNs),
+      latencyHist(0.0, 4096.0, 64)
 {
     drams.reserve(cfg.numUnits());
     for (UnitId u = 0; u < cfg.numUnits(); ++u)
@@ -50,6 +52,7 @@ MemSystem::readBlock(UnitId u, Addr addr, Tick start)
 {
     Tick lat = readBlockImpl(u, addr, start);
     latencyNs.sample(static_cast<double>(lat) / ticksPerNs);
+    latencyHist.sample(static_cast<double>(lat) / ticksPerNs);
     // Debug histogram: opt-in via ABNDP_READ_HIST=1 (checked once at
     // construction); benchmark runs never touch the hash map.
     if (traceReads) [[unlikely]]
@@ -97,6 +100,9 @@ MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start)
 
     if (hit) {
         ++nCampHits;
+        if (tracer && tracer->enabled())
+            tracer->record(obs::TraceEvent::TravellerHit, camp,
+                           obs::Tracer::laneCache, t, 0, addr);
         if (style == CacheStyle::SramData) {
             energy.addSramDataCacheAccess();
             t += sramDataTicks;
@@ -111,6 +117,9 @@ MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start)
 
     // Camp miss: forward to home, read memory, return data to requester.
     ++nCampMisses;
+    if (tracer && tracer->enabled())
+        tracer->record(obs::TraceEvent::TravellerMiss, camp,
+                       obs::Tracer::laneCache, t, 0, addr);
     Tick th = t;
     if (camp != home)
         th += net.transfer(camp, home, PacketSizes::request, th).latency;
@@ -150,6 +159,22 @@ MemSystem::writeBlock(UnitId u, Addr addr, Tick start)
     if (home != u)
         t += net.transfer(u, home, PacketSizes::data, t).latency;
     drams[home]->access(addr, cachelineBytes, true, false, t);
+}
+
+void
+MemSystem::regStats(obs::StatNode &node) const
+{
+    node.addCounter("campHits", &nCampHits);
+    node.addCounter("campMisses", &nCampMisses);
+    node.addCounter("homeDirectReads", &nHomeDirect);
+    node.addCounter("cacheInsertions", &nInserts);
+    node.addDistribution("readLatencyNs", &latencyNs);
+    node.addHistogram("readLatencyHistNs", &latencyHist);
+    node.addFormula("campHitRate", [this]() {
+        double total = static_cast<double>(nCampHits.value())
+            + static_cast<double>(nCampMisses.value());
+        return total > 0.0 ? nCampHits.value() / total : 0.0;
+    });
 }
 
 void

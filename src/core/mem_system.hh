@@ -23,6 +23,8 @@
 #include "mem/dram.hh"
 #include "net/network.hh"
 #include "net/topology.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 
 namespace abndp
 {
@@ -35,10 +37,13 @@ class MemSystem
      * @param faults optional fault-injection engine, forwarded to the
      *               interconnect (link faults) and the DRAM channels
      *               (ECC retries, straggler bandwidth derating).
+     * @param tracer optional event tracer, forwarded to the interconnect
+     *               and used for camp hit/miss events.
      */
     MemSystem(const SystemConfig &cfg, const Topology &topo,
               const AddressMap &amap, EnergyAccount &energy,
-              FaultModel *faults = nullptr);
+              FaultModel *faults = nullptr,
+              obs::Tracer *tracer = nullptr);
 
     /**
      * Read one cache block from unit @p u at tick @p start, following the
@@ -73,6 +78,12 @@ class MemSystem
     /** Distribution of end-to-end block read latencies (ns). */
     const stats::Distribution &readLatencyNs() const { return latencyNs; }
 
+    /** Histogram of end-to-end block read latencies (ns). */
+    const stats::Histogram &readLatencyHistNs() const { return latencyHist; }
+
+    /** Register memory-system-level stats under @p node. */
+    void regStats(obs::StatNode &node) const;
+
     /** Debug: per-block read counts (populated when ABNDP_READ_HIST=1). */
     const std::unordered_map<Addr, std::uint64_t> &readHist() const
     {
@@ -94,6 +105,7 @@ class MemSystem
     Network net;
     CampMapping camps;
     CacheStyle style;
+    obs::Tracer *tracer;
 
     std::vector<std::unique_ptr<DramChannel>> drams;
     std::vector<std::unique_ptr<TravellerCache>> campCaches;
@@ -108,6 +120,7 @@ class MemSystem
     stats::Counter nHomeDirect;
     stats::Counter nInserts;
     stats::Distribution latencyNs;
+    stats::Histogram latencyHist;
     bool traceReads = false;
     std::unordered_map<Addr, std::uint64_t> debugReadHist;
 };

@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 
@@ -35,8 +36,10 @@ NdpSystem::NdpSystem(const SystemConfig &cfg_)
       faults(cfg),
       energy(cfg),
       alloc(cfg),
-      mem(cfg, topo, alloc.map(), energy, &faults),
-      sched(cfg, topo, mem.campMapping(), &faults),
+      tracer(!cfg.traceOut.empty(),
+             static_cast<std::size_t>(cfg.traceBufferEvents)),
+      mem(cfg, topo, alloc.map(), energy, &faults, &tracer),
+      sched(cfg, topo, mem.campMapping(), &faults, &tracer),
       units(cfg.numUnits()),
       hybridPolicy(cfg.sched.policy == SchedPolicy::Hybrid),
       pbHitTicks(1 * ticksPerNs),
@@ -71,6 +74,128 @@ NdpSystem::NdpSystem(const SystemConfig &cfg_)
                 cfg.tlb.entries / cfg.tlb.assoc, cfg.tlb.assoc,
                 ReplPolicy::Lru);
         }
+    }
+
+    buildStats();
+}
+
+void
+NdpSystem::buildStats()
+{
+    obs::StatNode &root = statsReg.root();
+
+    obs::StatNode &sys = root.child("system");
+    sys.addValue("epochs",
+                 [this]() { return static_cast<double>(epochsDone); },
+                 obs::StatKind::Counter, true);
+    sys.addValue("tasks",
+                 [this]() { return static_cast<double>(totalTasks); },
+                 obs::StatKind::Counter, true);
+    sys.addValue("forwardedTasks",
+                 [this]() { return static_cast<double>(forwardedTasks); },
+                 obs::StatKind::Counter, true);
+    sys.addValue("stolenTasks",
+                 [this]() { return static_cast<double>(stolenTasks); },
+                 obs::StatKind::Counter, true);
+    sys.addValue("stealAttempts",
+                 [this]() { return static_cast<double>(stealAttempts); },
+                 obs::StatKind::Counter, true);
+    sys.addValue("finalTick",
+                 [this]() {
+                     return static_cast<double>(lastCompletionTick);
+                 },
+                 obs::StatKind::Gauge, true);
+    sys.addValue("simEvents",
+                 [this]() { return static_cast<double>(eq.executed()); },
+                 obs::StatKind::Counter, true);
+    sys.addFormula("coreUtilization", [this]() {
+        // Mean busy fraction over all cores up to the last completion.
+        if (lastCompletionTick == 0)
+            return 0.0;
+        double busy = 0.0;
+        for (const auto &unit : units)
+            for (const auto &core : unit.cores)
+                busy += static_cast<double>(core.activeTicks);
+        return busy
+            / (static_cast<double>(lastCompletionTick)
+               * static_cast<double>(cfg.numCores()));
+    });
+    sys.addFormula("loadImbalance", [this]() {
+        // max / mean of per-unit executed-task counts (1.0 = balanced).
+        double sum = 0.0, mx = 0.0;
+        for (const auto &unit : units) {
+            double n = 0.0;
+            for (const auto &core : unit.cores)
+                n += static_cast<double>(core.tasksRun);
+            sum += n;
+            mx = std::max(mx, n);
+        }
+        double mean = sum / static_cast<double>(units.size());
+        return mean > 0.0 ? mx / mean : 0.0;
+    });
+    std::vector<std::string> unitNames;
+    unitNames.reserve(units.size());
+    for (UnitId u = 0; u < units.size(); ++u)
+        unitNames.push_back(std::to_string(u));
+    sys.addVector("unitTasksRun", unitNames,
+                  [this](std::size_t u) {
+                      double n = 0.0;
+                      for (const auto &core : units[u].cores)
+                          n += static_cast<double>(core.tasksRun);
+                      return n;
+                  },
+                  obs::StatKind::Counter, true);
+
+    sched.regStats(root.child("sched"));
+    mem.network().regStats(root.child("net"));
+    mem.regStats(root.child("mem"));
+
+    obs::StatNode &en = root.child("energy");
+    const EnergyAccount &ea = energy;
+    en.addValue("coreSramPj",
+                [&ea]() { return ea.breakdown().coreSramPj; },
+                obs::StatKind::Gauge, false);
+    en.addValue("dramMemPj",
+                [&ea]() { return ea.breakdown().dramMemPj; },
+                obs::StatKind::Gauge, false);
+    en.addValue("dramCachePj",
+                [&ea]() { return ea.breakdown().dramCachePj; },
+                obs::StatKind::Gauge, false);
+    en.addValue("netPj",
+                [&ea]() { return ea.breakdown().netPj; },
+                obs::StatKind::Gauge, false);
+    en.addValue("staticPj",
+                [&ea]() { return ea.breakdown().staticPj; },
+                obs::StatKind::Gauge, false);
+    en.addValue("totalPj",
+                [&ea]() { return ea.breakdown().total(); },
+                obs::StatKind::Gauge, false);
+
+    for (UnitId u = 0; u < units.size(); ++u) {
+        obs::StatNode &un =
+            root.child("unit" + std::to_string(u));
+        const auto &unit = units[u];
+        for (std::uint32_t c = 0; c < unit.cores.size(); ++c) {
+            obs::StatNode &cn = un.child("core" + std::to_string(c));
+            const CoreState &core = unit.cores[c];
+            cn.addValue("tasksRun",
+                        [&core]() {
+                            return static_cast<double>(core.tasksRun);
+                        },
+                        obs::StatKind::Counter, true);
+            cn.addValue("activeTicks",
+                        [&core]() {
+                            return static_cast<double>(core.activeTicks);
+                        },
+                        obs::StatKind::Counter, true);
+            core.l1d->regStats(cn.child("l1d"));
+            core.l1i->regStats(cn.child("l1i"));
+            core.tlb->regStats(cn.child("tlb"));
+        }
+        unit.pb->regStats(un.child("pb"));
+        mem.dram(u).regStats(un.child("dram"));
+        if (mem.cachingEnabled())
+            mem.traveller(u).regStats(un.child("traveller"));
     }
 }
 
@@ -137,6 +262,9 @@ NdpSystem::pumpScheduler(UnitId u)
         } else {
             sched.onForwarded(u, dst, task.loadEstimate, u);
             ++forwardedTasks;
+            if (tracer.enabled())
+                tracer.record(obs::TraceEvent::TaskForward, u,
+                              obs::Tracer::laneSched, eq.now(), 0, dst);
             ++task.forwardHops;
             // Ship the task descriptor to its execution unit. A receiver
             // that knows (from its true local queue) that it was a stale
@@ -334,6 +462,10 @@ NdpSystem::tryDispatch(UnitId u)
         ++epochTaskCount;
         ++core.tasksRun;
         ++totalTasks;
+        if (tracer.enabled())
+            tracer.record(obs::TraceEvent::TaskRun, u,
+                          static_cast<std::uint16_t>(c), now, end - now,
+                          task.func);
 
         eq.schedule(end, [this, u, c] {
             units[u].cores[c].busy = false;
@@ -412,6 +544,11 @@ NdpSystem::attemptSteal(UnitId u)
         vic.prefetchedCount, static_cast<std::uint32_t>(vic.ready.size()));
     sched.onStolen(victim, u, load);
     stolenTasks += stolen->size();
+    if (tracer.enabled())
+        tracer.record(obs::TraceEvent::TaskSteal, u,
+                      obs::Tracer::laneSched, eq.now(), 0,
+                      (static_cast<std::uint64_t>(victim) << 32)
+                          | stolen->size());
 
     // Round trip: steal request + task descriptors back.
     Tick t = eq.now();
@@ -461,6 +598,9 @@ NdpSystem::startEpoch(std::uint64_t ts)
 {
     curEpoch = ts;
     activeRemaining = 0;
+    if (tracer.enabled())
+        tracer.record(obs::TraceEvent::EpochBegin,
+                      obs::Tracer::systemUnit, 0, eq.now(), 0, ts);
     for (auto &unit : units) {
         abndp_assert(unit.ready.empty() && unit.pending.empty(),
                      "previous epoch not drained");
@@ -558,6 +698,31 @@ NdpSystem::run(Workload &wl)
     }
     std::uint64_t prevHops = 0, prevCampHits = 0, prevCampMisses = 0;
     std::uint64_t prevForwards = 0, prevSteals = 0;
+
+    // Per-interval stats dumping (--stats-interval): every N epochs the
+    // registry prints the counter deltas since the previous dump.
+    std::ofstream statsFile;
+    std::ostream *statsOs = nullptr;
+    if (cfg.statsInterval > 0) {
+        if (!cfg.statsOut.empty()) {
+            statsFile.open(cfg.statsOut);
+            if (!statsFile)
+                fatal("cannot open stats output file: ", cfg.statsOut);
+            statsOs = &statsFile;
+        } else {
+            statsOs = &std::cout;
+        }
+        statsReg.beginInterval();
+    }
+    std::uint64_t lastDumpEpoch = 0;
+    auto dumpIntervalNow = [&](std::uint64_t upto) {
+        statsReg.dumpInterval(
+            *statsOs,
+            logging_detail::concat("interval epochs [", lastDumpEpoch,
+                                   ", ", upto, ") tick ", eq.now()));
+        lastDumpEpoch = upto;
+    };
+
     while (stagedCount > 0 && (cfg.maxEpochs == 0 || ts < cfg.maxEpochs)) {
         Tick epoch_begin = eq.now();
         eq.armWatchdog();
@@ -621,7 +786,14 @@ NdpSystem::run(Workload &wl)
         }
         wl.endEpoch(ts);
         ++ts;
+        epochsDone = ts;
+        if (cfg.statsInterval > 0 && ts % cfg.statsInterval == 0)
+            dumpIntervalNow(ts);
     }
+
+    // Final partial interval, so every epoch is covered by some dump.
+    if (cfg.statsInterval > 0 && ts > lastDumpEpoch)
+        dumpIntervalNow(ts);
 
     if (ts == 0)
         warn("workload ", wl.name(), " emitted no initial tasks; zero "
@@ -666,6 +838,14 @@ NdpSystem::run(Workload &wl)
     m.netDropped = mem.network().totalDropped();
     m.netRetries = mem.network().totalRetries();
     m.simEvents = eq.executed();
+
+    if (!cfg.traceOut.empty()) {
+        std::ofstream tf(cfg.traceOut);
+        if (!tf)
+            fatal("cannot open trace output file: ", cfg.traceOut);
+        tracer.exportChromeJson(tf);
+    }
+
     m.hostSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - hostStart).count();
     return m;

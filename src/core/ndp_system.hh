@@ -32,6 +32,8 @@
 #include "fault/fault_model.hh"
 #include "mem/allocator.hh"
 #include "net/topology.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
 #include "tasking/task.hh"
@@ -66,6 +68,14 @@ class NdpSystem : public TaskSink
     Scheduler &scheduler() { return sched; }
     EventQueue &eventQueue() { return eq; }
     const FaultModel &faultModel() const { return faults; }
+
+    /** The hierarchical stats registry (populated at construction). */
+    obs::StatsRegistry &statsRegistry() { return statsReg; }
+    const obs::StatsRegistry &statsRegistry() const { return statsReg; }
+
+    /** The event tracer (enabled iff cfg.traceOut is nonempty). */
+    obs::Tracer &eventTracer() { return tracer; }
+    const obs::Tracer &eventTracer() const { return tracer; }
 
   private:
     struct CoreState
@@ -135,14 +145,20 @@ class NdpSystem : public TaskSink
     [[noreturn]] void dumpStallDiagnostics(const std::string &reason,
                                            bool simulatorBug);
 
+    /** Populate the stats registry from every modelled unit. */
+    void buildStats();
+
     SystemConfig cfg;
     Topology topo;
     FaultModel faults;
     EnergyAccount energy;
     SimAllocator alloc;
+    /** Event tracer; constructed before mem/sched which hold pointers. */
+    obs::Tracer tracer;
     MemSystem mem;
     Scheduler sched;
     EventQueue eq;
+    obs::StatsRegistry statsReg;
 
     std::vector<UnitState> units;
     Workload *workload = nullptr;
@@ -174,6 +190,7 @@ class NdpSystem : public TaskSink
     // Run-wide counters.
     std::uint64_t initialSpread = 0;
     std::uint64_t totalTasks = 0;
+    std::uint64_t epochsDone = 0;
     Tick epochBusy = 0;
     std::uint64_t epochTaskCount = 0;
     std::uint64_t stealAttempts = 0;

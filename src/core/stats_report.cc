@@ -4,6 +4,7 @@
 
 #include "core/ndp_system.hh"
 #include "net/topology.hh"
+#include "obs/stats_registry.hh"
 
 namespace abndp
 {
@@ -11,16 +12,31 @@ namespace abndp
 namespace
 {
 
+/** Pad @p name to the value column without touching stream state. */
+std::string
+padName(const char *name)
+{
+    std::string s(name);
+    if (s.size() < 40)
+        s.resize(40, ' ');
+    return s;
+}
+
 void
 line(std::ostream &os, const char *name, double value)
 {
-    os << std::left << std::setw(40) << name << " " << value << "\n";
+    // Explicit fixed formatting via formatStatValue() and explicit
+    // padding: the default stream precision/fill depend on the ambient
+    // stream state and round differently across platforms, which made
+    // dumps unstable.
+    os << padName(name) << " "
+       << obs::formatStatValue(value, /*integer=*/false) << "\n";
 }
 
 void
 line(std::ostream &os, const char *name, std::uint64_t value)
 {
-    os << std::left << std::setw(40) << name << " " << value << "\n";
+    os << padName(name) << " " << value << "\n";
 }
 
 } // namespace

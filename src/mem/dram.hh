@@ -20,6 +20,7 @@
 #include "common/types.hh"
 #include "energy/energy.hh"
 #include "fault/fault_model.hh"
+#include "obs/stats_registry.hh"
 #include "sim/bandwidth_meter.hh"
 
 namespace abndp
@@ -62,6 +63,18 @@ class DramChannel
 
     /** Queueing delay behind earlier same-bank accesses (ns). */
     const stats::Distribution &queueWaitNs() const { return waitNs; }
+
+    /** Register this channel's stats under @p node. */
+    void
+    regStats(obs::StatNode &node) const
+    {
+        node.addCounter("reads", &nReads);
+        node.addCounter("writes", &nWrites);
+        node.addCounter("rowMisses", &nRowMisses);
+        node.addCounter("refreshes", &nRefreshes);
+        node.addCounter("eccRetries", &nEccRetries);
+        node.addDistribution("queueWaitNs", &waitNs);
+    }
 
     void resetState();
 

@@ -6,10 +6,12 @@ namespace abndp
 {
 
 Network::Network(const SystemConfig &cfg, const Topology &topo,
-                 EnergyAccount &energy, FaultModel *faults)
+                 EnergyAccount &energy, FaultModel *faults,
+                 obs::Tracer *tracer)
     : topo(topo),
       energy(energy),
       faults(faults),
+      tracer(tracer),
       meshX(cfg.meshX),
       intraLatency(static_cast<Tick>(cfg.net.intraHopNs * ticksPerNs)),
       interLatency(static_cast<Tick>(cfg.net.interHopNs * ticksPerNs)),
@@ -37,6 +39,10 @@ Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
         return res;
 
     ++packets;
+    if (tracer && tracer->enabled())
+        tracer->record(obs::TraceEvent::NocTransfer, src,
+                       obs::Tracer::laneNet, start, 0,
+                       (static_cast<std::uint64_t>(dst) << 32) | bytes);
     Tick t = start;
 
     auto crossbar = [&](UnitId port) {
@@ -156,6 +162,18 @@ Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
 
     res.latency = t - start;
     return res;
+}
+
+void
+Network::regStats(obs::StatNode &node) const
+{
+    node.addCounter("interHops", &interHops);
+    node.addCounter("intraTraversals", &intraHops);
+    node.addCounter("packets", &packets);
+    node.addCounter("dropped", &dropped);
+    node.addCounter("retries", &retries);
+    node.addDistribution("portWaitNs", &portWait);
+    node.addDistribution("linkWaitNs", &linkWait);
 }
 
 void

@@ -18,6 +18,8 @@
 #include "energy/energy.hh"
 #include "fault/fault_model.hh"
 #include "net/topology.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "sim/bandwidth_meter.hh"
 
 namespace abndp
@@ -47,9 +49,12 @@ class Network
      * @param faults optional fault-injection engine; faulty mesh links
      *               add latency and transiently drop packets (bounded
      *               retry with exponential backoff).
+     * @param tracer optional event tracer; every packet records one
+     *               NocTransfer event on the source unit's NoC lane.
      */
     Network(const SystemConfig &cfg, const Topology &topo,
-            EnergyAccount &energy, FaultModel *faults = nullptr);
+            EnergyAccount &energy, FaultModel *faults = nullptr,
+            obs::Tracer *tracer = nullptr);
 
     /**
      * Send @p bytes from @p src to @p dst starting at @p start, reserving
@@ -81,6 +86,9 @@ class Network
     /** Clear link/port reservations (between epochs of separate runs). */
     void resetState();
 
+    /** Register the interconnect stats under @p node. */
+    void regStats(obs::StatNode &node) const;
+
   private:
     /** Index of the directed mesh link leaving stack s toward dir. */
     std::size_t
@@ -92,6 +100,7 @@ class Network
     const Topology &topo;
     EnergyAccount &energy;
     FaultModel *faults;
+    obs::Tracer *tracer;
     std::uint32_t meshX;
     IntraTopology intraTopo;
     std::uint32_t unitsPerStack;

@@ -1,0 +1,212 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <locale>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace abndp
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Display name of one event kind. */
+const char *
+eventName(TraceEvent kind)
+{
+    switch (kind) {
+      case TraceEvent::TaskRun: return "task";
+      case TraceEvent::TaskForward: return "forward";
+      case TraceEvent::TaskSteal: return "steal";
+      case TraceEvent::TravellerHit: return "hit";
+      case TraceEvent::TravellerMiss: return "miss";
+      case TraceEvent::CampExchange: return "exchange";
+      case TraceEvent::NocTransfer: return "pkt";
+      case TraceEvent::EpochBegin: return "epoch";
+      case TraceEvent::NumKinds: break;
+    }
+    return "?";
+}
+
+/** Chrome trace category of one event kind. */
+const char *
+eventCategory(TraceEvent kind)
+{
+    switch (kind) {
+      case TraceEvent::TaskRun: return "task";
+      case TraceEvent::TaskForward:
+      case TraceEvent::TaskSteal:
+      case TraceEvent::CampExchange: return "sched";
+      case TraceEvent::TravellerHit:
+      case TraceEvent::TravellerMiss: return "cache";
+      case TraceEvent::NocTransfer: return "net";
+      case TraceEvent::EpochBegin: return "sim";
+      case TraceEvent::NumKinds: break;
+    }
+    return "?";
+}
+
+/** Chrome pid of a track: 1 = system, units from 2. */
+std::uint64_t
+pidOf(UnitId unit)
+{
+    return unit == Tracer::systemUnit ? 1ull
+                                      : static_cast<std::uint64_t>(unit) + 2;
+}
+
+/** Thread (lane) display name within a unit track. */
+std::string
+laneName(UnitId unit, std::uint16_t lane)
+{
+    if (unit == Tracer::systemUnit)
+        return lane == 0 ? "epochs" : "exchanges";
+    if (lane == Tracer::laneSched)
+        return "sched";
+    if (lane == Tracer::laneCache)
+        return "traveller";
+    if (lane == Tracer::laneNet)
+        return "noc";
+    return "core" + std::to_string(lane);
+}
+
+/** Ticks (ps) to the trace format's microseconds, exactly. */
+void
+putTs(std::ostream &os, Tick ticks)
+{
+    // Fixed six decimals: 1 ps = 1e-6 us, so every tick is exact and
+    // the output is byte-stable.
+    os << ticks / 1000000 << '.' << std::setw(6) << std::setfill('0')
+       << ticks % 1000000 << std::setfill(' ');
+}
+
+} // namespace
+
+Tracer::Tracer(bool enable, std::size_t capacity) : on(enable)
+{
+    if (on)
+        buf.resize(capacity > 0 ? capacity : 1);
+}
+
+std::uint64_t
+Tracer::count(TraceEvent kind) const
+{
+    std::uint64_t c = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (buf[i].kind == kind)
+            ++c;
+    return c;
+}
+
+std::vector<std::size_t>
+Tracer::orderedIndices() const
+{
+    std::vector<std::size_t> idx(n);
+    // Oldest record first: when the ring wrapped, the oldest slot is
+    // head (the next one to be overwritten).
+    std::size_t start = n < buf.size() ? 0 : head;
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = (start + i) % (buf.empty() ? 1 : buf.size());
+    // Events are recorded in simulation order but some carry timestamps
+    // ahead of the recording instant (chained network transfers), so
+    // stable-sort by ts for monotone per-track timelines.
+    std::stable_sort(idx.begin(), idx.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return buf[a].ts < buf[b].ts;
+                     });
+    return idx;
+}
+
+void
+Tracer::exportChromeJson(std::ostream &os) const
+{
+    os.imbue(std::locale::classic());
+    std::vector<std::size_t> idx = orderedIndices();
+
+    // Collect the used tracks (ordered, hence deterministic).
+    std::set<std::pair<std::uint64_t, std::uint16_t>> tracks;
+    for (std::size_t i : idx)
+        tracks.emplace(pidOf(buf[i].unit), buf[i].lane);
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Track metadata: name every used process once, then its threads.
+    std::uint64_t lastPid = ~0ull;
+    for (const auto &[pid, lane] : tracks) {
+        if (pid != lastPid) {
+            sep();
+            os << "{\"ph\":\"M\",\"pid\":" << pid
+               << ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+            if (pid == 1)
+                os << "system";
+            else
+                os << "unit" << pid - 2;
+            os << "\"}}";
+            lastPid = pid;
+        }
+        UnitId unit = pid == 1 ? systemUnit
+                               : static_cast<UnitId>(pid - 2);
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << lane + 1
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << laneName(unit, lane) << "\"}}";
+    }
+
+    for (std::size_t i : idx) {
+        const TraceRecord &r = buf[i];
+        sep();
+        bool slice = r.kind == TraceEvent::TaskRun;
+        os << "{\"ph\":\"" << (slice ? "X" : "i") << "\",\"pid\":"
+           << pidOf(r.unit) << ",\"tid\":" << r.lane + 1 << ",\"ts\":";
+        putTs(os, r.ts);
+        if (slice) {
+            os << ",\"dur\":";
+            putTs(os, r.dur);
+        } else {
+            os << ",\"s\":\"t\"";
+        }
+        os << ",\"name\":\"" << eventName(r.kind) << "\",\"cat\":\""
+           << eventCategory(r.kind) << "\"";
+        switch (r.kind) {
+          case TraceEvent::TaskRun:
+            os << ",\"args\":{\"func\":" << r.arg << "}";
+            break;
+          case TraceEvent::TaskForward:
+            os << ",\"args\":{\"dst\":" << r.arg << "}";
+            break;
+          case TraceEvent::TaskSteal:
+            os << ",\"args\":{\"victim\":" << (r.arg >> 32)
+               << ",\"tasks\":" << (r.arg & 0xffffffffull) << "}";
+            break;
+          case TraceEvent::NocTransfer:
+            os << ",\"args\":{\"dst\":" << (r.arg >> 32) << ",\"bytes\":"
+               << (r.arg & 0xffffffffull) << "}";
+            break;
+          case TraceEvent::EpochBegin:
+            os << ",\"args\":{\"epoch\":" << r.arg << "}";
+            break;
+          default:
+            break;
+        }
+        os << "}";
+    }
+
+    os << "\n],\n\"displayTimeUnit\":\"ns\",\n\"otherData\":{"
+       << "\"droppedEvents\":" << dropped() << ",\"tickPerUs\":1000000"
+       << "}}\n";
+}
+
+} // namespace obs
+} // namespace abndp

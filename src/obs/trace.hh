@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Zero-overhead-when-off event tracer with Chrome trace-event JSON
+ * export (viewable in Perfetto / chrome://tracing).
+ *
+ * Hot paths record fixed-size POD events into a preallocated ring
+ * buffer behind an inline enabled() guard, so disabled runs execute one
+ * predictable untaken branch per site and stay byte-identical to an
+ * uninstrumented build. Recording is purely observational: it never
+ * feeds back into simulation timing or any seeded Rng stream, so
+ * tracing on vs. off leaves every simulated metric unchanged
+ * (tests/test_trace_determinism.cc enforces this).
+ *
+ * Track mapping in the exported JSON: each NDP unit is one Chrome
+ * "process" (pid = unit + 2) whose "threads" are the unit's cores plus
+ * dedicated scheduler / Traveller-cache / NoC lanes; system-wide events
+ * (epoch barriers, CAMP workload exchanges) live on pid 1 ("system").
+ * Timestamps are simulated ticks (1 tick = 1 ps) converted to the
+ * format's microseconds, so one JSON ts unit step is exactly 1e-6.
+ */
+
+#ifndef ABNDP_OBS_TRACE_HH
+#define ABNDP_OBS_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace abndp
+{
+namespace obs
+{
+
+/** Kinds of traced events. */
+enum class TraceEvent : std::uint8_t
+{
+    /** One task executing on a core (duration slice). */
+    TaskRun,
+    /** Scheduling-window forward of a task descriptor (arg = dst). */
+    TaskForward,
+    /** Successful steal (arg = victim << 32 | tasks stolen). */
+    TaskSteal,
+    /** Traveller Cache hit at a camp location. */
+    TravellerHit,
+    /** Traveller Cache miss at a camp location. */
+    TravellerMiss,
+    /** Periodic CAMP workload-information exchange. */
+    CampExchange,
+    /** One NoC packet (arg = dst << 32 | bytes). */
+    NocTransfer,
+    /** Bulk-synchronous epoch start (arg = epoch number). */
+    EpochBegin,
+    NumKinds,
+};
+
+/** One fixed-size trace record (ring-buffer slot). */
+struct TraceRecord
+{
+    Tick ts = 0;
+    Tick dur = 0;
+    std::uint64_t arg = 0;
+    UnitId unit = 0;
+    std::uint16_t lane = 0;
+    TraceEvent kind = TraceEvent::TaskRun;
+};
+
+/** Ring-buffer event recorder with Chrome trace-event JSON export. */
+class Tracer
+{
+  public:
+    /** Per-unit lanes above the core lanes (tid = lane + 1). */
+    static constexpr std::uint16_t laneSched = 64;
+    static constexpr std::uint16_t laneCache = 65;
+    static constexpr std::uint16_t laneNet = 66;
+    /** Pseudo-unit of system-wide tracks (epochs lane 0, exchanges 1). */
+    static constexpr UnitId systemUnit = invalidUnit;
+
+    /**
+     * @param enable turn recording on (the buffer is only allocated
+     *               when enabled; a disabled tracer costs one bool)
+     * @param capacity ring-buffer capacity in events; once full, the
+     *                 oldest events are overwritten (dropped() counts)
+     */
+    Tracer(bool enable, std::size_t capacity);
+
+    /** Inline guard for every instrumentation site. */
+    bool enabled() const { return on; }
+
+    /**
+     * Record one event. Call sites guard with enabled() so disabled
+     * runs never enter; the internal check only keeps a stray
+     * unguarded call from touching the unallocated buffer.
+     */
+    void
+    record(TraceEvent kind, UnitId unit, std::uint16_t lane, Tick ts,
+           Tick dur = 0, std::uint64_t arg = 0)
+    {
+        if (!on)
+            return;
+        TraceRecord &r = buf[head];
+        r.ts = ts;
+        r.dur = dur;
+        r.arg = arg;
+        r.unit = unit;
+        r.lane = lane;
+        r.kind = kind;
+        if (++head == buf.size())
+            head = 0;
+        if (n < buf.size())
+            ++n;
+        ++nRecorded;
+    }
+
+    /** Events currently held in the buffer. */
+    std::size_t size() const { return n; }
+
+    /** Total events ever recorded (including overwritten ones). */
+    std::uint64_t recorded() const { return nRecorded; }
+
+    /** Events lost to ring-buffer wrap-around. */
+    std::uint64_t dropped() const { return nRecorded - n; }
+
+    /** In-buffer count of one event kind (test reconciliation). */
+    std::uint64_t count(TraceEvent kind) const;
+
+    /**
+     * Export the buffered events as Chrome trace-event JSON: metadata
+     * naming every used track, then the events sorted by timestamp
+     * (stable, so the output is bit-deterministic for a deterministic
+     * simulation).
+     */
+    void exportChromeJson(std::ostream &os) const;
+
+  private:
+    /** Buffer indices oldest-to-newest. */
+    std::vector<std::size_t> orderedIndices() const;
+
+    bool on;
+    std::vector<TraceRecord> buf;
+    std::size_t head = 0;
+    std::size_t n = 0;
+    std::uint64_t nRecorded = 0;
+};
+
+} // namespace obs
+} // namespace abndp
+
+#endif // ABNDP_OBS_TRACE_HH

@@ -8,8 +8,9 @@ namespace abndp
 {
 
 Scheduler::Scheduler(const SystemConfig &cfg, const Topology &topo,
-                     const CampMapping &camps, const FaultModel *faults)
-    : cfg(cfg), topo(topo), camps(camps), faults(faults),
+                     const CampMapping &camps, const FaultModel *faults,
+                     obs::Tracer *tracer)
+    : cfg(cfg), topo(topo), camps(camps), faults(faults), tracer(tracer),
       policy(cfg.sched.policy),
       campAware(cfg.sched.policy == SchedPolicy::Hybrid
                 && cfg.traveller.style != CacheStyle::None),
@@ -269,6 +270,11 @@ Scheduler::onForwarded(UnitId from, UnitId to, double load, UnitId viewer)
 void
 Scheduler::exchangeSnapshot(Tick now)
 {
+    ++nExchanges;
+    if (tracer && tracer->enabled())
+        tracer->record(obs::TraceEvent::CampExchange,
+                       obs::Tracer::systemUnit, 1, now, 0,
+                       nExchanges.value());
     wSnap = wTrue;
     if (faults && faults->anyInjector())
         for (UnitId u = 0; u < nUnits; ++u)

@@ -21,9 +21,12 @@
 
 #include "cache/camp_mapping.hh"
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "fault/fault_model.hh"
 #include "net/topology.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "tasking/task.hh"
 
 namespace abndp
@@ -38,10 +41,13 @@ class Scheduler
      *               snapshot divides each unit's W by its service-speed
      *               factor, so costload sees derated (straggler) units
      *               as proportionally busier and steers tasks away.
+     * @param tracer optional event tracer: every snapshot exchange
+     *               records one CampExchange instant on the system track.
      */
     Scheduler(const SystemConfig &cfg, const Topology &topo,
               const CampMapping &camps,
-              const FaultModel *faults = nullptr);
+              const FaultModel *faults = nullptr,
+              obs::Tracer *tracer = nullptr);
 
     /**
      * Scheduler-visible load estimate of a task: the programmer-supplied
@@ -93,6 +99,21 @@ class Scheduler
 
     std::uint64_t decisions() const { return nDecisions; }
 
+    /** Snapshot exchanges performed so far. */
+    std::uint64_t exchanges() const { return nExchanges.value(); }
+
+    /** Register the scheduler stats under @p node. */
+    void
+    regStats(obs::StatNode &node) const
+    {
+        node.addValue("decisions",
+                      [this]() {
+                          return static_cast<double>(nDecisions);
+                      },
+                      obs::StatKind::Counter, true);
+        node.addCounter("exchanges", &nExchanges);
+    }
+
   private:
     /** costmem for all units via the stack-level decomposition. */
     void scoreCostMem(const Task &task, bool withCamps);
@@ -101,6 +122,7 @@ class Scheduler
     const Topology &topo;
     const CampMapping &camps;
     const FaultModel *faults;
+    obs::Tracer *tracer;
     SchedPolicy policy;
     bool campAware;
     bool exhaustiveScoring;
@@ -140,6 +162,7 @@ class Scheduler
     std::vector<double> unitScore;
 
     std::uint64_t nDecisions = 0;
+    stats::Counter nExchanges;
 };
 
 } // namespace abndp

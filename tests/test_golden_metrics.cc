@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Golden-metrics regression suite: locks the full hierarchical stats
+ * dump of every Table-2 NDP design on a fixed small configuration
+ * against checked-in golden files, compared bit-exactly.
+ *
+ * Any change to scheduler, cache, network, DRAM, or energy behavior —
+ * intended or not — shows up here as a one-line diff instead of a
+ * silently shifted figure. To regenerate after an intentional change:
+ *
+ *     ABNDP_UPDATE_GOLDEN=1 ./build/tests/abndp_tests \
+ *         --gtest_filter='GoldenMetrics.*'
+ *
+ * then review the golden diff like any other code change (CLAUDE.md).
+ * Dumps are stable across build types because all float formatting goes
+ * through obs::formatStatValue() and the build compiles with
+ * -ffp-contract=off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/ndp_system.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+/**
+ * Small fixed geometry: 2x2 mesh, 2 units/stack, 2 cores/unit = 8
+ * units / 16 cores. Kept deliberately lean so the six golden files stay
+ * reviewable (~500 lines each), while still exercising inter-stack
+ * forwarding, stealing, and the Traveller cache.
+ */
+SystemConfig
+goldenConfig(Design d)
+{
+    SystemConfig cfg;
+    cfg.meshX = cfg.meshY = 2;
+    cfg.unitsPerStack = 2;
+    cfg.coresPerUnit = 2;
+    return applyDesign(cfg, d);
+}
+
+std::string
+goldenPath(Design d)
+{
+    return std::string(ABNDP_GOLDEN_DIR) + "/" + designName(d)
+           + ".stats";
+}
+
+/** Run pr-tiny under @p d and return the full registry dump. */
+std::string
+runAndDump(Design d)
+{
+    auto cfg = goldenConfig(d);
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    sys.run(*wl);
+    EXPECT_TRUE(wl->verify()) << designName(d);
+    std::ostringstream oss;
+    sys.statsRegistry().dump(oss);
+    return oss.str();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** First line where @p a and @p b disagree, for failure messages. */
+std::string
+firstDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    std::size_t lineNo = 0;
+    while (true) {
+        bool okA = static_cast<bool>(std::getline(sa, la));
+        bool okB = static_cast<bool>(std::getline(sb, lb));
+        ++lineNo;
+        if (!okA && !okB)
+            return "(no difference found)";
+        if (!okA || !okB || la != lb) {
+            std::ostringstream oss;
+            oss << "line " << lineNo << ":\n  golden: "
+                << (okA ? la : "<eof>") << "\n  actual: "
+                << (okB ? lb : "<eof>");
+            return oss.str();
+        }
+    }
+}
+
+void
+checkDesign(Design d)
+{
+    const std::string dump = runAndDump(d);
+    const std::string path = goldenPath(d);
+
+    if (std::getenv("ABNDP_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << dump;
+        std::cout << "[golden] regenerated " << path << "\n";
+        return;
+    }
+
+    const std::string golden = readFile(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << path
+        << "; regenerate with ABNDP_UPDATE_GOLDEN=1 (see CLAUDE.md)";
+    EXPECT_EQ(golden, dump)
+        << "stats dump for design " << designName(d)
+        << " diverged from " << path << "\nfirst "
+        << firstDiff(golden, dump);
+}
+
+} // namespace
+
+TEST(GoldenMetrics, DesignB) { checkDesign(Design::B); }
+TEST(GoldenMetrics, DesignSm) { checkDesign(Design::Sm); }
+TEST(GoldenMetrics, DesignSl) { checkDesign(Design::Sl); }
+TEST(GoldenMetrics, DesignSh) { checkDesign(Design::Sh); }
+TEST(GoldenMetrics, DesignC) { checkDesign(Design::C); }
+TEST(GoldenMetrics, DesignO) { checkDesign(Design::O); }
+
+/**
+ * Negative control: a single-counter perturbation of the dump must be
+ * caught by the bit-exact comparison — this is what guarantees the
+ * suite has no tolerance window a real regression could hide in.
+ */
+TEST(GoldenMetrics, CatchesOneCounterPerturbation)
+{
+    if (std::getenv("ABNDP_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "regenerating goldens";
+
+    const std::string golden = readFile(goldenPath(Design::B));
+    ASSERT_FALSE(golden.empty());
+
+    // Bump the final digit of the first counter line ("system.epochs
+    // <n>") by one, exactly what an off-by-one regression would do.
+    std::string perturbed = golden;
+    auto nl = perturbed.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+    ASSERT_GT(nl, 0u);
+    char &digit = perturbed[nl - 1];
+    ASSERT_TRUE(digit >= '0' && digit <= '9') << "unexpected format";
+    digit = digit == '9' ? '0' : static_cast<char>(digit + 1);
+
+    EXPECT_NE(perturbed, golden);
+    EXPECT_NE(perturbed, runAndDump(Design::B));
+}
+
+} // namespace abndp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 #include "core/ndp_system.hh"
@@ -70,6 +71,39 @@ TEST(StatsReport, JsonIsWellFormedEnough)
     for (const char *key : {"\"ticks\":", "\"interHops\":",
                             "\"energyPj\":", "\"total\":"})
         EXPECT_NE(out.find(key), std::string::npos) << key;
+}
+
+TEST(StatsReport, DumpIsStableUnderAmbientStreamState)
+{
+    ReportFixture f;
+    std::ostringstream pristine;
+    dumpStats(pristine, f.sys, f.metrics);
+
+    // A caller-perturbed stream (precision, scientific notation, odd
+    // fill) must not change a single byte: every float goes through
+    // obs::formatStatValue(), which carries its own explicit format.
+    std::ostringstream perturbed;
+    perturbed << std::scientific << std::setprecision(2)
+              << std::setfill('*');
+    std::string prefix = perturbed.str();
+    dumpStats(perturbed, f.sys, f.metrics);
+    EXPECT_EQ(pristine.str(), perturbed.str().substr(prefix.size()));
+}
+
+TEST(StatsReport, DumpFloatsUseFixedNotation)
+{
+    ReportFixture f;
+    std::ostringstream oss;
+    dumpStats(oss, f.sys, f.metrics);
+    std::string out = oss.str();
+    // Energy values are large enough that default formatting would
+    // print scientific notation; the dump must never contain it.
+    std::istringstream lines(out);
+    std::string l;
+    while (std::getline(lines, l))
+        EXPECT_EQ(l.find("e+"), std::string::npos) << l;
+    // utilization is a fraction formatted with fixed six digits.
+    EXPECT_NE(out.find("0."), std::string::npos);
 }
 
 TEST(StatsReport, JsonValuesMatchMetrics)

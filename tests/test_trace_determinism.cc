@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Determinism properties of the observability layer: same-seed runs
+ * export byte-identical traces, the host thread count cannot leak into
+ * a trace, and turning tracing on/off leaves every simulated metric and
+ * the stats registry dump unchanged (instrumentation is observational
+ * only — it must never feed back into timing or Rng streams).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/ndp_system.hh"
+#include "driver/cell_runner.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+SystemConfig
+smallConfig(Design d)
+{
+    SystemConfig cfg;
+    cfg.meshX = cfg.meshY = 2;
+    cfg.unitsPerStack = 2;
+    cfg.coresPerUnit = 2;
+    return applyDesign(cfg, d);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Run pr-tiny on @p cfg, returning (metrics, registry dump). */
+std::pair<RunMetrics, std::string>
+runOnce(const SystemConfig &cfg)
+{
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    RunMetrics m = sys.run(*wl);
+    EXPECT_TRUE(wl->verify());
+    std::ostringstream oss;
+    sys.statsRegistry().dump(oss);
+    return {std::move(m), oss.str()};
+}
+
+} // namespace
+
+TEST(TraceDeterminism, SameSeedRunsExportIdenticalTraces)
+{
+    for (Design d : {Design::O, Design::Sl}) {
+        auto cfg = smallConfig(d);
+        std::string pathA = tmpPath("trace_det_a.json");
+        std::string pathB = tmpPath("trace_det_b.json");
+
+        cfg.traceOut = pathA;
+        runOnce(cfg);
+        cfg.traceOut = pathB;
+        runOnce(cfg);
+
+        std::string a = readFile(pathA);
+        std::string b = readFile(pathB);
+        EXPECT_FALSE(a.empty()) << designName(d);
+        EXPECT_EQ(a, b) << designName(d);
+        std::remove(pathA.c_str());
+        std::remove(pathB.c_str());
+    }
+}
+
+TEST(TraceDeterminism, ThreadCountDoesNotAffectTracesOrMetrics)
+{
+    // Two cells traced to per-cell files, run once inline and once on a
+    // 4-thread pool; both the metrics and the trace bytes must match.
+    SystemConfig base;
+    auto makeCells = [&](const std::string &tag) {
+        std::vector<CellSpec> cells;
+        for (Design d : {Design::O, Design::Sl}) {
+            CellSpec cell;
+            cell.design = d;
+            cell.workload = WorkloadSpec::tiny("pr");
+            SystemConfig cfg = smallConfig(d);
+            cfg.traceOut =
+                tmpPath(std::string("trace_thr_") + designName(d) + "_"
+                        + tag + ".json");
+            cell.config = cfg;
+            cells.push_back(cell);
+        }
+        return cells;
+    };
+
+    auto cellsSeq = makeCells("t1");
+    auto cellsPar = makeCells("t4");
+    auto seq = runCells(base, cellsSeq, 1);
+    auto par = runCells(base, cellsPar, 4);
+
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].ticks, par[i].ticks);
+        EXPECT_EQ(seq[i].tasks, par[i].tasks);
+        EXPECT_EQ(seq[i].interHops, par[i].interHops);
+        EXPECT_EQ(seq[i].coreActiveTicks, par[i].coreActiveTicks);
+
+        std::string a = readFile(cellsSeq[i].config->traceOut);
+        std::string b = readFile(cellsPar[i].config->traceOut);
+        EXPECT_FALSE(a.empty());
+        EXPECT_EQ(a, b);
+        std::remove(cellsSeq[i].config->traceOut.c_str());
+        std::remove(cellsPar[i].config->traceOut.c_str());
+    }
+}
+
+TEST(TraceDeterminism, TracingOnOffLeavesMetricsAndStatsUnchanged)
+{
+    for (Design d : {Design::B, Design::Sl, Design::O}) {
+        auto cfgOff = smallConfig(d);
+        auto cfgOn = cfgOff;
+        cfgOn.traceOut = tmpPath("trace_onoff.json");
+
+        auto [mOff, statsOff] = runOnce(cfgOff);
+        auto [mOn, statsOn] = runOnce(cfgOn);
+
+        EXPECT_EQ(mOff.ticks, mOn.ticks) << designName(d);
+        EXPECT_EQ(mOff.tasks, mOn.tasks) << designName(d);
+        EXPECT_EQ(mOff.epochs, mOn.epochs) << designName(d);
+        EXPECT_EQ(mOff.interHops, mOn.interHops) << designName(d);
+        EXPECT_EQ(mOff.forwardedTasks, mOn.forwardedTasks)
+            << designName(d);
+        EXPECT_EQ(mOff.stolenTasks, mOn.stolenTasks) << designName(d);
+        EXPECT_EQ(mOff.campHits, mOn.campHits) << designName(d);
+        EXPECT_EQ(mOff.simEvents, mOn.simEvents) << designName(d);
+        EXPECT_EQ(mOff.coreActiveTicks, mOn.coreActiveTicks)
+            << designName(d);
+        EXPECT_EQ(mOff.energy.total(), mOn.energy.total())
+            << designName(d);
+        // The whole registry dump — several hundred values — must be
+        // byte-identical with tracing enabled.
+        EXPECT_EQ(statsOff, statsOn) << designName(d);
+        std::remove(cfgOn.traceOut.c_str());
+    }
+}
+
+TEST(TraceDeterminism, StatsIntervalDumpingDoesNotPerturbMetrics)
+{
+    auto cfgPlain = smallConfig(Design::O);
+    auto cfgDump = cfgPlain;
+    cfgDump.statsInterval = 1;
+    cfgDump.statsOut = tmpPath("interval_onoff.stats");
+
+    auto [mPlain, statsPlain] = runOnce(cfgPlain);
+    auto [mDump, statsDump] = runOnce(cfgDump);
+
+    EXPECT_EQ(mPlain.ticks, mDump.ticks);
+    EXPECT_EQ(mPlain.tasks, mDump.tasks);
+    EXPECT_EQ(mPlain.coreActiveTicks, mDump.coreActiveTicks);
+    EXPECT_EQ(statsPlain, statsDump);
+
+    // The interval file itself must exist and contain one header per
+    // epoch interval.
+    std::string intervals = readFile(cfgDump.statsOut);
+    EXPECT_NE(intervals.find("interval epochs [0, 1)"),
+              std::string::npos);
+    std::remove(cfgDump.statsOut.c_str());
+}
+
+} // namespace abndp

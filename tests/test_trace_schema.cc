@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Trace round-trip and schema tests: export a Chrome trace-event JSON
+ * file from a real run, parse it back with a minimal in-test JSON
+ * parser, and validate the schema Perfetto relies on — event phases,
+ * track metadata, per-track timestamp monotonicity — plus the event
+ * counts reconciling exactly against the simulator's own statistics.
+ * Also covers the tracer's ring-buffer overwrite path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ndp_system.hh"
+#include "obs/trace.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+/** Minimal JSON value for schema validation (no escapes beyond \"). */
+struct Json
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    bool has(const std::string &key) const { return obj.count(key); }
+
+    const Json &
+    operator[](const std::string &key) const
+    {
+        static const Json nullValue;
+        auto it = obj.find(key);
+        return it == obj.end() ? nullValue : it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : s(std::move(text)) {}
+
+    Json
+    parse()
+    {
+        Json v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos, s.size()) << "trailing garbage at " << pos;
+        return v;
+    }
+
+    bool failed() const { return fail; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return pos < s.size() ? s[pos] : '\0';
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c) {
+            fail = true;
+            ADD_FAILURE() << "expected '" << c << "' at offset " << pos;
+            return false;
+        }
+        ++pos;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            pos += 4;
+            return Json{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        Json v;
+        v.type = Json::Type::Object;
+        consume('{');
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (!fail) {
+            Json key = parseString();
+            consume(':');
+            v.obj[key.str] = parseValue();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            consume('}');
+            break;
+        }
+        return v;
+    }
+
+    Json
+    parseArray()
+    {
+        Json v;
+        v.type = Json::Type::Array;
+        consume('[');
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (!fail) {
+            v.arr.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            consume(']');
+            break;
+        }
+        return v;
+    }
+
+    Json
+    parseString()
+    {
+        Json v;
+        v.type = Json::Type::String;
+        if (!consume('"'))
+            return v;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\' && pos + 1 < s.size())
+                ++pos;
+            v.str += s[pos++];
+        }
+        consume('"');
+        return v;
+    }
+
+    Json
+    parseBool()
+    {
+        Json v;
+        v.type = Json::Type::Bool;
+        v.boolean = s[pos] == 't';
+        pos += v.boolean ? 4 : 5;
+        return v;
+    }
+
+    Json
+    parseNumber()
+    {
+        Json v;
+        v.type = Json::Type::Number;
+        std::size_t end = pos;
+        while (end < s.size()
+               && (std::isdigit(static_cast<unsigned char>(s[end]))
+                   || s[end] == '-' || s[end] == '+' || s[end] == '.'
+                   || s[end] == 'e' || s[end] == 'E'))
+            ++end;
+        if (end == pos) {
+            fail = true;
+            ADD_FAILURE() << "expected number at offset " << pos;
+            ++pos;
+            return v;
+        }
+        v.number = std::stod(s.substr(pos, end - pos));
+        pos = end;
+        return v;
+    }
+
+    std::string s;
+    std::size_t pos = 0;
+    bool fail = false;
+};
+
+SystemConfig
+smallConfig(Design d)
+{
+    SystemConfig cfg;
+    cfg.meshX = cfg.meshY = 2;
+    cfg.unitsPerStack = 2;
+    cfg.coresPerUnit = 2;
+    return applyDesign(cfg, d);
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+Json
+parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    JsonParser parser(oss.str());
+    return parser.parse();
+}
+
+/** Events of @p name in the traceEvents array ("M" excluded). */
+std::uint64_t
+countEvents(const Json &trace, const std::string &name)
+{
+    std::uint64_t n = 0;
+    for (const Json &e : trace["traceEvents"].arr)
+        if (e["ph"].str != "M" && e["name"].str == name)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(TraceSchema, ExportReconcilesWithSimulatorStats)
+{
+    auto cfg = smallConfig(Design::O);
+    cfg.traceOut = tmpPath("trace_schema_o.json");
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    RunMetrics m = sys.run(*wl);
+
+    Json trace = parseFile(cfg.traceOut);
+    ASSERT_EQ(trace.type, Json::Type::Object);
+    ASSERT_TRUE(trace.has("traceEvents"));
+    EXPECT_EQ(trace["displayTimeUnit"].str, "ns");
+    EXPECT_EQ(trace["otherData"]["droppedEvents"].number, 0.0);
+    EXPECT_GT(trace["traceEvents"].arr.size(), 0u);
+
+    // Every traced count must reconcile exactly against the stats the
+    // simulator reports through RunMetrics / component counters.
+    EXPECT_EQ(countEvents(trace, "task"), m.tasks);
+    EXPECT_EQ(countEvents(trace, "forward"), m.forwardedTasks);
+    EXPECT_EQ(countEvents(trace, "hit"), m.campHits);
+    EXPECT_EQ(countEvents(trace, "miss"), m.campMisses);
+    EXPECT_EQ(countEvents(trace, "epoch"), m.epochs);
+    EXPECT_EQ(countEvents(trace, "exchange"),
+              sys.scheduler().exchanges());
+    EXPECT_EQ(countEvents(trace, "pkt"),
+              sys.memSystem().network().totalPackets());
+    std::remove(cfg.traceOut.c_str());
+}
+
+TEST(TraceSchema, PhasesTracksAndTimestampsAreWellFormed)
+{
+    auto cfg = smallConfig(Design::O);
+    cfg.traceOut = tmpPath("trace_schema_shape.json");
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    sys.run(*wl);
+
+    Json trace = parseFile(cfg.traceOut);
+    std::set<double> namedPids;
+    std::set<std::pair<double, double>> namedTids;
+    std::map<std::pair<double, double>, double> lastTs;
+    std::uint64_t nonMonotone = 0;
+
+    for (const Json &e : trace["traceEvents"].arr) {
+        const std::string &ph = e["ph"].str;
+        ASSERT_TRUE(ph == "M" || ph == "X" || ph == "i") << ph;
+        ASSERT_EQ(e["pid"].type, Json::Type::Number);
+        if (ph == "M") {
+            if (e["name"].str == "process_name")
+                namedPids.insert(e["pid"].number);
+            else if (e["name"].str == "thread_name")
+                namedTids.insert({e["pid"].number, e["tid"].number});
+            continue;
+        }
+        ASSERT_EQ(e["tid"].type, Json::Type::Number);
+        ASSERT_EQ(e["ts"].type, Json::Type::Number);
+        if (ph == "X") {
+            ASSERT_EQ(e["dur"].type, Json::Type::Number);
+            EXPECT_GE(e["dur"].number, 0.0);
+        }
+        // Each event lands on a declared process and thread track.
+        EXPECT_TRUE(namedPids.count(e["pid"].number)) << e["pid"].number;
+        std::pair<double, double> track{e["pid"].number,
+                                        e["tid"].number};
+        EXPECT_TRUE(namedTids.count(track));
+        auto it = lastTs.find(track);
+        if (it != lastTs.end() && e["ts"].number < it->second)
+            ++nonMonotone;
+        lastTs[track] = e["ts"].number;
+    }
+    EXPECT_GT(lastTs.size(), 1u);
+    EXPECT_EQ(nonMonotone, 0u)
+        << "timestamps must be sorted within every track";
+    std::remove(cfg.traceOut.c_str());
+}
+
+TEST(TraceSchema, StealEventArgsReconcileWithStolenTasks)
+{
+    auto cfg = smallConfig(Design::Sl);
+    cfg.traceOut = tmpPath("trace_schema_sl.json");
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    RunMetrics m = sys.run(*wl);
+    ASSERT_GT(m.stolenTasks, 0u);
+
+    // Each steal event carries args.tasks; the per-event counts must
+    // sum to the aggregate counter.
+    std::uint64_t stolen = 0;
+    const obs::Tracer &tracer = sys.eventTracer();
+    EXPECT_EQ(tracer.dropped(), 0u);
+    std::uint64_t steals = tracer.count(obs::TraceEvent::TaskSteal);
+    EXPECT_GT(steals, 0u);
+
+    Json trace = parseFile(cfg.traceOut);
+    std::uint64_t stealEvents = 0;
+    for (const Json &e : trace["traceEvents"].arr) {
+        if (e["ph"].str == "M" || e["name"].str != "steal")
+            continue;
+        ++stealEvents;
+        stolen +=
+            static_cast<std::uint64_t>(e["args"]["tasks"].number);
+    }
+    EXPECT_EQ(stealEvents, steals);
+    EXPECT_EQ(stolen, m.stolenTasks);
+    std::remove(cfg.traceOut.c_str());
+}
+
+TEST(TraceSchema, TinyRingBufferOverwritesOldestAndCountsDrops)
+{
+    auto cfg = smallConfig(Design::O);
+    cfg.traceOut = tmpPath("trace_schema_ring.json");
+    cfg.traceBufferEvents = 64;
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    sys.run(*wl);
+
+    const obs::Tracer &tracer = sys.eventTracer();
+    EXPECT_EQ(tracer.size(), 64u);
+    EXPECT_GT(tracer.dropped(), 0u);
+    EXPECT_EQ(tracer.recorded(), tracer.dropped() + tracer.size());
+
+    // The export must still be valid JSON and report the loss.
+    Json trace = parseFile(cfg.traceOut);
+    EXPECT_EQ(trace["otherData"]["droppedEvents"].number,
+              static_cast<double>(tracer.dropped()));
+    std::remove(cfg.traceOut.c_str());
+}
+
+TEST(TraceSchema, TracerRingBufferUnit)
+{
+    obs::Tracer tracer(true, 2);
+    ASSERT_TRUE(tracer.enabled());
+    tracer.record(obs::TraceEvent::EpochBegin, obs::Tracer::systemUnit,
+                  0, 100);
+    tracer.record(obs::TraceEvent::TaskRun, 0, 0, 200, 50, 7);
+    tracer.record(obs::TraceEvent::TaskRun, 1, 1, 300, 50, 8);
+
+    EXPECT_EQ(tracer.size(), 2u);
+    EXPECT_EQ(tracer.recorded(), 3u);
+    EXPECT_EQ(tracer.dropped(), 1u);
+    // The epoch event was the oldest and has been overwritten.
+    EXPECT_EQ(tracer.count(obs::TraceEvent::EpochBegin), 0u);
+    EXPECT_EQ(tracer.count(obs::TraceEvent::TaskRun), 2u);
+
+    std::ostringstream oss;
+    tracer.exportChromeJson(oss);
+    JsonParser parser(oss.str());
+    Json trace = parser.parse();
+    EXPECT_EQ(countEvents(trace, "task"), 2u);
+
+    // A disabled tracer records nothing and costs no buffer.
+    obs::Tracer off(false, 1 << 20);
+    off.record(obs::TraceEvent::TaskRun, 0, 0, 1);
+    EXPECT_EQ(off.size(), 0u);
+    EXPECT_EQ(off.recorded(), 0u);
+}
+
+} // namespace abndp
