@@ -20,23 +20,12 @@
 #include "common/logging.hh"
 #include "core/ndp_system.hh"
 #include "core/stats_report.hh"
+#include "driver/experiment.hh"
 #include "host/host_system.hh"
 #include "workloads/factory.hh"
 
 namespace
 {
-
-abndp::Design
-parseDesign(const std::string &name)
-{
-    using abndp::Design;
-    for (Design d : {Design::H, Design::B, Design::Sm, Design::Sl,
-                     Design::Sh, Design::C, Design::O})
-        if (name == abndp::designName(d))
-            return d;
-    abndp::fatal("unknown design '", name,
-                 "' (expected H, B, Sm, Sl, Sh, C or O)");
-}
 
 void
 printUsage()
@@ -131,7 +120,7 @@ main(int argc, char **argv)
     cfg.statsInterval = flags.getUint("stats-interval", 0);
     cfg.statsOut = flags.getString("stats-out", "");
 
-    Design design = parseDesign(flags.getString("design", "O"));
+    Design design = designFromName(flags.getString("design", "O"));
     cfg = applyDesign(cfg, design);
 
     if (flags.getBool("print-config", false)) {

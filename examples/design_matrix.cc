@@ -5,8 +5,13 @@
  * remote-access/load-balance tradeoff the paper studies.
  *
  * Usage: design_matrix [--workload=pr] [--scale=13] [--verify=true]
+ *                      [--design=H|B|Sm|Sl|Sh|C|O]
  *                      [--trace-out=trace.json] [--stats-interval=N]
  *                      [--stats-out=stats.txt]
+ *
+ * --design restricts the matrix to one Table-2 row (quick iteration on
+ * a single design); the speedup column needs the B baseline and prints
+ * "-" when B is filtered out.
  *
  * With --trace-out / --stats-out the design name is inserted before the
  * extension (trace.json -> trace.O.json), one file per Table-2 design.
@@ -41,6 +46,11 @@ main(int argc, char **argv)
     ExperimentOptions opts;
     opts.verify = flags.getBool("verify", true);
 
+    std::vector<Design> designs = ndpDesigns();
+    std::string only = flags.getString("design", "");
+    if (!only.empty())
+        designs = {designFromName(only)};
+
     std::cout << "Workload: " << spec.name << " (scale " << spec.scale
               << ", edge factor " << spec.edgeFactor << ")\n\n";
 
@@ -50,7 +60,7 @@ main(int argc, char **argv)
                      "util"});
 
     double baseTicks = 0.0;
-    for (Design d : ndpDesigns()) {
+    for (Design d : designs) {
         SystemConfig cellBase = base;
         if (!traceOut.empty())
             cellBase.traceOut = tagPath(traceOut, designName(d));
@@ -63,7 +73,9 @@ main(int argc, char **argv)
             static_cast<double>(m.pbHits + m.pbLateHits + m.pbMisses);
         table.addRow({designName(d),
                       TextTable::fmt(m.seconds() * 1e3),
-                      TextTable::fmt(baseTicks / m.ticks),
+                      baseTicks > 0.0
+                          ? TextTable::fmt(baseTicks / m.ticks)
+                          : "-",
                       TextTable::fmt(m.interHops / 1000.0, 1),
                       TextTable::fmt(m.energy.total() / 1e9),
                       TextTable::fmt(m.imbalance()),

@@ -28,6 +28,7 @@
 #include "common/logging.hh"
 #include "core/stats_report.hh"
 #include "driver/cell_runner.hh"
+#include "driver/experiment.hh"
 #include "workloads/factory.hh"
 
 namespace
@@ -43,17 +44,6 @@ splitList(const std::string &csv)
         if (!item.empty())
             out.push_back(item);
     return out;
-}
-
-abndp::Design
-parseDesign(const std::string &name)
-{
-    using abndp::Design;
-    for (Design d : {Design::H, Design::B, Design::Sm, Design::Sl,
-                     Design::Sh, Design::C, Design::O})
-        if (name == abndp::designName(d))
-            return d;
-    abndp::fatal("unknown design '", name, "'");
 }
 
 } // namespace
@@ -86,7 +76,7 @@ main(int argc, char **argv)
     for (const auto &wl : workloads) {
         for (const auto &dn : designNames) {
             CellSpec cell;
-            cell.design = parseDesign(dn);
+            cell.design = abndp::designFromName(dn);
             cell.workload = baseSpec;
             cell.workload.name = wl;
             cell.opts.verify = verify;

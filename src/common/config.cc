@@ -65,7 +65,14 @@ SystemConfig::validate() const
                   "number of camp groups (", numGroups(), ")");
         if (traveller.bypassProb < 0.0 || traveller.bypassProb > 1.0)
             fatal("bypassProb must be within [0, 1]");
+        if (traveller.tagCheckNs < 0.0 || traveller.sramDataNs < 0.0)
+            fatal("traveller tagCheckNs and sramDataNs must be "
+                  "non-negative");
     }
+    if (pbHitNs < 0.0)
+        fatal("pbHitNs must be non-negative, got ", pbHitNs);
+    if (l1iMissNs < 0.0)
+        fatal("l1iMissNs must be non-negative, got ", l1iMissNs);
     if (sched.prefetchWindow == 0)
         fatal("prefetchWindow must be nonzero");
     if (sched.schedulingWindow == 0)
@@ -220,40 +227,51 @@ designName(Design d)
     panic("unknown design");
 }
 
+namespace
+{
+
+/**
+ * Declarative Table-2 composition: each design is a (scheduling policy,
+ * work stealing, cache layer) triple. H keeps the defaults; the NDP
+ * fields are ignored by the host model anyway.
+ */
+struct DesignComposition
+{
+    Design design;
+    SchedPolicy policy;
+    bool workStealing;
+    CacheStyle cache;
+};
+
+constexpr DesignComposition designTable[] = {
+    {Design::H, SchedPolicy::Colocate, false, CacheStyle::None},
+    {Design::B, SchedPolicy::Colocate, false, CacheStyle::None},
+    {Design::Sm, SchedPolicy::LowestDistance, false, CacheStyle::None},
+    {Design::Sl, SchedPolicy::LowestDistance, true, CacheStyle::None},
+    {Design::Sh, SchedPolicy::Hybrid, false, CacheStyle::None},
+    {Design::C, SchedPolicy::LowestDistance, false,
+     CacheStyle::TravellerSramTags},
+    {Design::O, SchedPolicy::Hybrid, false,
+     CacheStyle::TravellerSramTags},
+};
+
+} // namespace
+
 SystemConfig
 applyDesign(SystemConfig base, Design d)
 {
-    base.traveller.style = CacheStyle::None;
-    base.sched.workStealing = false;
-    switch (d) {
-      case Design::H:
-        // Host-only; the NDP fields are ignored by the host model.
-        break;
-      case Design::B:
-        base.sched.policy = SchedPolicy::Colocate;
-        break;
-      case Design::Sm:
-        base.sched.policy = SchedPolicy::LowestDistance;
-        break;
-      case Design::Sl:
-        base.sched.policy = SchedPolicy::LowestDistance;
-        base.sched.workStealing = true;
-        break;
-      case Design::Sh:
-        base.sched.policy = SchedPolicy::Hybrid;
-        break;
-      case Design::C:
-        base.sched.policy = SchedPolicy::LowestDistance;
-        base.traveller.style = CacheStyle::TravellerSramTags;
-        break;
-      case Design::O:
-        base.sched.policy = SchedPolicy::Hybrid;
-        base.traveller.style = CacheStyle::TravellerSramTags;
-        break;
+    for (const DesignComposition &row : designTable) {
+        if (row.design != d)
+            continue;
+        base.sched.policy = row.policy;
+        base.sched.policyName.clear();
+        base.sched.workStealing = row.workStealing;
+        base.traveller.style = row.cache;
+        if (base.sched.autoAlpha)
+            base.sched.hybridAlpha = base.meshDiameter() / 2.0;
+        return base;
     }
-    if (base.sched.autoAlpha)
-        base.sched.hybridAlpha = base.meshDiameter() / 2.0;
-    return base;
+    panic("unknown design");
 }
 
 } // namespace abndp

@@ -175,12 +175,23 @@ struct TravellerConfig
     bool skewedMapping = true;
     /** Replacement policy within a set. */
     ReplPolicy repl = ReplPolicy::Random;
+    /** SRAM tag-check latency at a camp location. */
+    double tagCheckNs = 1.0;
+    /** Pure-SRAM data cache access latency (Figure 13 variant). */
+    double sramDataNs = 2.0;
 };
 
 /** Scheduler configuration (paper Section 5, Table 1). */
 struct SchedConfig
 {
     SchedPolicy policy = SchedPolicy::Colocate;
+    /**
+     * Registered scheduling-policy name (src/sched/policy_registry.hh).
+     * Empty (the default) derives the policy from @ref policy; a
+     * nonempty name overrides the enum and is looked up in the registry,
+     * which is how out-of-tree design points plug in custom policies.
+     */
+    std::string policyName;
     /** Enable dynamic work stealing (Sl). */
     bool workStealing = false;
     /**
@@ -267,6 +278,10 @@ struct SystemConfig
     CacheGeometry l1i { 32 * 1024, 2, cachelineBytes, ReplPolicy::Lru,
                         /*hashedIndex=*/false };
     std::uint64_t prefetchBufBytes = 4 * 1024;
+    /** Prefetch-buffer hit latency (small SRAM FIFO next to the core). */
+    double pbHitNs = 1.0;
+    /** L1-I miss fill latency (local code fill, no remote traffic). */
+    double l1iMissNs = 40.0;
     TlbConfig tlb;
     /** Instruction footprint of one task's handler (L1-I modeling). */
     std::uint32_t taskCodeBytes = 1024;

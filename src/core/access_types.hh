@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The request/result descriptor shared by every level of the unified
+ * access path (core -> prefetch buffer -> L1 -> TLB -> Traveller ->
+ * DRAM). One descriptor travels the chain; each level either serves
+ * it or hands it down, and the result records who served it.
+ */
+
+#ifndef ABNDP_CORE_ACCESS_TYPES_HH
+#define ABNDP_CORE_ACCESS_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** Which level of the access path served (or completed) a request. */
+enum class AccessLevel : std::uint8_t
+{
+    PrefetchBuf, ///< hit in the unit's prefetch buffer
+    L1,          ///< hit in the core's private L1-D
+    Tlb,         ///< translation miss serviced by the page-walk path
+    TravellerCamp, ///< hit in a Traveller camp cache
+    HomeDram,    ///< served by the home unit's DRAM channel
+};
+
+/** Printable name of @p level (diagnostics and traces). */
+inline const char *
+accessLevelName(AccessLevel level)
+{
+    switch (level) {
+      case AccessLevel::PrefetchBuf: return "pb";
+      case AccessLevel::L1: return "l1";
+      case AccessLevel::Tlb: return "tlb";
+      case AccessLevel::TravellerCamp: return "camp";
+      case AccessLevel::HomeDram: return "dram";
+    }
+    return "?";
+}
+
+/** One block request descriptor entering the access path. */
+struct AccessRequest
+{
+    /** Requesting unit. */
+    UnitId unit = invalidUnit;
+    /** Requesting core within the unit (0 for the prefetch engine). */
+    std::uint32_t core = 0;
+    /** Block-aligned (or to-be-aligned) address. */
+    Addr addr = invalidAddr;
+    /** Tick the request is issued at. */
+    Tick start = 0;
+    /** Issued by the prefetch engine rather than a demand miss. */
+    bool prefetch = false;
+};
+
+/** Completion record for one request. */
+struct AccessResult
+{
+    /** Latency until the data is back at the requesting unit. */
+    Tick latency = 0;
+    /** Deepest level that served the request. */
+    AccessLevel served = AccessLevel::HomeDram;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_CORE_ACCESS_TYPES_HH

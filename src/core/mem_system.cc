@@ -13,8 +13,10 @@ MemSystem::MemSystem(const SystemConfig &cfg, const Topology &topo,
       camps(cfg, topo, amap),
       style(cfg.traveller.style),
       tracer(tracer),
-      tagCheckTicks(1 * ticksPerNs),
-      sramDataTicks(2 * ticksPerNs),
+      tagCheckTicks(static_cast<Tick>(cfg.traveller.tagCheckNs
+                                      * ticksPerNs)),
+      sramDataTicks(static_cast<Tick>(cfg.traveller.sramDataNs
+                                      * ticksPerNs)),
       latencyHist(0.0, 4096.0, 64)
 {
     drams.reserve(cfg.numUnits());
@@ -47,24 +49,34 @@ MemSystem::homeRead(UnitId u, UnitId home, Addr addr, Tick start)
     return t - start;
 }
 
-Tick
-MemSystem::readBlock(UnitId u, Addr addr, Tick start)
+AccessResult
+MemSystem::read(const AccessRequest &req)
 {
-    Tick lat = readBlockImpl(u, addr, start);
-    latencyNs.sample(static_cast<double>(lat) / ticksPerNs);
-    latencyHist.sample(static_cast<double>(lat) / ticksPerNs);
+    AccessResult res;
+    res.latency = readBlockImpl(req.unit, req.addr, req.start,
+                                res.served);
+    latencyNs.sample(static_cast<double>(res.latency) / ticksPerNs);
+    latencyHist.sample(static_cast<double>(res.latency) / ticksPerNs);
     // Debug histogram: opt-in via ABNDP_READ_HIST=1 (checked once at
     // construction); benchmark runs never touch the hash map.
     if (traceReads) [[unlikely]]
-        ++debugReadHist[blockAlign(addr)];
-    return lat;
+        ++debugReadHist[blockAlign(req.addr)];
+    return res;
 }
 
 Tick
-MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start)
+MemSystem::readBlock(UnitId u, Addr addr, Tick start)
+{
+    return read(AccessRequest{u, 0, addr, start, false}).latency;
+}
+
+Tick
+MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start,
+                         AccessLevel &served)
 {
     addr = blockAlign(addr);
     UnitId home = amap.homeOf(addr);
+    served = AccessLevel::HomeDram;
 
     if (style == CacheStyle::None)
         return homeRead(u, home, addr, start);
@@ -99,6 +111,7 @@ MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start)
     }
 
     if (hit) {
+        served = AccessLevel::TravellerCamp;
         ++nCampHits;
         if (tracer && tracer->enabled())
             tracer->record(obs::TraceEvent::TravellerHit, camp,

@@ -15,6 +15,7 @@
 #include "cache/camp_mapping.hh"
 #include "cache/traveller_cache.hh"
 #include "common/config.hh"
+#include "core/access_types.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "energy/energy.hh"
@@ -46,10 +47,17 @@ class MemSystem
               obs::Tracer *tracer = nullptr);
 
     /**
-     * Read one cache block from unit @p u at tick @p start, following the
-     * Traveller access flow: probe the nearest camp (if caching is on),
-     * fall through to the home on a miss, and probabilistically insert.
-     * @return latency until the data arrives back at @p u.
+     * Serve one block-read descriptor, following the Traveller access
+     * flow: probe the nearest camp (if caching is on), fall through to
+     * the home on a miss, and probabilistically insert. The result
+     * carries the latency until the data arrives back at the requester
+     * and which level served it.
+     */
+    AccessResult read(const AccessRequest &req);
+
+    /**
+     * Latency-only convenience wrapper around read() for callers that
+     * do not care which level served the block.
      */
     Tick readBlock(UnitId u, Addr addr, Tick start);
 
@@ -94,8 +102,12 @@ class MemSystem
     /** Plain home access without any camp involvement. */
     Tick homeRead(UnitId u, UnitId home, Addr addr, Tick start);
 
-    /** readBlock() body; the public wrapper samples latency stats. */
-    Tick readBlockImpl(UnitId u, Addr addr, Tick start);
+    /**
+     * read() body; the public wrapper samples latency stats.
+     * @p served reports the serving level (observational only).
+     */
+    Tick readBlockImpl(UnitId u, Addr addr, Tick start,
+                       AccessLevel &served);
 
     const SystemConfig &cfg;
     const Topology &topo;

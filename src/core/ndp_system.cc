@@ -1,7 +1,6 @@
 #include "core/ndp_system.hh"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -13,23 +12,6 @@
 namespace abndp
 {
 
-// The event kernel stores captures inline with no heap fallback; the
-// largest closure this file schedules (forwarding path: this + UnitId +
-// shared_ptr<Task> + bool) must fit its fixed slot.
-namespace
-{
-struct LargestCapture
-{
-    NdpSystem *sys;
-    UnitId dst;
-    std::shared_ptr<Task> moved;
-    bool reexamine;
-};
-} // namespace
-static_assert(sizeof(LargestCapture) <= EventQueue::callbackCapacity,
-              "NdpSystem event captures no longer fit the event kernel's "
-              "inline slot; grow EventQueue::callbackCapacity");
-
 NdpSystem::NdpSystem(const SystemConfig &cfg_)
     : cfg(cfg_),
       topo((cfg.validate(), cfg)),
@@ -40,41 +22,17 @@ NdpSystem::NdpSystem(const SystemConfig &cfg_)
              static_cast<std::size_t>(cfg.traceBufferEvents)),
       mem(cfg, topo, alloc.map(), energy, &faults, &tracer),
       sched(cfg, topo, mem.campMapping(), &faults, &tracer),
+      path(cfg, mem, energy, faults),
       units(cfg.numUnits()),
-      hybridPolicy(cfg.sched.policy == SchedPolicy::Hybrid),
-      pbHitTicks(1 * ticksPerNs),
-      l1HitTicks(cfg.ticksPerCycle()),
+      windowPolicy(sched.usesSchedulingWindow()),
       schedDecisionTicks(static_cast<Tick>(cfg_.sched.decisionNs
-                                           * ticksPerNs)),
-      tlbMissTicks(static_cast<Tick>(cfg_.tlb.missNs * ticksPerNs)),
-      l1iMissTicks(40 * ticksPerNs),
-      pageShift(static_cast<std::uint32_t>(
-          std::countr_zero(static_cast<std::uint64_t>(
-              cfg_.tlb.pageBytes))))
+                                           * ticksPerNs))
 {
     eq.setWatchdog(cfg.fault.watchdog.maxEpochTicks,
                    cfg.fault.watchdog.maxEpochEvents);
 
-    std::uint64_t pb_blocks = cfg.prefetchBufBytes / cachelineBytes;
-    // The prefetch unit fetches every hint address of window tasks, up
-    // to the buffer capacity per task (larger hints finish on demand).
-    prefetchQuota = static_cast<std::uint32_t>(pb_blocks);
-
-    for (UnitId u = 0; u < cfg.numUnits(); ++u) {
-        auto &unit = units[u];
-        unit.pb = std::make_unique<PrefetchBuffer>(pb_blocks);
-        unit.rng.reseed(mix64(cfg.seed ^ (0x2000ull + u)));
-        unit.cores.resize(cfg.coresPerUnit);
-        for (std::uint32_t c = 0; c < cfg.coresPerUnit; ++c) {
-            unit.cores[c].l1d = std::make_unique<SetAssocCache>(
-                cfg.l1d, mix64(cfg.seed ^ (0x3000ull + u * 16 + c)));
-            unit.cores[c].l1i = std::make_unique<SetAssocCache>(
-                cfg.l1i, mix64(cfg.seed ^ (0x5000ull + u * 16 + c)));
-            unit.cores[c].tlb = std::make_unique<SetAssocCache>(
-                cfg.tlb.entries / cfg.tlb.assoc, cfg.tlb.assoc,
-                ReplPolicy::Lru);
-        }
-    }
+    for (UnitId u = 0; u < cfg.numUnits(); ++u)
+        units[u].init(cfg, u);
 
     buildStats();
 }
@@ -174,25 +132,7 @@ NdpSystem::buildStats()
     for (UnitId u = 0; u < units.size(); ++u) {
         obs::StatNode &un =
             root.child("unit" + std::to_string(u));
-        const auto &unit = units[u];
-        for (std::uint32_t c = 0; c < unit.cores.size(); ++c) {
-            obs::StatNode &cn = un.child("core" + std::to_string(c));
-            const CoreState &core = unit.cores[c];
-            cn.addValue("tasksRun",
-                        [&core]() {
-                            return static_cast<double>(core.tasksRun);
-                        },
-                        obs::StatKind::Counter, true);
-            cn.addValue("activeTicks",
-                        [&core]() {
-                            return static_cast<double>(core.activeTicks);
-                        },
-                        obs::StatKind::Counter, true);
-            core.l1d->regStats(cn.child("l1d"));
-            core.l1i->regStats(cn.child("l1i"));
-            core.tlb->regStats(cn.child("tlb"));
-        }
-        unit.pb->regStats(un.child("pb"));
+        units[u].regStats(un);
         mem.dram(u).regStats(un.child("dram"));
         if (mem.cachingEnabled())
             mem.traveller(u).regStats(un.child("traveller"));
@@ -219,7 +159,7 @@ NdpSystem::enqueueTask(Task &&task)
 
     UnitId creator = creatorCtx != invalidUnit ? creatorCtx : task.mainHome;
 
-    if (hybridPolicy) {
+    if (windowPolicy) {
         // Figure 4: generated tasks enter the creating unit's queue; the
         // scheduling window decides their final placement later, with
         // fresher workload information. Initial tasks have no creating
@@ -274,7 +214,7 @@ NdpSystem::pumpScheduler(UnitId u)
             Tick t = eq.now();
             t += mem.network().transfer(u, dst, 32, t).latency;
             auto moved = std::make_shared<Task>(std::move(task));
-            eq.schedule(t, [this, dst, moved, reexamine] {
+            auto deliver = [this, dst, moved, reexamine] {
                 if (reexamine) {
                     units[dst].pending.push_back(std::move(*moved));
                     pumpScheduler(dst);
@@ -282,26 +222,19 @@ NdpSystem::pumpScheduler(UnitId u)
                     units[dst].ready.push_back(std::move(*moved));
                     tryDispatch(dst);
                 }
-            });
+            };
+            // The event kernel stores captures inline with no heap
+            // fallback; this forwarding closure (this + UnitId +
+            // shared_ptr<Task> + bool) is the largest one this file
+            // schedules and must fit the fixed slot.
+            static_assert(EventQueue::callbackFits<decltype(deliver)>,
+                          "NdpSystem forwarding capture no longer fits "
+                          "the event kernel's inline slot; grow "
+                          "EventQueue::callbackCapacity");
+            eq.schedule(t, std::move(deliver));
         }
         pumpScheduler(u);
     });
-}
-
-void
-NdpSystem::collectBlocks(const Task &task)
-{
-    blockScratch.clear();
-    for (Addr a : task.hint.data)
-        blockScratch.push_back(blockAlign(a));
-    for (const auto &r : task.hint.ranges)
-        for (Addr a = blockAlign(r.start); a < r.start + r.bytes;
-             a += cachelineBytes)
-            blockScratch.push_back(a);
-    std::sort(blockScratch.begin(), blockScratch.end());
-    blockScratch.erase(
-        std::unique(blockScratch.begin(), blockScratch.end()),
-        blockScratch.end());
 }
 
 void
@@ -314,119 +247,10 @@ NdpSystem::issuePrefetches(UnitId u)
     Tick now = eq.now();
     while (unit.prefetchedCount < window) {
         Task &task = unit.ready[unit.prefetchedCount];
-        if (!task.prefetched) {
-            task.prefetched = true;
-            collectBlocks(task);
-            std::uint32_t issued = 0;
-            for (Addr block : blockScratch) {
-                if (issued >= prefetchQuota)
-                    break;
-                if (unit.pb->peek(block))
-                    continue; // already buffered or in flight
-                bool in_l1 = false;
-                for (const auto &core : unit.cores)
-                    in_l1 |= core.l1d->contains(block);
-                if (in_l1)
-                    continue; // a core already holds the line
-                Tick lat = mem.readBlock(u, block, now);
-                unit.pb->fill(block, now + lat);
-                ++issued;
-            }
-        }
+        if (!task.prefetched)
+            path.prefetchTask(unit, task, now);
         ++unit.prefetchedCount;
     }
-}
-
-Tick
-NdpSystem::executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
-                         Tick start)
-{
-    auto &unit = units[u];
-    auto &core = unit.cores[coreIdx];
-    Tick t = start;
-
-    collectBlocks(task);
-
-    // Straggler compute derating stretches every core-local latency
-    // (instruction fetch, TLB walks, L1/buffer hits, compute cycles);
-    // remote-memory latencies are derated at their own subsystems. The
-    // default slowdown of 1.0 leaves every term bit-identical.
-    const double slow = faults.computeSlowdown(u, start);
-    auto stretch = [slow](Tick ticks) {
-        return static_cast<Tick>(ticks * slow);
-    };
-
-    // Instruction fetch: the task handler's code streams through the
-    // L1-I; only cold/capacity misses cost latency (local code fill).
-    if (cfg.taskCodeBytes > 0) {
-        Addr code_base = (1ull << 40)
-            + static_cast<Addr>(task.func) * cfg.taskCodeBytes;
-        for (Addr a = code_base; a < code_base + cfg.taskCodeBytes;
-             a += cachelineBytes) {
-            if (!core.l1i->access(a)) {
-                t += stretch(l1iMissTicks);
-                core.l1i->insert(a);
-            }
-            energy.addL1Access();
-        }
-    }
-
-    // Address translation: one TLB lookup per distinct page touched
-    // (Section 3.2: per-core local TLBs).
-    if (cfg.tlb.enabled) {
-        Addr last_page = invalidAddr;
-        for (Addr block : blockScratch) {
-            Addr page = block >> pageShift;
-            if (page == last_page)
-                continue;
-            last_page = page;
-            energy.addTlbAccess();
-            if (!core.tlb->access(page << cachelineBits)) {
-                t += stretch(tlbMissTicks);
-                core.tlb->insert(page << cachelineBits);
-            }
-        }
-    }
-
-    // Demand misses of the executing task may overlap up to
-    // missPipelineDepth outstanding requests (1 = a strictly in-order
-    // core that stalls on every miss).
-    const std::uint32_t depth = cfg.sched.missPipelineDepth;
-    abndp_assert(depth >= 1 && depth <= 64);
-    Tick inflight[64] = {};
-    std::uint32_t slot = 0;
-    for (Addr block : blockScratch) {
-        Tick ready = unit.pb->lookup(block, t);
-        if (ready != tickNever) {
-            if (ready > t)
-                t = ready; // prefetch still in flight
-            t += stretch(pbHitTicks);
-            energy.addPrefetchBufAccess();
-            // Consumed prefetches are installed into the core's L1 so a
-            // block fetched once serves every later task on this core
-            // within the timestamp (the FIFO buffer itself is tiny).
-            core.l1d->insert(block);
-        } else if (core.l1d->access(block)) {
-            t += stretch(l1HitTicks);
-            energy.addL1Access();
-        } else {
-            energy.addL1Access(); // the miss probe
-            Tick issue = t > inflight[slot] ? t : inflight[slot];
-            Tick done = issue + mem.readBlock(u, block, issue);
-            inflight[slot] = done;
-            slot = (slot + 1) % depth;
-            t = done;
-            core.l1d->insert(block);
-        }
-    }
-
-    t += stretch(task.computeInstrs * cfg.ticksPerCycle());
-    energy.addCoreInstructions(task.computeInstrs + blockScratch.size());
-
-    for (Addr w : task.writes)
-        mem.writeBlock(u, w, t);
-
-    return t;
 }
 
 void
@@ -453,7 +277,7 @@ NdpSystem::tryDispatch(UnitId u)
         creatorCtx = invalidUnit;
 
         Tick now = eq.now();
-        Tick end = executeTiming(u, c, task, now);
+        Tick end = path.executeTask(unit, c, task, now);
         if (end == now)
             end = now + 1; // every task takes at least one tick
         core.busy = true;
@@ -477,12 +301,9 @@ NdpSystem::tryDispatch(UnitId u)
     }
 
     if (unit.ready.empty() && unit.pending.empty()
-        && cfg.sched.workStealing && !unit.stealInFlight
+        && sched.stealingEnabled() && !unit.stealInFlight
         && activeRemaining > 0) {
-        bool any_idle = false;
-        for (const auto &core : unit.cores)
-            any_idle |= !core.busy;
-        if (any_idle)
+        if (unit.anyIdleCore())
             attemptSteal(u);
     }
 }
@@ -601,24 +422,11 @@ NdpSystem::startEpoch(std::uint64_t ts)
     if (tracer.enabled())
         tracer.record(obs::TraceEvent::EpochBegin,
                       obs::Tracer::systemUnit, 0, eq.now(), 0, ts);
-    for (auto &unit : units) {
-        abndp_assert(unit.ready.empty() && unit.pending.empty(),
-                     "previous epoch not drained");
-        // Swap, don't move: the drained live queues hand their buffers
-        // to the staging side, so steady-state epochs allocate nothing.
-        unit.pending.swap(unit.stagedPending);
-        unit.ready.swap(unit.stagedReady);
-        unit.stagedPending.clear();
-        unit.stagedReady.clear();
-        // Hybrid scheduling drains pending into ready over the epoch.
-        unit.ready.reserve(unit.ready.size() + unit.pending.size());
-        unit.prefetchedCount = 0;
-        unit.stealBackoff = 0;
-        activeRemaining += unit.pending.size() + unit.ready.size();
-    }
+    for (auto &unit : units)
+        activeRemaining += unit.beginEpoch();
     stagedCount = 0;
 
-    if (hybridPolicy || cfg.sched.workStealing) {
+    if (windowPolicy || sched.stealingEnabled()) {
         // The barrier is already a global synchronization point, so the
         // workload information exchange piggybacks on it; further
         // exchanges follow every interval within the epoch.
@@ -647,9 +455,7 @@ NdpSystem::dumpStallDiagnostics(const std::string &reason,
     constexpr std::uint32_t maxListed = 32;
     for (UnitId u = 0; u < units.size(); ++u) {
         const auto &unit = units[u];
-        std::uint32_t busy = 0;
-        for (const auto &core : unit.cores)
-            busy += core.busy ? 1 : 0;
+        std::uint32_t busy = unit.busyCores();
         if (unit.pending.empty() && unit.ready.empty() && busy == 0)
             continue;
         if (++listed > maxListed) {
@@ -748,11 +554,8 @@ NdpSystem::run(Workload &wl)
         }
         eq.clearPending();
         exchangeScheduled = false;
-        for (auto &unit : units) {
-            unit.stealInFlight = false;
-            unit.schedBusy = false;
-            unit.stealBackoff = 0;
-        }
+        for (auto &unit : units)
+            unit.resetTransient();
         epoch_ticks.push_back(lastCompletionTick - epoch_begin);
         epoch_busy.push_back(epochBusy);
         epoch_tasks.push_back(epochTaskCount);
@@ -779,11 +582,8 @@ NdpSystem::run(Workload &wl)
         // Bulk-synchronous timestamp boundary: invalidate all cached
         // primary data (tag clear; no writebacks) and apply updates.
         mem.bulkInvalidate();
-        for (auto &unit : units) {
-            unit.pb->invalidateAll();
-            for (auto &core : unit.cores)
-                core.l1d->invalidateAll();
-        }
+        for (auto &unit : units)
+            unit.invalidatePrimaryData();
         wl.endEpoch(ts);
         ++ts;
         epochsDone = ts;

@@ -1,33 +1,38 @@
 /**
  * @file
- * The full NDP system: NDP units with in-order cores, task queues with
- * scheduling and prefetch windows (Figure 4), the distributed Traveller
- * Cache, the hierarchical interconnect, and the task scheduler —
- * orchestrated by a discrete-event engine executing bulk-synchronous
- * epochs.
+ * The epoch engine of the ABNDP machine: it owns the array of NdpUnit
+ * components, the global services (memory system, scheduler, unified
+ * access path, fault/energy models), and the discrete-event loop
+ * executing bulk-synchronous epochs.
+ *
+ * Per-unit structure — cores, task queues with scheduling and prefetch
+ * windows (Figure 4), the prefetch buffer — lives in NdpUnit; the
+ * core-to-DRAM timing walk lives in AccessPath; placement decisions
+ * are delegated to the Scheduler's SchedulingPolicy object. What
+ * remains here is the epoch barrier, the dispatch/steal/forward event
+ * choreography, and run-wide bookkeeping.
  *
  * Queue organization per unit (Figure 4): newly created tasks enter the
  * creating unit's *pending* queue; the unit's task scheduler — operating
  * in parallel with the cores — examines the scheduling window at the
  * pending queue's head and either keeps each task locally or forwards it
  * to the chosen unit's *ready* queue. The prefetch window covers the head
- * of the ready queue; cores dispatch from it. Non-hybrid policies place
- * tasks directly into the target ready queue at creation.
+ * of the ready queue; cores dispatch from it. Policies without a
+ * scheduling window place tasks directly into the target ready queue at
+ * creation.
  */
 
 #ifndef ABNDP_CORE_NDP_SYSTEM_HH
 #define ABNDP_CORE_NDP_SYSTEM_HH
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "cache/prefetch_buffer.hh"
-#include "cache/set_assoc_cache.hh"
 #include "common/config.hh"
-#include "common/rng.hh"
+#include "core/access_path.hh"
 #include "core/mem_system.hh"
 #include "core/metrics.hh"
+#include "core/ndp_unit.hh"
 #include "energy/energy.hh"
 #include "fault/fault_model.hh"
 #include "mem/allocator.hh"
@@ -37,7 +42,6 @@
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
 #include "tasking/task.hh"
-#include "tasking/task_deque.hh"
 #include "workloads/workload.hh"
 
 namespace abndp
@@ -69,6 +73,13 @@ class NdpSystem : public TaskSink
     EventQueue &eventQueue() { return eq; }
     const FaultModel &faultModel() const { return faults; }
 
+    /** The per-unit components (tests may inspect queue state). */
+    NdpUnit &unit(UnitId u) { return units[u]; }
+    std::size_t numUnits() const { return units.size(); }
+
+    /** The unified core-to-DRAM access chain. */
+    AccessPath &accessPath() { return path; }
+
     /** The hierarchical stats registry (populated at construction). */
     obs::StatsRegistry &statsRegistry() { return statsReg; }
     const obs::StatsRegistry &statsRegistry() const { return statsReg; }
@@ -78,63 +89,23 @@ class NdpSystem : public TaskSink
     const obs::Tracer &eventTracer() const { return tracer; }
 
   private:
-    struct CoreState
-    {
-        bool busy = false;
-        Tick activeTicks = 0;
-        std::uint64_t tasksRun = 0;
-        std::unique_ptr<SetAssocCache> l1d;
-        std::unique_ptr<SetAssocCache> l1i;
-        /** Local TLB (Section 3.2); keys are page numbers. */
-        std::unique_ptr<SetAssocCache> tlb;
-    };
-
-    struct UnitState
-    {
-        /** Tasks awaiting a scheduling decision (hybrid policy only). */
-        SlidingDeque<Task> pending;
-        /** Tasks placed on this unit, awaiting execution. */
-        SlidingDeque<Task> ready;
-        /** Next-epoch tasks (swapped into pending/ready at the barrier;
-         *  the barrier swap recycles the drained queues' buffers). */
-        SlidingDeque<Task> stagedPending;
-        SlidingDeque<Task> stagedReady;
-
-        std::vector<CoreState> cores;
-        std::unique_ptr<PrefetchBuffer> pb;
-        /** Leading tasks of `ready` whose prefetches were issued. */
-        std::uint32_t prefetchedCount = 0;
-        /** The unit's task scheduler is processing a decision. */
-        bool schedBusy = false;
-        bool stealInFlight = false;
-        Tick stealBackoff = 0;
-        Rng rng{0};
-    };
-
     /** Move staged tasks into the live queues and start everything. */
     void startEpoch(std::uint64_t ts);
 
     /** Give idle cores work (and trigger stealing when empty). */
     void tryDispatch(UnitId u);
 
-    /** Hybrid scheduling-window pump for unit @p u (one decision). */
+    /** Scheduling-window pump for unit @p u (one decision). */
     void pumpScheduler(UnitId u);
 
     /** Issue hint prefetches for tasks entering the prefetch window. */
     void issuePrefetches(UnitId u);
-
-    /** Timing model for one task executing on unit @p u from @p start. */
-    Tick executeTiming(UnitId u, std::uint32_t coreIdx, const Task &task,
-                       Tick start);
 
     /** Attempt to steal work for idle unit @p u. */
     void attemptSteal(UnitId u);
 
     /** Periodic workload information exchange chain. */
     void scheduleExchange();
-
-    /** Dedup a task's hint into block addresses (into blockScratch). */
-    void collectBlocks(const Task &task);
 
     /**
      * Abort with a diagnostic dump — simulated tick, epoch, and
@@ -159,8 +130,9 @@ class NdpSystem : public TaskSink
     Scheduler sched;
     EventQueue eq;
     obs::StatsRegistry statsReg;
+    AccessPath path;
 
-    std::vector<UnitState> units;
+    std::vector<NdpUnit> units;
     Workload *workload = nullptr;
 
     std::uint64_t curEpoch = 0;
@@ -173,19 +145,13 @@ class NdpSystem : public TaskSink
     bool exchangeScheduled = false;
     /** Tick of the most recent task completion (end-to-end time). */
     Tick lastCompletionTick = 0;
-    bool hybridPolicy = false;
+    /** The active policy routes tasks through the scheduling window. */
+    bool windowPolicy = false;
 
     /** Re-forward budget per task between scheduling windows. */
     static constexpr std::uint8_t maxForwardHops = 2;
 
-    /** Per-task prefetch quota in blocks (buffer size / window). */
-    std::uint32_t prefetchQuota;
-    Tick pbHitTicks;
-    Tick l1HitTicks;
     Tick schedDecisionTicks;
-    Tick tlbMissTicks;
-    Tick l1iMissTicks;
-    std::uint32_t pageShift;
 
     // Run-wide counters.
     std::uint64_t initialSpread = 0;
@@ -196,9 +162,6 @@ class NdpSystem : public TaskSink
     std::uint64_t stealAttempts = 0;
     std::uint64_t stolenTasks = 0;
     std::uint64_t forwardedTasks = 0;
-
-    /** Scratch for per-task block deduplication. */
-    std::vector<Addr> blockScratch;
 };
 
 } // namespace abndp

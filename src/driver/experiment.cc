@@ -37,6 +37,16 @@ runExperiment(const SystemConfig &base, Design d, const WorkloadSpec &spec,
     return metrics;
 }
 
+Design
+designFromName(const std::string &name)
+{
+    for (Design d : allDesigns())
+        if (name == designName(d))
+            return d;
+    fatal("unknown design '", name,
+          "' (expected H, B, Sm, Sl, Sh, C or O)");
+}
+
 const std::vector<Design> &
 allDesigns()
 {

@@ -9,6 +9,7 @@
 #define ABNDP_DRIVER_EXPERIMENT_HH
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
@@ -47,6 +48,13 @@ struct ExperimentOptions
 RunMetrics runExperiment(const SystemConfig &base, Design d,
                          const WorkloadSpec &spec,
                          const ExperimentOptions &opts = {});
+
+/**
+ * Parse a Table-2 design name ("H", "B", "Sm", "Sl", "Sh", "C", "O")
+ * as printed by designName(); fatal() with the valid set on anything
+ * else. Shared by every command-line front end.
+ */
+Design designFromName(const std::string &name);
 
 /** All seven designs of Table 2 (H, B, Sm, Sl, Sh, C, O). */
 const std::vector<Design> &allDesigns();

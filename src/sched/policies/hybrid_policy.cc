@@ -1,0 +1,22 @@
+#include "sched/policies/hybrid_policy.hh"
+
+#include "sched/scheduler.hh"
+
+namespace abndp
+{
+
+UnitId
+HybridPolicy::choose(Scheduler &sched, const Task &task, UnitId creator)
+{
+    // Eq. 1: costmem (camp-aware when a cache layer holds copies),
+    // plus the descriptor shipping cost, plus B * costload from the
+    // creator's (possibly stale) view of the system.
+    sched.scoreCostMem(task, sched.campAwareScoring());
+    sched.addForwardPenalty(creator);
+    sched.addCostLoad(creator);
+    UnitId best = sched.exhaustive() ? sched.argminAllUnits()
+                                     : sched.argminPruned(task, creator);
+    return sched.resolveTies(task, creator, best);
+}
+
+} // namespace abndp

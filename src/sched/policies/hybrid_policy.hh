@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Hybrid policy (Table 2 designs Sh/O, paper Section 5): score every
+ * unit with Eq. 1 (costmem + B * costload, plus the task-descriptor
+ * shipping penalty) and place the task on the argmin. Tasks pass
+ * through the creating unit's scheduling window (Figure 4) so the
+ * decision sees fresher workload information.
+ */
+
+#ifndef ABNDP_SCHED_POLICIES_HYBRID_POLICY_HH
+#define ABNDP_SCHED_POLICIES_HYBRID_POLICY_HH
+
+#include "sched/scheduling_policy.hh"
+
+namespace abndp
+{
+
+/** Eq.-1 scoring policy balancing data affinity against load. */
+class HybridPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "hybrid"; }
+
+    UnitId choose(Scheduler &sched, const Task &task,
+                  UnitId creator) override;
+
+    bool usesSchedulingWindow() const override { return true; }
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_POLICIES_HYBRID_POLICY_HH

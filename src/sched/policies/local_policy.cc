@@ -1,0 +1,16 @@
+#include "sched/policies/local_policy.hh"
+
+#include "tasking/task.hh"
+
+namespace abndp
+{
+
+UnitId
+LocalPolicy::choose(Scheduler &sched, const Task &task, UnitId creator)
+{
+    (void)sched;
+    (void)creator;
+    return task.mainHome;
+}
+
+} // namespace abndp

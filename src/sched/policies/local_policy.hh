@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Co-location policy (Table 2 design B): every task executes on the
+ * home unit of its main (first hint) data element. No scoring, no
+ * workload exchange — the static NDP baseline.
+ */
+
+#ifndef ABNDP_SCHED_POLICIES_LOCAL_POLICY_HH
+#define ABNDP_SCHED_POLICIES_LOCAL_POLICY_HH
+
+#include "sched/scheduling_policy.hh"
+
+namespace abndp
+{
+
+/** Co-locate each task with its main data element. */
+class LocalPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "local"; }
+
+    UnitId choose(Scheduler &sched, const Task &task,
+                  UnitId creator) override;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_POLICIES_LOCAL_POLICY_HH

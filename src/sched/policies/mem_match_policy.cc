@@ -1,0 +1,18 @@
+#include "sched/policies/mem_match_policy.hh"
+
+#include "sched/scheduler.hh"
+
+namespace abndp
+{
+
+UnitId
+MemMatchPolicy::choose(Scheduler &sched, const Task &task, UnitId creator)
+{
+    // Pure data-affinity scoring: camp copies are not consulted even
+    // when a cache layer is present (design C matches the paper's
+    // lowest-distance baseline, which is cache-oblivious).
+    sched.scoreCostMem(task, false);
+    return sched.resolveTies(task, creator, sched.argminAllUnits());
+}
+
+} // namespace abndp

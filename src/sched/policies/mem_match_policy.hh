@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Lowest-distance (memory-match) policy (Table 2 designs Sm/Sl/C):
+ * place each task on the unit with the lowest total memory distance
+ * over its hint addresses (Eq. 2), ignoring load entirely.
+ */
+
+#ifndef ABNDP_SCHED_POLICIES_MEM_MATCH_POLICY_HH
+#define ABNDP_SCHED_POLICIES_MEM_MATCH_POLICY_HH
+
+#include "sched/scheduling_policy.hh"
+
+namespace abndp
+{
+
+/** Pick the argmin-costmem unit for each task. */
+class MemMatchPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "memmatch"; }
+
+    UnitId choose(Scheduler &sched, const Task &task,
+                  UnitId creator) override;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_POLICIES_MEM_MATCH_POLICY_HH

@@ -1,0 +1,30 @@
+#include "sched/policies/work_stealing_policy.hh"
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+WorkStealingPolicy::WorkStealingPolicy(
+        std::unique_ptr<SchedulingPolicy> inner_)
+    : wrapped(std::move(inner_))
+{
+    abndp_assert(wrapped != nullptr,
+                 "WorkStealingPolicy needs an inner policy");
+    composedName = std::string(wrapped->name()) + "+steal";
+}
+
+UnitId
+WorkStealingPolicy::choose(Scheduler &sched, const Task &task,
+                           UnitId creator)
+{
+    return wrapped->choose(sched, task, creator);
+}
+
+bool
+WorkStealingPolicy::usesSchedulingWindow() const
+{
+    return wrapped->usesSchedulingWindow();
+}
+
+} // namespace abndp

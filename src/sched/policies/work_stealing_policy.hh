@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Work-stealing decorator (Table 2 design Sl = memmatch + stealing):
+ * wraps any inner placement policy and additionally lets idle units
+ * steal queued tasks from busier ones (Section 2.3). Placement
+ * decisions are delegated unchanged; the stealing mechanics themselves
+ * (victim probing, batch sizing, descriptor round trips) live in the
+ * epoch engine, which queries SchedulingPolicy::stealing().
+ */
+
+#ifndef ABNDP_SCHED_POLICIES_WORK_STEALING_POLICY_HH
+#define ABNDP_SCHED_POLICIES_WORK_STEALING_POLICY_HH
+
+#include <memory>
+#include <string>
+
+#include "sched/scheduling_policy.hh"
+
+namespace abndp
+{
+
+/** Adds dynamic stealing on top of any placement policy. */
+class WorkStealingPolicy : public SchedulingPolicy
+{
+  public:
+    explicit WorkStealingPolicy(std::unique_ptr<SchedulingPolicy> inner_);
+
+    const char *name() const override { return composedName.c_str(); }
+
+    UnitId choose(Scheduler &sched, const Task &task,
+                  UnitId creator) override;
+
+    bool usesSchedulingWindow() const override;
+
+    bool stealing() const override { return true; }
+
+    const SchedulingPolicy *inner() const override { return wrapped.get(); }
+
+  private:
+    std::unique_ptr<SchedulingPolicy> wrapped;
+    std::string composedName;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_POLICIES_WORK_STEALING_POLICY_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sched/policy_registry.hh"
 
 namespace abndp
 {
@@ -11,9 +12,8 @@ Scheduler::Scheduler(const SystemConfig &cfg, const Topology &topo,
                      const CampMapping &camps, const FaultModel *faults,
                      obs::Tracer *tracer)
     : cfg(cfg), topo(topo), camps(camps), faults(faults), tracer(tracer),
-      policy(cfg.sched.policy),
-      campAware(cfg.sched.policy == SchedPolicy::Hybrid
-                && cfg.traveller.style != CacheStyle::None),
+      policyObj(makeConfiguredPolicy(cfg)),
+      campAware(cfg.traveller.style != CacheStyle::None),
       exhaustiveScoring(cfg.sched.exhaustiveScoring),
       weightB(cfg.sched.hybridAlpha * topo.interCost()),
       forwardPenalty(cfg.sched.forwardPenaltyFrac),
@@ -139,81 +139,96 @@ UnitId
 Scheduler::choose(const Task &task, UnitId creator)
 {
     ++nDecisions;
-    if (policy == SchedPolicy::Colocate)
-        return task.mainHome;
+    return policyObj->choose(*this, task, creator);
+}
 
-    scoreCostMem(task, campAware);
+void
+Scheduler::addForwardPenalty(UnitId creator)
+{
+    // Moving the task itself ships its descriptor to the target: a
+    // real (if small) cost that keeps tiny tasks from migrating for
+    // negligible gains.
+    if (forwardPenalty > 0.0) {
+        for (UnitId u = 0; u < nUnits; ++u)
+            unitScore[u] += forwardPenalty * topo.distanceCost(creator, u);
+    }
+}
 
-    if (policy == SchedPolicy::Hybrid) {
-        // Moving the task itself ships its descriptor to the target: a
-        // real (if small) cost that keeps tiny tasks from migrating for
-        // negligible gains.
-        if (forwardPenalty > 0.0) {
-            for (UnitId u = 0; u < nUnits; ++u)
-                unitScore[u] +=
-                    forwardPenalty * topo.distanceCost(creator, u);
-        }
-        // costload from the stale snapshot plus this creator's local
-        // adjustments since the last exchange (Eq. 3).
-        const auto &delta = wDelta[creator];
-        double avg = wSnapSum / nUnits; // forwards are sum-preserving
-        if (avg > 0.0) {
-            for (UnitId u = 0; u < nUnits; ++u) {
-                // A unit always knows its own queue exactly; everyone
-                // else is seen through the snapshot + local adjustments.
-                // Dividing by the service speed sampled at the last
-                // exchange makes derated (straggler) units look
-                // proportionally busier (exact no-op at speed 1.0).
-                double w = u == creator ? wTrue[u]
-                                        : wSnap[u] + delta[u];
-                w /= speed[u];
-                double r = w / avg - 1.0;
-                // Small deviations are measurement noise on shallow
-                // queues, not imbalance worth moving tasks for.
-                if (r > deadband)
-                    r -= deadband;
-                else if (r < -deadband)
-                    r += deadband;
-                else
-                    r = 0.0;
-                unitScore[u] += weightB * r;
-            }
+void
+Scheduler::addCostLoad(UnitId creator)
+{
+    // costload from the stale snapshot plus this creator's local
+    // adjustments since the last exchange (Eq. 3).
+    const auto &delta = wDelta[creator];
+    double avg = wSnapSum / nUnits; // forwards are sum-preserving
+    if (avg > 0.0) {
+        for (UnitId u = 0; u < nUnits; ++u) {
+            // A unit always knows its own queue exactly; everyone
+            // else is seen through the snapshot + local adjustments.
+            // Dividing by the service speed sampled at the last
+            // exchange makes derated (straggler) units look
+            // proportionally busier (exact no-op at speed 1.0).
+            double w = u == creator ? wTrue[u]
+                                    : wSnap[u] + delta[u];
+            w /= speed[u];
+            double r = w / avg - 1.0;
+            // Small deviations are measurement noise on shallow
+            // queues, not imbalance worth moving tasks for.
+            if (r > deadband)
+                r -= deadband;
+            else if (r < -deadband)
+                r += deadband;
+            else
+                r = 0.0;
+            unitScore[u] += weightB * r;
         }
     }
+}
 
-    UnitId best;
-    if (exhaustiveScoring || policy != SchedPolicy::Hybrid) {
-        best = 0;
-        for (UnitId u = 1; u < nUnits; ++u)
-            if (unitScore[u] < unitScore[best])
-                best = u;
-    } else {
-        // Pruned mode: a hardware scheduler scores only the plausible
-        // targets — the creating unit, the main home, the camp/home
-        // candidates of a few hint addresses, and the most idle units
-        // from the last exchange.
-        auto &set = prunedScratch;
-        set.clear();
-        set.push_back(creator);
-        if (task.mainHome < nUnits)
-            set.push_back(task.mainHome);
-        const auto &data = task.hint.data; // pruned set: list part only
-        std::size_t step = data.size() <= 16
-            ? 1
-            : (data.size() + 15) / 16;
-        CandidateList cl;
-        for (std::size_t i = 0; i < data.size(); i += step) {
-            camps.candidates(data[i], cl);
-            for (std::uint32_t c = 0; c < cl.n; ++c)
-                set.push_back(cl.loc[c]);
-        }
-        for (UnitId u : idleHint)
-            set.push_back(u);
-        best = set.front();
-        for (UnitId u : set)
-            if (unitScore[u] < unitScore[best])
-                best = u;
+UnitId
+Scheduler::argminAllUnits() const
+{
+    UnitId best = 0;
+    for (UnitId u = 1; u < nUnits; ++u)
+        if (unitScore[u] < unitScore[best])
+            best = u;
+    return best;
+}
+
+UnitId
+Scheduler::argminPruned(const Task &task, UnitId creator)
+{
+    // Pruned mode: a hardware scheduler scores only the plausible
+    // targets — the creating unit, the main home, the camp/home
+    // candidates of a few hint addresses, and the most idle units
+    // from the last exchange.
+    auto &set = prunedScratch;
+    set.clear();
+    set.push_back(creator);
+    if (task.mainHome < nUnits)
+        set.push_back(task.mainHome);
+    const auto &data = task.hint.data; // pruned set: list part only
+    std::size_t step = data.size() <= 16
+        ? 1
+        : (data.size() + 15) / 16;
+    CandidateList cl;
+    for (std::size_t i = 0; i < data.size(); i += step) {
+        camps.candidates(data[i], cl);
+        for (std::uint32_t c = 0; c < cl.n; ++c)
+            set.push_back(cl.loc[c]);
     }
+    for (UnitId u : idleHint)
+        set.push_back(u);
+    UnitId best = set.front();
+    for (UnitId u : set)
+        if (unitScore[u] < unitScore[best])
+            best = u;
+    return best;
+}
+
+UnitId
+Scheduler::resolveTies(const Task &task, UnitId creator, UnitId best) const
+{
     // Ties (e.g., a cold camp scoring like the home) must not move the
     // task: prefer the creating unit, then the main element's home.
     constexpr double eps = 1e-9;

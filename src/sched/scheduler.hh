@@ -17,6 +17,7 @@
 #define ABNDP_SCHED_SCHEDULER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/camp_mapping.hh"
@@ -27,12 +28,18 @@
 #include "net/topology.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
+#include "sched/scheduling_policy.hh"
 #include "tasking/task.hh"
 
 namespace abndp
 {
 
-/** Score-based task placement with the Table-2 policy variants. */
+/**
+ * Score-based task placement. The placement decision itself is
+ * delegated to a SchedulingPolicy object (built from the configured
+ * policy name or enum via the policy registry); this class owns the
+ * shared scoring machinery and the W bookkeeping every policy uses.
+ */
 class Scheduler
 {
   public:
@@ -97,7 +104,56 @@ class Scheduler
     /** Whether choose() considers every unit (paper) or a pruned set. */
     bool exhaustive() const { return exhaustiveScoring; }
 
+    /** The active placement policy object. */
+    const SchedulingPolicy &policy() const { return *policyObj; }
+
+    /** Whether tasks pass through pending queues (Figure 4 windows). */
+    bool usesSchedulingWindow() const
+    {
+        return policyObj->usesSchedulingWindow();
+    }
+
+    /** Whether idle units dynamically steal work. */
+    bool stealingEnabled() const { return policyObj->stealing(); }
+
     std::uint64_t decisions() const { return nDecisions; }
+
+    // ---- Scoring services for SchedulingPolicy implementations ----
+    //
+    // A policy composes these into a decision; the arithmetic lives
+    // here so every policy scores with identical, bit-reproducible
+    // math. All of them operate on the shared unitScore scratch.
+
+    std::uint32_t unitCount() const { return nUnits; }
+
+    /** Whether camp locations count as data copies in costmem (§4.3). */
+    bool campAwareScoring() const { return campAware; }
+
+    /** Fill unitScore with costmem for all units (Eq. 2). */
+    void scoreCostMem(const Task &task, bool withCamps);
+
+    /** Add the task-descriptor shipping cost from @p creator (Eq. 1). */
+    void addForwardPenalty(UnitId creator);
+
+    /**
+     * Add B * costload from @p creator's view: the stale snapshot plus
+     * its own forwarding adjustments, its true local queue for itself,
+     * straggler speed derating, and the deadband (Eq. 3).
+     */
+    void addCostLoad(UnitId creator);
+
+    /** Argmin of unitScore over every unit (paper behaviour). */
+    UnitId argminAllUnits() const;
+
+    /** Argmin over the pruned candidate set (hardware-scorer mode). */
+    UnitId argminPruned(const Task &task, UnitId creator);
+
+    /**
+     * Tie resolution: prefer the creating unit, then the main home,
+     * whenever they score within epsilon of @p best (a cold camp must
+     * not move the task).
+     */
+    UnitId resolveTies(const Task &task, UnitId creator, UnitId best) const;
 
     /** Snapshot exchanges performed so far. */
     std::uint64_t exchanges() const { return nExchanges.value(); }
@@ -115,15 +171,12 @@ class Scheduler
     }
 
   private:
-    /** costmem for all units via the stack-level decomposition. */
-    void scoreCostMem(const Task &task, bool withCamps);
-
     const SystemConfig &cfg;
     const Topology &topo;
     const CampMapping &camps;
     const FaultModel *faults;
     obs::Tracer *tracer;
-    SchedPolicy policy;
+    std::unique_ptr<SchedulingPolicy> policyObj;
     bool campAware;
     bool exhaustiveScoring;
     double weightB;

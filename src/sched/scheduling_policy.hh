@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Strategy interface for task-placement policies (paper Table 2).
+ *
+ * A SchedulingPolicy decides, per task, which unit executes it. The
+ * Scheduler owns the scoring machinery (costmem / costload, Eq. 1-3)
+ * and exposes it as services; policies compose those services into a
+ * decision, so a new design point is a class plus a registry entry
+ * (src/sched/policy_registry.hh), not a branch in the epoch loop.
+ *
+ * Concrete policies live in src/sched/policies/: LocalPolicy (B),
+ * MemMatchPolicy (Sm/Sl/C), HybridPolicy (Sh/O), plus the
+ * WorkStealingPolicy decorator that adds dynamic stealing (Sl) around
+ * any inner policy.
+ */
+
+#ifndef ABNDP_SCHED_SCHEDULING_POLICY_HH
+#define ABNDP_SCHED_SCHEDULING_POLICY_HH
+
+#include "common/types.hh"
+
+namespace abndp
+{
+
+class Scheduler;
+struct Task;
+
+/** Per-task placement strategy; stateless unless a subclass adds state. */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /** Registry name of this policy ("local", "hybrid", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick the execution unit for @p task created at unit @p creator,
+     * using @p sched's scoring services. Must be deterministic: equal
+     * inputs (including scheduler bookkeeping state) must yield equal
+     * decisions, or runs lose bit-determinism.
+     */
+    virtual UnitId choose(Scheduler &sched, const Task &task,
+                          UnitId creator) = 0;
+
+    /**
+     * Whether tasks pass through the creating unit's pending queue and
+     * scheduling window (Figure 4) instead of being placed directly
+     * into a ready queue at creation. Window policies decide with
+     * fresher workload information at a per-decision hardware latency.
+     */
+    virtual bool usesSchedulingWindow() const { return false; }
+
+    /** Whether idle units dynamically steal work (Sl-style). */
+    virtual bool stealing() const { return false; }
+
+    /** Decorators return the wrapped policy; leaf policies null. */
+    virtual const SchedulingPolicy *inner() const { return nullptr; }
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_SCHEDULING_POLICY_HH
