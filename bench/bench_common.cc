@@ -18,8 +18,8 @@ parseOptions(int argc, char **argv, bool sweepBench)
     opts.verify = opts.flags.getBool("verify", false);
     opts.seed = opts.flags.getUint("seed", 42);
     opts.base.seed = opts.flags.getUint("sim-seed", 1);
-    opts.threads = static_cast<std::uint32_t>(
-        opts.flags.getUint("threads", defaultThreads()));
+    opts.run = parseRunFlags(opts.flags);
+    opts.threads = opts.run.threads;
     return opts;
 }
 

@@ -18,6 +18,7 @@
 #include "core/metrics.hh"
 #include "driver/cell_runner.hh"
 #include "driver/experiment.hh"
+#include "driver/run_flags.hh"
 #include "workloads/factory.hh"
 
 namespace abndp
@@ -30,6 +31,8 @@ struct Options
 {
     SystemConfig base;
     CliFlags flags;
+    /** Shared run-output flags (driver/run_flags.hh). */
+    RunFlags run;
     /** Graph scale for graph workloads (sweeps default smaller). */
     std::uint32_t scale = 14;
     bool verify = false;

@@ -21,6 +21,7 @@
 #include "core/ndp_system.hh"
 #include "core/stats_report.hh"
 #include "driver/experiment.hh"
+#include "driver/run_flags.hh"
 #include "host/host_system.hh"
 #include "workloads/factory.hh"
 
@@ -114,11 +115,9 @@ main(int argc, char **argv)
     cfg.maxEpochs = flags.getUint("max-epochs", 0);
     cfg.seed = flags.getUint("sim-seed", 1);
     cfg.traceFile = flags.getString("trace", "");
-    cfg.traceOut = flags.getString("trace-out", "");
     cfg.traceBufferEvents =
         flags.getUint("trace-buffer-events", cfg.traceBufferEvents);
-    cfg.statsInterval = flags.getUint("stats-interval", 0);
-    cfg.statsOut = flags.getString("stats-out", "");
+    applyRunFlags(parseRunFlags(flags, /*threadsDefault=*/1), cfg);
 
     Design design = designFromName(flags.getString("design", "O"));
     cfg = applyDesign(cfg, design);

@@ -23,6 +23,7 @@
 #include "common/config.hh"
 #include "common/table.hh"
 #include "driver/experiment.hh"
+#include "driver/run_flags.hh"
 
 int
 main(int argc, char **argv)
@@ -39,9 +40,7 @@ main(int argc, char **argv)
     SystemConfig base;
     base.seed = flags.getUint("seed", 1);
 
-    std::string traceOut = flags.getString("trace-out", "");
-    std::string statsOut = flags.getString("stats-out", "");
-    base.statsInterval = flags.getUint("stats-interval", 0);
+    RunFlags run = parseRunFlags(flags, /*threadsDefault=*/1);
 
     ExperimentOptions opts;
     opts.verify = flags.getBool("verify", true);
@@ -62,10 +61,7 @@ main(int argc, char **argv)
     double baseTicks = 0.0;
     for (Design d : designs) {
         SystemConfig cellBase = base;
-        if (!traceOut.empty())
-            cellBase.traceOut = tagPath(traceOut, designName(d));
-        if (!statsOut.empty())
-            cellBase.statsOut = tagPath(statsOut, designName(d));
+        applyRunFlags(run, cellBase, designName(d));
         RunMetrics m = runExperiment(cellBase, d, spec, opts);
         if (d == Design::B)
             baseTicks = static_cast<double>(m.ticks);

@@ -29,6 +29,7 @@
 #include "core/stats_report.hh"
 #include "driver/cell_runner.hh"
 #include "driver/experiment.hh"
+#include "driver/run_flags.hh"
 #include "workloads/factory.hh"
 
 namespace
@@ -57,13 +58,9 @@ main(int argc, char **argv)
     auto workloads =
         splitList(flags.getString("workloads", "pr,bfs,gcn,spmv"));
     auto designNames = splitList(flags.getString("designs", "B,Sl,O"));
-    auto threads = static_cast<std::uint32_t>(
-        flags.getUint("threads", defaultThreads()));
+    RunFlags run = parseRunFlags(flags);
     bool verify = flags.getBool("verify", false);
     std::string outPath = flags.getString("out", "");
-    std::string traceOut = flags.getString("trace-out", "");
-    std::string statsOut = flags.getString("stats-out", "");
-    std::uint64_t statsInterval = flags.getUint("stats-interval", 0);
 
     WorkloadSpec baseSpec;
     baseSpec.scale =
@@ -81,23 +78,11 @@ main(int argc, char **argv)
             cell.workload.name = wl;
             cell.opts.verify = verify;
             cell.opts.fatalOnVerifyFailure = true;
-            if (!traceOut.empty() || !statsOut.empty()
-                || statsInterval > 0) {
-                // Per-cell output files via the config-override path;
-                // interval dumps to stdout would interleave across the
-                // pool, so a file is required with --threads > 1.
+            if (run.anyOutput()) {
+                // Per-cell output files via the config-override path.
                 SystemConfig cfg;
-                std::string tag = wl + "." + dn;
-                if (!traceOut.empty())
-                    cfg.traceOut = tagPath(traceOut, tag);
-                cfg.statsInterval = statsInterval;
-                if (statsInterval > 0) {
-                    if (statsOut.empty())
-                        fatal("--stats-interval under sweep requires "
-                              "--stats-out (per-cell interval dumps "
-                              "cannot share stdout)");
-                    cfg.statsOut = tagPath(statsOut, tag);
-                }
+                applyRunFlags(run, cfg, wl + "." + dn,
+                              /*multiCell=*/true);
                 cell.config = cfg;
             }
             cells.push_back(cell);
@@ -111,7 +96,7 @@ main(int argc, char **argv)
                   << designName(cells[idx].design) << "\n";
     };
     std::vector<RunMetrics> results =
-        runCells(SystemConfig{}, cells, threads, progress);
+        runCells(SystemConfig{}, cells, run.threads, progress);
 
     std::ofstream file;
     std::ostream *os = &std::cout;

@@ -116,7 +116,9 @@ class PrefetchBuffer
     std::uint64_t lateHits() const { return nLateHits.value(); }
     std::uint64_t misses() const { return nMisses.value(); }
     std::uint64_t fills() const { return nFills.value(); }
+    std::uint64_t evictions() const { return nEvicts.value(); }
     std::size_t size() const { return count; }
+    std::uint64_t capacityBlocks() const { return capacity; }
 
     /** Register this buffer's stats under @p node. */
     void

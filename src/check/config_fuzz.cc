@@ -1,0 +1,575 @@
+/**
+ * @file
+ * Seeded configuration fuzzer implementation: knob table (the single
+ * source of truth for sampling bounds, JSON round-trip, and greedy
+ * minimization), the metamorphic run harness, and the repro format.
+ */
+
+#include "check/config_fuzz.hh"
+
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/ndp_system.hh"
+#include "driver/cell_runner.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+namespace check
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::uint64_t
+parseU64(const std::string &v)
+{
+    return std::stoull(v);
+}
+
+std::string
+fmtDouble(double v)
+{
+    // Hexfloat round-trips exactly; a lossy repro would replay a
+    // different machine than the one that failed.
+    std::ostringstream oss;
+    oss << std::hexfloat << v;
+    return oss.str();
+}
+
+double
+parseDouble(const std::string &v)
+{
+    return std::strtod(v.c_str(), nullptr);
+}
+
+std::string
+fmtBool(bool v)
+{
+    return v ? "true" : "false";
+}
+
+bool
+parseBool(const std::string &v)
+{
+    if (v == "true")
+        return true;
+    if (v == "false")
+        return false;
+    fatal("fuzz repro: bad bool value '", v, "'");
+    return false;
+}
+
+const char *
+replName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru: return "lru";
+      case ReplPolicy::Random: return "random";
+      case ReplPolicy::Fifo: return "fifo";
+    }
+    return "lru";
+}
+
+ReplPolicy
+replFromName(const std::string &v)
+{
+    if (v == "lru")
+        return ReplPolicy::Lru;
+    if (v == "random")
+        return ReplPolicy::Random;
+    if (v == "fifo")
+        return ReplPolicy::Fifo;
+    fatal("fuzz repro: bad replacement policy '", v, "'");
+    return ReplPolicy::Lru;
+}
+
+const char *
+topoName(IntraTopology t)
+{
+    return t == IntraTopology::Ring ? "ring" : "crossbar";
+}
+
+IntraTopology
+topoFromName(const std::string &v)
+{
+    if (v == "crossbar")
+        return IntraTopology::Crossbar;
+    if (v == "ring")
+        return IntraTopology::Ring;
+    fatal("fuzz repro: bad intra topology '", v, "'");
+    return IntraTopology::Crossbar;
+}
+
+/**
+ * One mutable configuration knob: a dotted JSON key plus string
+ * accessors. The table drives serialization and minimization, so a
+ * knob added to the sampler but not here would silently fall out of
+ * repro files — keep them in sync.
+ */
+struct Knob
+{
+    const char *key;
+    std::string (*get)(const SystemConfig &);
+    void (*set)(SystemConfig &, const std::string &);
+};
+
+#define ABNDP_UINT_KNOB(key, field)                                     \
+    { key,                                                              \
+      [](const SystemConfig &c) {                                       \
+          return fmtU64(static_cast<std::uint64_t>(c.field));           \
+      },                                                                \
+      [](SystemConfig &c, const std::string &v) {                       \
+          c.field = static_cast<decltype(c.field)>(parseU64(v));        \
+      } }
+
+#define ABNDP_DOUBLE_KNOB(key, field)                                   \
+    { key,                                                              \
+      [](const SystemConfig &c) { return fmtDouble(c.field); },         \
+      [](SystemConfig &c, const std::string &v) {                       \
+          c.field = parseDouble(v);                                     \
+      } }
+
+#define ABNDP_BOOL_KNOB(key, field)                                     \
+    { key,                                                              \
+      [](const SystemConfig &c) { return fmtBool(c.field); },           \
+      [](SystemConfig &c, const std::string &v) {                       \
+          c.field = parseBool(v);                                       \
+      } }
+
+#define ABNDP_REPL_KNOB(key, field)                                     \
+    { key,                                                              \
+      [](const SystemConfig &c) {                                       \
+          return std::string(replName(c.field));                        \
+      },                                                                \
+      [](SystemConfig &c, const std::string &v) {                       \
+          c.field = replFromName(v);                                    \
+      } }
+
+const std::vector<Knob> &
+knobTable()
+{
+    static const std::vector<Knob> table = {
+        ABNDP_UINT_KNOB("meshX", meshX),
+        ABNDP_UINT_KNOB("meshY", meshY),
+        ABNDP_UINT_KNOB("unitsPerStack", unitsPerStack),
+        ABNDP_UINT_KNOB("coresPerUnit", coresPerUnit),
+        ABNDP_DOUBLE_KNOB("coreFreqGHz", coreFreqGHz),
+        ABNDP_UINT_KNOB("memBytesPerUnit", memBytesPerUnit),
+        ABNDP_UINT_KNOB("l1d.sizeBytes", l1d.sizeBytes),
+        ABNDP_UINT_KNOB("l1d.assoc", l1d.assoc),
+        ABNDP_REPL_KNOB("l1d.repl", l1d.repl),
+        ABNDP_UINT_KNOB("prefetchBufBytes", prefetchBufBytes),
+        ABNDP_UINT_KNOB("tlb.entries", tlb.entries),
+        ABNDP_BOOL_KNOB("tlb.enabled", tlb.enabled),
+        ABNDP_UINT_KNOB("dram.busBits", dram.busBits),
+        ABNDP_UINT_KNOB("dram.banks", dram.banks),
+        ABNDP_UINT_KNOB("dram.rowBytes", dram.rowBytes),
+        ABNDP_DOUBLE_KNOB("dram.busGHz", dram.busGHz),
+        ABNDP_DOUBLE_KNOB("dram.tCasNs", dram.tCasNs),
+        ABNDP_DOUBLE_KNOB("dram.tRcdNs", dram.tRcdNs),
+        ABNDP_DOUBLE_KNOB("dram.tRpNs", dram.tRpNs),
+        ABNDP_BOOL_KNOB("dram.refreshEnabled", dram.refreshEnabled),
+        { "net.intraTopology",
+          [](const SystemConfig &c) {
+              return std::string(topoName(c.net.intraTopology));
+          },
+          [](SystemConfig &c, const std::string &v) {
+              c.net.intraTopology = topoFromName(v);
+          } },
+        ABNDP_UINT_KNOB("traveller.ratioDenom", traveller.ratioDenom),
+        ABNDP_UINT_KNOB("traveller.assoc", traveller.assoc),
+        ABNDP_UINT_KNOB("traveller.campCount", traveller.campCount),
+        ABNDP_DOUBLE_KNOB("traveller.bypassProb", traveller.bypassProb),
+        ABNDP_REPL_KNOB("traveller.repl", traveller.repl),
+        ABNDP_BOOL_KNOB("traveller.skewedMapping",
+                        traveller.skewedMapping),
+        ABNDP_UINT_KNOB("sched.prefetchWindow", sched.prefetchWindow),
+        ABNDP_UINT_KNOB("sched.schedulingWindow",
+                        sched.schedulingWindow),
+        ABNDP_UINT_KNOB("sched.stealBatch", sched.stealBatch),
+        ABNDP_UINT_KNOB("sched.missPipelineDepth",
+                        sched.missPipelineDepth),
+        ABNDP_UINT_KNOB("sched.exchangeIntervalCycles",
+                        sched.exchangeIntervalCycles),
+        ABNDP_BOOL_KNOB("sched.exhaustiveScoring",
+                        sched.exhaustiveScoring),
+        ABNDP_UINT_KNOB("seed", seed),
+    };
+    return table;
+}
+
+#undef ABNDP_UINT_KNOB
+#undef ABNDP_DOUBLE_KNOB
+#undef ABNDP_BOOL_KNOB
+#undef ABNDP_REPL_KNOB
+
+ReplPolicy
+drawRepl(Rng &rng)
+{
+    switch (rng.below(3)) {
+      case 0: return ReplPolicy::Lru;
+      case 1: return ReplPolicy::Random;
+      default: return ReplPolicy::Fifo;
+    }
+}
+
+void
+appendJsonPair(std::ostringstream &oss, const char *key,
+               const std::string &value, bool last)
+{
+    oss << "  \"" << key << "\": \"" << value << '"'
+        << (last ? "\n" : ",\n");
+}
+
+} // namespace
+
+SystemConfig
+minimalFuzzBaseline()
+{
+    SystemConfig cfg;
+    cfg.meshX = cfg.meshY = 1;
+    cfg.unitsPerStack = 2;
+    cfg.coresPerUnit = 1;
+    cfg.memBytesPerUnit = 1ull << 22;
+    // groups = campCount + 1 = 2 divides the 2 units.
+    cfg.traveller.campCount = 1;
+    cfg.checkInvariants = true;
+    return cfg;
+}
+
+FuzzCase
+sampleFuzzCase(Rng &rng)
+{
+    FuzzCase c;
+    SystemConfig &cfg = c.cfg;
+    cfg = minimalFuzzBaseline();
+
+    cfg.meshX = 1 + static_cast<std::uint32_t>(rng.below(2));
+    cfg.meshY = 1 + static_cast<std::uint32_t>(rng.below(2));
+    cfg.unitsPerStack = 2u << rng.below(2); // 2 or 4
+    cfg.coresPerUnit = 1 + static_cast<std::uint32_t>(rng.below(2));
+    cfg.coreFreqGHz = rng.below(2) ? 2.0 : 1.0;
+    cfg.memBytesPerUnit = 1ull << (22 + rng.below(2)); // 4 or 8 MB
+
+    cfg.l1d.sizeBytes = 1ull << (14 + rng.below(3)); // 16..64 KB
+    cfg.l1d.assoc = 2u << rng.below(2);
+    cfg.l1d.repl = drawRepl(rng);
+    cfg.prefetchBufBytes = 1ull << (10 + rng.below(3)); // 1..4 KB
+    cfg.tlb.entries = 32u << rng.below(2);
+    cfg.tlb.enabled = rng.below(4) != 0;
+
+    cfg.dram = rng.below(2) ? DramConfig::hmc() : DramConfig::hbm();
+    cfg.net.intraTopology = rng.below(2) ? IntraTopology::Ring
+                                         : IntraTopology::Crossbar;
+
+    cfg.traveller.ratioDenom = 1ull << (5 + rng.below(2)); // 32 or 64
+    cfg.traveller.assoc = 2u << rng.below(2);
+    // Draw the group count from the divisors >= 2 of the sampled unit
+    // count, so validate()'s divisibility constraint holds by
+    // construction.
+    std::vector<std::uint32_t> groupChoices;
+    for (std::uint32_t g = 2; g <= cfg.numUnits(); ++g)
+        if (cfg.numUnits() % g == 0)
+            groupChoices.push_back(g);
+    cfg.traveller.campCount =
+        groupChoices[rng.below(groupChoices.size())] - 1;
+    cfg.traveller.bypassProb = 0.2 * static_cast<double>(rng.below(4));
+    cfg.traveller.repl = drawRepl(rng);
+    cfg.traveller.skewedMapping = rng.below(2) != 0;
+
+    cfg.sched.prefetchWindow = 1 + static_cast<std::uint32_t>(rng.below(4));
+    cfg.sched.schedulingWindow = 4u << rng.below(2);
+    cfg.sched.stealBatch = 1 + static_cast<std::uint32_t>(rng.below(8));
+    cfg.sched.missPipelineDepth =
+        1 + static_cast<std::uint32_t>(rng.below(4));
+    cfg.sched.exchangeIntervalCycles = 50000ull << rng.below(3);
+    cfg.sched.exhaustiveScoring = rng.below(2) != 0;
+
+    cfg.seed = 1 + rng.below(1ull << 20);
+    cfg.checkInvariants = true;
+
+    const auto &names = allWorkloadNames();
+    c.workload = names[rng.below(names.size())];
+    return c;
+}
+
+bool
+fuzzConfigValid(const SystemConfig &cfg)
+{
+    if (cfg.meshX == 0 || cfg.meshY == 0 || cfg.unitsPerStack == 0 ||
+        cfg.coresPerUnit == 0)
+        return false;
+    if (!isPow2(cfg.memBytesPerUnit))
+        return false;
+    if (cfg.coreFreqGHz <= 0.0)
+        return false;
+    if (cfg.l1d.sizeBytes == 0 || cfg.l1d.assoc == 0 ||
+        cfg.l1d.lineBytes == 0 ||
+        cfg.l1d.sizeBytes % cfg.l1d.lineBytes != 0 ||
+        cfg.l1d.numSets() == 0)
+        return false;
+    if (cfg.prefetchBufBytes < cachelineBytes)
+        return false;
+    if (cfg.tlb.entries == 0 || cfg.tlb.assoc == 0 ||
+        cfg.tlb.entries % cfg.tlb.assoc != 0 ||
+        !isPow2(cfg.tlb.pageBytes))
+        return false;
+    if (cfg.dram.busBits == 0 || cfg.dram.banks == 0 ||
+        cfg.dram.rowBytes == 0 || cfg.dram.busGHz <= 0.0)
+        return false;
+    if (!isPow2(cfg.traveller.ratioDenom) || cfg.traveller.assoc == 0 ||
+        cfg.travellerSets() == 0)
+        return false;
+    if (cfg.traveller.campCount == 0 ||
+        cfg.numUnits() % cfg.numGroups() != 0)
+        return false;
+    if (cfg.traveller.bypassProb < 0.0 || cfg.traveller.bypassProb > 1.0)
+        return false;
+    if (cfg.sched.prefetchWindow == 0 || cfg.sched.schedulingWindow == 0 ||
+        cfg.sched.stealBatch == 0 ||
+        cfg.sched.exchangeIntervalCycles == 0)
+        return false;
+    if (cfg.sched.missPipelineDepth == 0 ||
+        cfg.sched.missPipelineDepth > 64)
+        return false;
+    return true;
+}
+
+std::string
+metricsFingerprint(const RunMetrics &m)
+{
+    std::ostringstream oss;
+    oss << std::hexfloat;
+    auto field = [&oss](const auto &v) { oss << v << ';'; };
+    auto vec = [&oss](const auto &vs) {
+        oss << vs.size() << '[';
+        for (const auto &v : vs)
+            oss << v << ',';
+        oss << "];";
+    };
+    field(m.ticks);
+    field(m.epochs);
+    field(m.tasks);
+    field(m.interHops);
+    field(m.intraTraversals);
+    field(m.energy.coreSramPj);
+    field(m.energy.dramMemPj);
+    field(m.energy.dramCachePj);
+    field(m.energy.netPj);
+    field(m.energy.staticPj);
+    vec(m.coreActiveTicks);
+    vec(m.epochTicks);
+    vec(m.epochBusyTicks);
+    vec(m.epochTasks);
+    field(m.campHits);
+    field(m.campMisses);
+    field(m.cacheInserts);
+    field(m.pbHits);
+    field(m.pbLateHits);
+    field(m.pbMisses);
+    field(m.l1Hits);
+    field(m.l1Misses);
+    field(m.stealAttempts);
+    field(m.stolenTasks);
+    field(m.forwardedTasks);
+    field(m.schedDecisions);
+    field(m.dramReads);
+    field(m.dramWrites);
+    field(m.dramRowMisses);
+    field(m.netDropped);
+    field(m.netRetries);
+    field(m.dramEccRetries);
+    field(m.readLatMeanNs);
+    field(m.readLatMaxNs);
+    field(m.simEvents);
+    // hostSeconds deliberately excluded: it is the one sanctioned
+    // wall-clock measurement and never deterministic.
+    return oss.str();
+}
+
+FuzzReport
+runFuzzCase(const FuzzCase &c, std::uint32_t threads)
+{
+    FuzzReport r;
+    const auto &designs = ndpDesigns();
+    const WorkloadSpec spec = WorkloadSpec::tiny(c.workload);
+
+    // Leg 1: one sequential run per Table-2 NDP design, invariant
+    // checkers armed (any conservation-law violation panics inside
+    // run()), workload results checked against the sequential
+    // reference.
+    std::vector<std::string> fp(designs.size());
+    std::vector<std::uint64_t> tasks(designs.size());
+    std::vector<std::uint64_t> epochs(designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        SystemConfig cfg = applyDesign(c.cfg, designs[i]);
+        cfg.validate();
+        NdpSystem sys(cfg);
+        auto wl = makeWorkload(spec);
+        RunMetrics m = sys.run(*wl);
+        if (!wl->verify()) {
+            r.ok = false;
+            r.message = std::string("workload '") + c.workload +
+                "' failed verify() under design " +
+                designName(designs[i]);
+            return r;
+        }
+        fp[i] = metricsFingerprint(m);
+        tasks[i] = m.tasks;
+        epochs[i] = m.epochs;
+    }
+
+    // Leg 2 (metamorphic): the same configs rerun through the parallel
+    // grid runner must reproduce every metric bit-exactly — this pins
+    // both run-to-run determinism and thread-count independence at
+    // once (threads <= 1 degrades to a sequential rerun).
+    std::vector<CellSpec> cells(designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        cells[i].design = designs[i];
+        cells[i].workload = spec;
+        cells[i].opts.verify = false;
+    }
+    std::vector<RunMetrics> rerun = runCells(c.cfg, cells, threads);
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        if (metricsFingerprint(rerun[i]) != fp[i]) {
+            r.ok = false;
+            r.message = std::string("metrics diverge between "
+                                    "sequential and ") +
+                std::to_string(threads) + "-thread reruns under design " +
+                designName(designs[i]) + " (broken determinism)";
+            return r;
+        }
+    }
+
+    // Leg 3 (metamorphic): scheduling and caching are performance
+    // features; the functional execution — tasks spawned, epochs run —
+    // must be identical across every NDP design.
+    for (std::size_t i = 1; i < designs.size(); ++i) {
+        if (tasks[i] != tasks[0] || epochs[i] != epochs[0]) {
+            r.ok = false;
+            r.message = std::string("design ") + designName(designs[i]) +
+                " ran " + std::to_string(tasks[i]) + " tasks / " +
+                std::to_string(epochs[i]) + " epochs but design " +
+                designName(designs[0]) + " ran " +
+                std::to_string(tasks[0]) + " / " +
+                std::to_string(epochs[0]) +
+                " (functional execution must be design-invariant)";
+            return r;
+        }
+    }
+    return r;
+}
+
+std::string
+fuzzCaseToJson(const FuzzCase &c)
+{
+    std::ostringstream oss;
+    oss << "{\n";
+    appendJsonPair(oss, "workload", c.workload, false);
+    const auto &table = knobTable();
+    for (std::size_t i = 0; i < table.size(); ++i)
+        appendJsonPair(oss, table[i].key, table[i].get(c.cfg),
+                       i + 1 == table.size());
+    oss << "}\n";
+    return oss.str();
+}
+
+FuzzCase
+fuzzCaseFromJson(const std::string &json)
+{
+    FuzzCase c;
+    c.cfg = minimalFuzzBaseline();
+
+    // The repro format is flat string pairs ("key": "value"), so a
+    // hand-rolled scanner suffices; anything else is a malformed repro.
+    std::size_t pos = 0;
+    bool sawAny = false;
+    while (true) {
+        std::size_t k0 = json.find('"', pos);
+        if (k0 == std::string::npos)
+            break;
+        std::size_t k1 = json.find('"', k0 + 1);
+        if (k1 == std::string::npos)
+            fatal("fuzz repro: unterminated key at offset ", k0);
+        std::string key = json.substr(k0 + 1, k1 - k0 - 1);
+        std::size_t colon = json.find(':', k1 + 1);
+        if (colon == std::string::npos)
+            fatal("fuzz repro: missing ':' after key '", key, "'");
+        std::size_t v0 = json.find('"', colon + 1);
+        if (v0 == std::string::npos)
+            fatal("fuzz repro: missing value for key '", key, "'");
+        std::size_t v1 = json.find('"', v0 + 1);
+        if (v1 == std::string::npos)
+            fatal("fuzz repro: unterminated value for key '", key, "'");
+        std::string value = json.substr(v0 + 1, v1 - v0 - 1);
+        pos = v1 + 1;
+        sawAny = true;
+
+        if (key == "workload") {
+            c.workload = value;
+            continue;
+        }
+        bool matched = false;
+        for (const Knob &k : knobTable()) {
+            if (key == k.key) {
+                k.set(c.cfg, value);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            fatal("fuzz repro: unknown key '", key, "'");
+    }
+    if (!sawAny)
+        fatal("fuzz repro: no key/value pairs found");
+    c.cfg.checkInvariants = true;
+    return c;
+}
+
+SystemConfig
+minimizeConfig(const SystemConfig &failing,
+               const std::function<bool(const SystemConfig &)> &stillFails)
+{
+    const SystemConfig baseline = minimalFuzzBaseline();
+    SystemConfig cur = failing;
+    // Greedy fixpoint: resetting one knob can unlock another (e.g. a
+    // smaller mesh makes more campCounts resettable), so sweep until a
+    // full pass keeps everything.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Knob &k : knobTable()) {
+            const std::string want = k.get(baseline);
+            if (k.get(cur) == want)
+                continue;
+            SystemConfig candidate = cur;
+            k.set(candidate, want);
+            if (!fuzzConfigValid(candidate))
+                continue;
+            if (stillFails(candidate)) {
+                cur = candidate;
+                changed = true;
+            }
+        }
+    }
+    return cur;
+}
+
+} // namespace check
+} // namespace abndp

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Slow, obviously-correct reference models of the optimized core data
+ * structures (the second leg of the correctness harness; see
+ * docs/TESTING.md). Each Ref* class re-implements the *contract* of
+ * its production counterpart with the most transparent data layout
+ * available — vectors of vectors instead of flat arrays, a std::map
+ * instead of paged buckets, linear scans instead of open addressing,
+ * eager clears instead of generation stamps — so that a divergence
+ * under the seeded operation generators (tests/test_differential.cc)
+ * indicts the optimization, not the oracle.
+ *
+ * Where the production structure consumes randomness (replacement
+ * victims, insertion bypass), the reference draws from its own Rng
+ * seeded identically and in the same order, so both sides see the same
+ * stream and outputs must match bit-exactly.
+ */
+
+#ifndef ABNDP_CHECK_REF_MODELS_HH
+#define ABNDP_CHECK_REF_MODELS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace abndp
+{
+namespace check
+{
+
+/** Reference set-associative cache: vector-of-vectors, no mask trick. */
+class RefSetAssocCache
+{
+  public:
+    RefSetAssocCache(std::uint64_t numSets, std::uint32_t assoc,
+                     ReplPolicy repl, std::uint64_t seed = Rng::defaultSeed,
+                     bool hashedIndex = true)
+        : assoc(assoc), repl(repl), hashed(hashedIndex), rng(seed),
+          sets(numSets)
+    {
+        for (auto &set : sets)
+            set.assign(assoc, Way{invalidAddr, 0});
+    }
+
+    bool
+    access(Addr blockAddr)
+    {
+        Way *way = find(blockAddr);
+        if (way) {
+            if (repl == ReplPolicy::Lru)
+                way->stamp = ++tick;
+            ++nHits;
+            return true;
+        }
+        ++nMisses;
+        return false;
+    }
+
+    bool contains(Addr blockAddr) const
+    {
+        return const_cast<RefSetAssocCache *>(this)->find(blockAddr)
+            != nullptr;
+    }
+
+    Addr
+    insert(Addr blockAddr)
+    {
+        if (Way *way = find(blockAddr)) {
+            if (repl == ReplPolicy::Lru)
+                way->stamp = ++tick;
+            return invalidAddr;
+        }
+        auto &set = sets[setIndex(blockAddr)];
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        std::uint32_t victim = assoc;
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            if (set[w].block == invalidAddr) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == assoc) {
+            if (repl == ReplPolicy::Random) {
+                victim = static_cast<std::uint32_t>(rng.below(assoc));
+            } else {
+                victim = 0;
+                for (std::uint32_t w = 1; w < assoc; ++w)
+                    if (set[w].stamp < set[victim].stamp)
+                        victim = w;
+            }
+        }
+        Addr evicted = set[victim].block;
+        if (evicted != invalidAddr)
+            ++nEvicts;
+        set[victim] = Way{blockAddr, ++tick};
+        ++nInserts;
+        return evicted;
+    }
+
+    bool
+    invalidate(Addr blockAddr)
+    {
+        if (Way *way = find(blockAddr)) {
+            way->block = invalidAddr;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    invalidateAll()
+    {
+        for (auto &set : sets)
+            for (Way &way : set)
+                way.block = invalidAddr;
+    }
+
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+    std::uint64_t insertions() const { return nInserts; }
+    std::uint64_t evictions() const { return nEvicts; }
+
+    std::uint64_t
+    occupancy() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &set : sets)
+            for (const Way &way : set)
+                n += way.block != invalidAddr ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Way
+    {
+        Addr block;
+        std::uint64_t stamp;
+    };
+
+    std::size_t
+    setIndex(Addr blockAddr) const
+    {
+        std::uint64_t block = blockNumber(blockAddr);
+        std::uint64_t h = hashed ? mix64(block) : block;
+        return static_cast<std::size_t>(h % sets.size());
+    }
+
+    Way *
+    find(Addr blockAddr)
+    {
+        for (Way &way : sets[setIndex(blockAddr)])
+            if (way.block == blockAddr)
+                return &way;
+        return nullptr;
+    }
+
+    std::uint32_t assoc;
+    ReplPolicy repl;
+    bool hashed;
+    Rng rng;
+    std::uint64_t tick = 0;
+    std::vector<std::vector<Way>> sets;
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+    std::uint64_t nInserts = 0;
+    std::uint64_t nEvicts = 0;
+};
+
+/**
+ * Reference Traveller Cache: eager bulk invalidation (clear every set)
+ * instead of generation stamps; same probabilistic-insertion contract
+ * and Rng stream as the production cache (bypass draw first, victim
+ * draw only on a full set under Random replacement).
+ */
+class RefTravellerCache
+{
+  public:
+    /** @param seed the *raw* system seed, mixed exactly like the real
+     *  cache so both sides share one stream. */
+    RefTravellerCache(std::uint64_t nSets, std::uint32_t assoc,
+                      ReplPolicy repl, double bypassProb,
+                      std::uint64_t seed)
+        : assoc(assoc), repl(repl), bypassProb(bypassProb),
+          rng(mix64(seed ^ 0x7261764c6c657243ULL)), sets(nSets)
+    {
+    }
+
+    bool
+    lookup(Addr blockAddr)
+    {
+        for (Way &way : sets[setOf(blockAddr)]) {
+            if (way.block == blockAddr) {
+                if (repl == ReplPolicy::Lru)
+                    way.stamp = ++tick;
+                ++nHits;
+                return true;
+            }
+        }
+        ++nMisses;
+        return false;
+    }
+
+    bool
+    contains(Addr blockAddr) const
+    {
+        for (const Way &way : sets[setOf(blockAddr)])
+            if (way.block == blockAddr)
+                return true;
+        return false;
+    }
+
+    bool
+    maybeInsert(Addr blockAddr)
+    {
+        if (rng.chance(bypassProb)) {
+            ++nBypasses;
+            return false;
+        }
+        auto &set = sets[setOf(blockAddr)];
+        for (Way &way : set) {
+            if (way.block == blockAddr) {
+                if (repl == ReplPolicy::Lru)
+                    way.stamp = ++tick;
+                return true; // raced insert of an already-present block
+            }
+        }
+        if (set.size() < assoc) {
+            set.push_back(Way{blockAddr, ++tick});
+        } else {
+            std::uint32_t victim = 0;
+            if (repl == ReplPolicy::Random) {
+                victim = static_cast<std::uint32_t>(rng.below(assoc));
+            } else {
+                for (std::uint32_t w = 1; w < assoc; ++w)
+                    if (set[w].stamp < set[victim].stamp)
+                        victim = w;
+            }
+            set[victim] = Way{blockAddr, ++tick};
+            ++nEvicts;
+        }
+        ++nInserts;
+        return true;
+    }
+
+    void
+    bulkInvalidate()
+    {
+        for (auto &set : sets)
+            set.clear();
+    }
+
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+    std::uint64_t insertions() const { return nInserts; }
+    std::uint64_t evictions() const { return nEvicts; }
+    std::uint64_t bypasses() const { return nBypasses; }
+
+    std::uint64_t
+    occupancy() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &set : sets)
+            n += set.size();
+        return n;
+    }
+
+  private:
+    struct Way
+    {
+        Addr block;
+        std::uint64_t stamp;
+    };
+
+    /** Low-bit index, like the real Traveller (DESIGN.md). */
+    std::size_t
+    setOf(Addr blockAddr) const
+    {
+        return static_cast<std::size_t>(blockNumber(blockAddr)
+                                        % sets.size());
+    }
+
+    std::uint32_t assoc;
+    ReplPolicy repl;
+    double bypassProb;
+    Rng rng;
+    std::uint64_t tick = 0;
+    std::vector<std::vector<Way>> sets;
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+    std::uint64_t nInserts = 0;
+    std::uint64_t nEvicts = 0;
+    std::uint64_t nBypasses = 0;
+};
+
+/**
+ * Reference bandwidth meter: one std::map entry per touched bucket
+ * instead of paged flat storage with a last-page cache.
+ */
+class RefBandwidthMeter
+{
+  public:
+    explicit RefBandwidthMeter(Tick bucketTicks = 256 * ticksPerNs)
+        : width(bucketTicks)
+    {
+        abndp_assert(width > 0);
+    }
+
+    Tick
+    reserve(Tick t, Tick service)
+    {
+        if (service == 0)
+            return t;
+        std::uint64_t b = t / width;
+        while (fill[b] >= width)
+            ++b;
+        Tick begin = b * width + fill[b];
+        if (begin < t)
+            begin = t;
+        Tick remaining = service;
+        while (remaining > 0) {
+            Tick free = width - fill[b];
+            Tick take = remaining < free ? remaining : free;
+            fill[b] += take;
+            remaining -= take;
+            ++b;
+        }
+        return begin;
+    }
+
+    void reset() { fill.clear(); }
+
+    std::size_t
+    bucketsInUse() const
+    {
+        std::size_t n = 0;
+        for (const auto &[b, f] : fill)
+            n += f > 0 ? 1 : 0;
+        return n;
+    }
+
+    Tick bucketWidth() const { return width; }
+
+    Tick
+    maxBucketFill() const
+    {
+        Tick mx = 0;
+        for (const auto &[b, f] : fill)
+            mx = f > mx ? f : mx;
+        return mx;
+    }
+
+  private:
+    Tick width;
+    std::map<std::uint64_t, Tick> fill;
+};
+
+/**
+ * Reference prefetch buffer: a plain deque scanned linearly instead of
+ * a ring plus an open-addressed index with backward-shift deletion.
+ */
+class RefPrefetchBuffer
+{
+  public:
+    explicit RefPrefetchBuffer(std::uint64_t capacityBlocks)
+        : capacity(capacityBlocks)
+    {
+        abndp_assert(capacity > 0);
+    }
+
+    void
+    fill(Addr blockAddr, Tick readyTick)
+    {
+        for (Entry &e : fifo) {
+            if (e.block == blockAddr) {
+                if (readyTick < e.ready)
+                    e.ready = readyTick;
+                return;
+            }
+        }
+        if (fifo.size() == capacity) {
+            fifo.pop_front();
+            ++nEvicts;
+        }
+        fifo.push_back(Entry{blockAddr, readyTick});
+        ++nFills;
+    }
+
+    bool
+    peek(Addr blockAddr) const
+    {
+        for (const Entry &e : fifo)
+            if (e.block == blockAddr)
+                return true;
+        return false;
+    }
+
+    Tick
+    lookup(Addr blockAddr, Tick now)
+    {
+        for (const Entry &e : fifo) {
+            if (e.block == blockAddr) {
+                if (e.ready <= now)
+                    ++nHits;
+                else
+                    ++nLateHits;
+                return e.ready;
+            }
+        }
+        ++nMisses;
+        return tickNever;
+    }
+
+    void invalidateAll() { fifo.clear(); }
+
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t lateHits() const { return nLateHits; }
+    std::uint64_t misses() const { return nMisses; }
+    std::uint64_t fills() const { return nFills; }
+    std::uint64_t evictions() const { return nEvicts; }
+    std::size_t size() const { return fifo.size(); }
+
+  private:
+    struct Entry
+    {
+        Addr block;
+        Tick ready;
+    };
+
+    std::uint64_t capacity;
+    std::deque<Entry> fifo;
+    std::uint64_t nHits = 0;
+    std::uint64_t nLateHits = 0;
+    std::uint64_t nMisses = 0;
+    std::uint64_t nFills = 0;
+    std::uint64_t nEvicts = 0;
+};
+
+/**
+ * Reference event queue: an unsorted vector searched for the earliest
+ * (tick, seq) pair at every step, with std::function callbacks — no
+ * binary heap, no inline-slot arena. Mirrors the EventQueue contract:
+ * ties broken by insertion order, no scheduling into the past,
+ * clearPending() drops events but keeps the clock.
+ */
+class RefEventQueue
+{
+  public:
+    Tick now() const { return curTick; }
+    std::size_t size() const { return events.size(); }
+    bool empty() const { return events.empty(); }
+    std::uint64_t executed() const { return numExecuted; }
+
+    void
+    schedule(Tick when, std::function<void()> cb)
+    {
+        abndp_assert(when >= curTick, "scheduling into the past: ", when,
+                     " < ", curTick);
+        events.push_back(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    void
+    scheduleIn(Tick delta, std::function<void()> cb)
+    {
+        schedule(curTick + delta, std::move(cb));
+    }
+
+    bool
+    runOne()
+    {
+        if (events.empty())
+            return false;
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < events.size(); ++i) {
+            if (events[i].when < events[best].when
+                || (events[i].when == events[best].when
+                    && events[i].seq < events[best].seq))
+                best = i;
+        }
+        Event ev = std::move(events[best]);
+        events.erase(events.begin()
+                     + static_cast<std::ptrdiff_t>(best));
+        curTick = ev.when;
+        ++numExecuted;
+        ev.cb();
+        return true;
+    }
+
+    void
+    runUntil(Tick limit)
+    {
+        while (!events.empty()) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < events.size(); ++i)
+                if (events[i].when < events[best].when
+                    || (events[i].when == events[best].when
+                        && events[i].seq < events[best].seq))
+                    best = i;
+            if (events[best].when > limit)
+                break;
+            runOne();
+        }
+        if (curTick < limit)
+            curTick = limit;
+    }
+
+    void clearPending() { events.clear(); }
+
+    void
+    reset()
+    {
+        events.clear();
+        curTick = 0;
+        nextSeq = 0;
+        numExecuted = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> cb;
+    };
+
+    std::vector<Event> events;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace check
+} // namespace abndp
+
+#endif // ABNDP_CHECK_REF_MODELS_HH

@@ -337,6 +337,17 @@ struct SystemConfig
     /** Interval-stats output path ("" = stdout). */
     std::string statsOut;
 
+    // ---- Correctness checking (src/check; see docs/TESTING.md) ----
+    /**
+     * Arm the machine invariant checkers: conservation laws (task
+     * accounting, hop/packet reconciliation, cache occupancy, energy
+     * additivity, bandwidth-bucket capacity) are audited at every
+     * epoch boundary and at run end, and any violation panic()s with
+     * a full diagnostic. Like tracing, checking is observational only:
+     * metrics are bit-identical with checkers on or off.
+     */
+    bool checkInvariants = false;
+
     // ---- Derived quantities ----
     std::uint32_t numStacks() const { return meshX * meshY; }
     std::uint32_t numUnits() const { return numStacks() * unitsPerStack; }

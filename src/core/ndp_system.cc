@@ -7,10 +7,13 @@
 #include <memory>
 #include <sstream>
 
+#include "check/machine_checker.hh"
 #include "common/logging.hh"
 
 namespace abndp
 {
+
+NdpSystem::~NdpSystem() = default;
 
 NdpSystem::NdpSystem(const SystemConfig &cfg_)
     : cfg(cfg_),
@@ -33,6 +36,11 @@ NdpSystem::NdpSystem(const SystemConfig &cfg_)
 
     for (UnitId u = 0; u < cfg.numUnits(); ++u)
         units[u].init(cfg, u);
+
+    if (cfg.checkInvariants) {
+        checker = std::make_unique<check::MachineChecker>(*this);
+        mem.network().setCheckContext(&checker->context());
+    }
 
     buildStats();
 }
@@ -532,6 +540,10 @@ NdpSystem::run(Workload &wl)
     while (stagedCount > 0 && (cfg.maxEpochs == 0 || ts < cfg.maxEpochs)) {
         Tick epoch_begin = eq.now();
         eq.armWatchdog();
+        // Epoch-start invariants run before startEpoch() dispatches
+        // anything (dispatch already touches the caches).
+        if (checker)
+            checker->onEpochStart(ts, stagedCount);
         startEpoch(ts);
         // Drain the epoch: stop as soon as every task completed so that
         // periodic bookkeeping events (exchange ticks, steal backoffs)
@@ -552,6 +564,8 @@ NdpSystem::run(Workload &wl)
                         cfg.fault.watchdog.maxEpochTicks, ")"),
                     false);
         }
+        if (checker)
+            checker->onEpochEnd(ts, epochTaskCount, stagedCount);
         eq.clearPending();
         exchangeScheduled = false;
         for (auto &unit : units)
@@ -638,6 +652,9 @@ NdpSystem::run(Workload &wl)
     m.netDropped = mem.network().totalDropped();
     m.netRetries = mem.network().totalRetries();
     m.simEvents = eq.executed();
+
+    if (checker)
+        checker->onRunEnd(m);
 
     if (!cfg.traceOut.empty()) {
         std::ofstream tf(cfg.traceOut);

@@ -25,6 +25,7 @@
 #ifndef ABNDP_CORE_NDP_SYSTEM_HH
 #define ABNDP_CORE_NDP_SYSTEM_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,11 +48,19 @@
 namespace abndp
 {
 
+namespace check
+{
+class MachineChecker;
+} // namespace check
+
 /** A complete simulated ABNDP machine. */
 class NdpSystem : public TaskSink
 {
   public:
     explicit NdpSystem(const SystemConfig &cfg);
+
+    /** Out of line: unique_ptr member of a forward-declared type. */
+    ~NdpSystem();
 
     /** Simulated allocator for workload setup. */
     SimAllocator &allocator() { return alloc; }
@@ -72,6 +81,13 @@ class NdpSystem : public TaskSink
     Scheduler &scheduler() { return sched; }
     EventQueue &eventQueue() { return eq; }
     const FaultModel &faultModel() const { return faults; }
+    const EnergyAccount &energyAccount() const { return energy; }
+
+    /**
+     * The machine invariant checker, non-null iff
+     * cfg.checkInvariants is set (tests flip its collect mode).
+     */
+    check::MachineChecker *invariantChecker() { return checker.get(); }
 
     /** The per-unit components (tests may inspect queue state). */
     NdpUnit &unit(UnitId u) { return units[u]; }
@@ -131,6 +147,8 @@ class NdpSystem : public TaskSink
     EventQueue eq;
     obs::StatsRegistry statsReg;
     AccessPath path;
+    /** Armed iff cfg.checkInvariants (src/check; observational only). */
+    std::unique_ptr<check::MachineChecker> checker;
 
     std::vector<NdpUnit> units;
     Workload *workload = nullptr;

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared run-output command-line flags. Every front end (examples,
+ * benches, tools) understands the same quartet — --threads,
+ * --trace-out, --stats-out, --stats-interval — and applies them to a
+ * SystemConfig the same way; this helper is the single copy of that
+ * parsing and wiring (it used to be duplicated per driver).
+ */
+
+#ifndef ABNDP_DRIVER_RUN_FLAGS_HH
+#define ABNDP_DRIVER_RUN_FLAGS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/config.hh"
+
+namespace abndp
+{
+
+/** Parsed values of the shared run-output flags. */
+struct RunFlags
+{
+    /** Worker threads for grid front ends (--threads). */
+    std::uint32_t threads = 1;
+    /** Perfetto trace JSON path ("" = tracing off; --trace-out). */
+    std::string traceOut;
+    /** Interval-stats output path ("" = stdout; --stats-out). */
+    std::string statsOut;
+    /** Interval-stats period in epochs (0 = off; --stats-interval). */
+    std::uint64_t statsInterval = 0;
+
+    /** True if any observability output was requested. */
+    bool
+    anyOutput() const
+    {
+        return !traceOut.empty() || !statsOut.empty() ||
+            statsInterval > 0;
+    }
+};
+
+/**
+ * Parse the shared flags out of @p flags. @p threadsDefault seeds
+ * --threads; 0 (the default) means defaultThreads(), single-run front
+ * ends pass 1.
+ */
+RunFlags parseRunFlags(const CliFlags &flags,
+                       std::uint32_t threadsDefault = 0);
+
+/**
+ * Wire @p rf into @p cfg. A nonempty @p tag is inserted into the
+ * output file names (tagPath), so multi-run front ends give every
+ * cell its own file. @p multiCell declares that several cells may run
+ * concurrently: interval stats then require --stats-out (fatal()
+ * otherwise), because per-cell interval dumps cannot share stdout.
+ */
+void applyRunFlags(const RunFlags &rf, SystemConfig &cfg,
+                   const std::string &tag = "", bool multiCell = false);
+
+} // namespace abndp
+
+#endif // ABNDP_DRIVER_RUN_FLAGS_HH

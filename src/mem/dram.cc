@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include "check/check_context.hh"
+
 namespace abndp
 {
 
@@ -93,6 +95,15 @@ DramChannel::access(Addr addr, std::uint32_t bytes, bool isWrite,
     energy.addDramAccess(bytes, row_miss, cacheRegion);
 
     return queue + core + burst;
+}
+
+void
+DramChannel::auditBandwidth(check::CheckContext &ctx) const
+{
+    for (std::size_t b = 0; b < banks.size(); ++b)
+        check::checkBucketFill(ctx, "dram bank", b,
+                               banks[b].meter.maxBucketFill(),
+                               banks[b].meter.bucketWidth());
 }
 
 void

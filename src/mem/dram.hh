@@ -26,6 +26,11 @@
 namespace abndp
 {
 
+namespace check
+{
+class CheckContext;
+} // namespace check
+
 /** One DRAM channel (the local vault of one NDP unit). */
 class DramChannel
 {
@@ -78,13 +83,16 @@ class DramChannel
 
     void resetState();
 
+    /**
+     * Audit every bank meter against the bandwidth-conservation
+     * invariant (no bucket filled beyond its width); src/check only.
+     */
+    void auditBandwidth(check::CheckContext &ctx) const;
+
   private:
     /** Spread initial per-bank refresh deadlines round-robin. */
     void staggerRefresh();
 
-  public:
-
-  private:
     struct Bank
     {
         BandwidthMeter meter;

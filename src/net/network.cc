@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check_context.hh"
+
 namespace abndp
 {
 
@@ -88,6 +90,10 @@ Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
         // Straight intra-stack delivery.
         intraTraverse(src, topo.localIndex(dst), dst);
         res.latency = t - start;
+        if (checkCtx && checkCtx->enabled())
+            checkCtx->require(res.interHops == 0, "NoC packet ", src,
+                              "->", dst, " is intra-stack but walked ",
+                              res.interHops, " inter-stack hops");
         return res;
     }
 
@@ -153,6 +159,17 @@ Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
     interHops += res.interHops;
     energy.addInterTransfer(bytes, res.interHops);
 
+    if (checkCtx && checkCtx->enabled()) {
+        // XY routing is minimal: the walked hop count must equal the
+        // Manhattan distance between the two stacks.
+        std::uint32_t expect = topo.interHops(src, dst);
+        checkedHops += expect;
+        checkCtx->require(res.interHops == expect, "NoC packet ", src,
+                          "->", dst, " walked ", res.interHops,
+                          " inter-stack hops; topology distance is ",
+                          expect);
+    }
+
     // Destination stack: from the router to the unit.
     UnitId dst_router = dst - topo.localIndex(dst);
     if (intraTopo == IntraTopology::Ring)
@@ -174,6 +191,23 @@ Network::regStats(obs::StatNode &node) const
     node.addCounter("retries", &retries);
     node.addDistribution("portWaitNs", &portWait);
     node.addDistribution("linkWaitNs", &linkWait);
+}
+
+void
+Network::auditBandwidth(check::CheckContext &ctx) const
+{
+    for (std::size_t i = 0; i < linkMeter.size(); ++i)
+        check::checkBucketFill(ctx, "net link", i,
+                               linkMeter[i].maxBucketFill(),
+                               linkMeter[i].bucketWidth());
+    for (std::size_t i = 0; i < portMeter.size(); ++i)
+        check::checkBucketFill(ctx, "net port", i,
+                               portMeter[i].maxBucketFill(),
+                               portMeter[i].bucketWidth());
+    for (std::size_t i = 0; i < ringMeter.size(); ++i)
+        check::checkBucketFill(ctx, "net ring", i,
+                               ringMeter[i].maxBucketFill(),
+                               ringMeter[i].bucketWidth());
 }
 
 void

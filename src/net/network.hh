@@ -25,6 +25,11 @@
 namespace abndp
 {
 
+namespace check
+{
+class CheckContext;
+} // namespace check
+
 /** Result of one network transfer. */
 struct TransferResult
 {
@@ -89,6 +94,27 @@ class Network
     /** Register the interconnect stats under @p node. */
     void regStats(obs::StatNode &node) const;
 
+    // ---- Invariant checking (src/check; observational only) ----
+
+    /**
+     * Arm the per-packet hop check: every transfer's walked hop count
+     * is compared against the topology's Manhattan distance, and an
+     * expected-hop total accumulates for end-of-epoch reconciliation
+     * with the interHops counter. Mirrors the tracer injection pattern;
+     * a null context (the default) costs one pointer test per packet.
+     */
+    void setCheckContext(check::CheckContext *ctx) { checkCtx = ctx; }
+
+    /**
+     * Sum of topology-predicted hop counts over all checked packets;
+     * equals totalInterHops() when the checker was armed for the whole
+     * run and every packet routed minimally.
+     */
+    std::uint64_t expectedInterHops() const { return checkedHops; }
+
+    /** Audit every link/port/ring meter: no bucket above its width. */
+    void auditBandwidth(check::CheckContext &ctx) const;
+
   private:
     /** Index of the directed mesh link leaving stack s toward dir. */
     std::size_t
@@ -101,6 +127,9 @@ class Network
     EnergyAccount &energy;
     FaultModel *faults;
     obs::Tracer *tracer;
+    check::CheckContext *checkCtx = nullptr;
+    /** Topology-predicted hops of every packet checked so far. */
+    std::uint64_t checkedHops = 0;
     std::uint32_t meshX;
     IntraTopology intraTopo;
     std::uint32_t unitsPerStack;

@@ -299,16 +299,21 @@ Scheduler::exchangeSnapshot(Tick now)
     wSnapSum = 0.0;
     for (UnitId u = 0; u < nUnits; ++u)
         wSnapSum += wSnap[u] / speed[u];
-    // Refresh the most-idle hint used by the pruned scoring mode.
+    // Refresh the most-idle hint used by the pruned scoring mode. The
+    // hint depth is capped by the unit count: machines smaller than
+    // the nominal 8-entry hint must not sort past the end.
     if (!exhaustiveScoring) {
+        const std::size_t hintDepth =
+            std::min<std::size_t>(8, nUnits);
         idleHint.resize(nUnits);
         for (UnitId u = 0; u < nUnits; ++u)
             idleHint[u] = u;
-        std::partial_sort(idleHint.begin(), idleHint.begin() + 8,
+        std::partial_sort(idleHint.begin(),
+                          idleHint.begin() + hintDepth,
                           idleHint.end(), [this](UnitId a, UnitId b) {
                               return wSnap[a] < wSnap[b];
                           });
-        idleHint.resize(8);
+        idleHint.resize(hintDepth);
     }
     for (auto &d : wDelta)
         std::fill(d.begin(), d.end(), 0.0);

@@ -94,6 +94,28 @@ class BandwidthMeter
     /** Buckets holding at least one reservation. */
     std::size_t bucketsInUse() const { return nTouched; }
 
+    // ---- Audit accessors (src/check invariant: fill <= width) ----
+
+    /** Configured bucket width in ticks. */
+    Tick bucketWidth() const { return width; }
+
+    /**
+     * Largest fill level of any bucket. The reserve() loop caps every
+     * bucket at the width by construction; the invariant checkers
+     * audit it anyway so a future fast path cannot silently overbook
+     * the resource. Walks every page — audit-time only, never on the
+     * reservation hot path.
+     */
+    Tick
+    maxBucketFill() const
+    {
+        Tick mx = 0;
+        for (const Page &p : pages)
+            for (Tick f : p.fill)
+                mx = std::max(mx, f);
+        return mx;
+    }
+
   private:
     /** Buckets per page; a power of two. */
     static constexpr std::uint64_t pageBuckets = 1024;

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Death-test coverage of the simulator's fatal()/panic() paths: every
+ * SystemConfig::validate() rejection reachable by a test, plus the
+ * watchdog/deadlock diagnostic dump. The event queue's own death
+ * paths (schedule-into-the-past panic; its capacity limit is a
+ * compile-time callbackFits rejection) live in test_event_queue.cc,
+ * and the straggler/link/ECC fault rejections in FaultConfigValidate
+ * (test_fault_injection.cc); this file adds the remaining
+ * window/latency/count gaps without repeating those.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "core/ndp_system.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+/** Valid baseline without the Traveller Cache. */
+SystemConfig
+plainConfig()
+{
+    return applyDesign(SystemConfig{}, Design::B);
+}
+
+/** Valid baseline with the Traveller Cache on (O = full ABNDP). */
+SystemConfig
+travellerConfig()
+{
+    return applyDesign(SystemConfig{}, Design::O);
+}
+
+} // namespace
+
+// ---- validate(): mesh / units / memory -------------------------------
+
+TEST(ConfigValidateDeath, RejectsZeroMesh)
+{
+    auto cfg = plainConfig();
+    cfg.meshX = 0;
+    EXPECT_DEATH(cfg.validate(), "mesh dimensions must be nonzero");
+    auto cfg2 = plainConfig();
+    cfg2.meshY = 0;
+    EXPECT_DEATH(cfg2.validate(), "mesh dimensions must be nonzero");
+}
+
+TEST(ConfigValidateDeath, RejectsZeroUnitsOrCores)
+{
+    auto cfg = plainConfig();
+    cfg.unitsPerStack = 0;
+    EXPECT_DEATH(cfg.validate(), "unitsPerStack and coresPerUnit");
+    auto cfg2 = plainConfig();
+    cfg2.coresPerUnit = 0;
+    EXPECT_DEATH(cfg2.validate(), "unitsPerStack and coresPerUnit");
+}
+
+TEST(ConfigValidateDeath, RejectsNonPow2Memory)
+{
+    auto cfg = plainConfig();
+    cfg.memBytesPerUnit = 3ull << 20;
+    EXPECT_DEATH(cfg.validate(),
+                 "memBytesPerUnit must be a power of two");
+}
+
+// ---- validate(): L1 cache geometry -----------------------------------
+
+TEST(ConfigValidateDeath, RejectsBadL1Geometry)
+{
+    auto cfg = plainConfig();
+    cfg.l1d.sizeBytes = 3000;
+    EXPECT_DEATH(cfg.validate(), "L1-D size");
+    auto cfg2 = plainConfig();
+    cfg2.l1d.lineBytes = 48;
+    EXPECT_DEATH(cfg2.validate(), "L1-D line size");
+    auto cfg3 = plainConfig();
+    cfg3.l1d.assoc = 0;
+    EXPECT_DEATH(cfg3.validate(), "L1-D associativity must be nonzero");
+    auto cfg4 = plainConfig();
+    cfg4.l1d.sizeBytes = 64; // 64B / 64B lines / 2-way = zero sets
+    cfg4.l1d.lineBytes = 64;
+    cfg4.l1d.assoc = 2;
+    EXPECT_DEATH(cfg4.validate(), "L1-D geometry degenerate");
+    auto cfg5 = plainConfig();
+    cfg5.l1i.sizeBytes = 3000; // the instruction cache is checked too
+    EXPECT_DEATH(cfg5.validate(), "L1-I size");
+}
+
+// ---- validate(): Traveller Cache -------------------------------------
+
+TEST(ConfigValidateDeath, RejectsBadTravellerGeometry)
+{
+    auto cfg = travellerConfig();
+    cfg.traveller.ratioDenom = 3;
+    EXPECT_DEATH(cfg.validate(),
+                 "traveller ratio denominator must be a power of two");
+    auto cfg2 = travellerConfig();
+    cfg2.traveller.assoc = 0;
+    EXPECT_DEATH(cfg2.validate(),
+                 "traveller cache geometry degenerate");
+}
+
+TEST(ConfigValidateDeath, RejectsBadCampGrouping)
+{
+    auto cfg = travellerConfig();
+    cfg.traveller.campCount = 0;
+    EXPECT_DEATH(cfg.validate(), "campCount must be >= 1");
+    auto cfg2 = travellerConfig();
+    cfg2.traveller.campCount = 2; // 3 groups cannot tile 128 units
+    EXPECT_DEATH(cfg2.validate(), "must be divisible by the");
+}
+
+TEST(ConfigValidateDeath, RejectsBadTravellerTimings)
+{
+    auto cfg = travellerConfig();
+    cfg.traveller.bypassProb = 1.5;
+    EXPECT_DEATH(cfg.validate(), "bypassProb must be within");
+    auto cfg2 = travellerConfig();
+    cfg2.traveller.tagCheckNs = -0.5;
+    EXPECT_DEATH(cfg2.validate(), "tagCheckNs and sramDataNs");
+}
+
+// ---- validate(): latency scalars and scheduler knobs -----------------
+
+TEST(ConfigValidateDeath, RejectsNegativeLatencies)
+{
+    auto cfg = plainConfig();
+    cfg.pbHitNs = -1.0;
+    EXPECT_DEATH(cfg.validate(), "pbHitNs must be non-negative");
+    auto cfg2 = plainConfig();
+    cfg2.l1iMissNs = -1.0;
+    EXPECT_DEATH(cfg2.validate(), "l1iMissNs must be non-negative");
+}
+
+TEST(ConfigValidateDeath, RejectsBadSchedulerKnobs)
+{
+    auto cfg = plainConfig();
+    cfg.sched.prefetchWindow = 0;
+    EXPECT_DEATH(cfg.validate(), "prefetchWindow must be nonzero");
+    auto cfg2 = plainConfig();
+    cfg2.sched.schedulingWindow = 0;
+    EXPECT_DEATH(cfg2.validate(), "schedulingWindow must be nonzero");
+    auto cfg3 = plainConfig();
+    cfg3.sched.workStealing = true;
+    cfg3.sched.stealBatch = 0;
+    EXPECT_DEATH(cfg3.validate(), "stealBatch must be nonzero");
+    auto cfg4 = plainConfig();
+    cfg4.sched.exchangeIntervalCycles = 0;
+    EXPECT_DEATH(cfg4.validate(),
+                 "exchangeIntervalCycles must be nonzero");
+    auto cfg5 = plainConfig();
+    cfg5.sched.missPipelineDepth = 0;
+    EXPECT_DEATH(cfg5.validate(), "missPipelineDepth must be within");
+    auto cfg6 = plainConfig();
+    cfg6.sched.missPipelineDepth = 65;
+    EXPECT_DEATH(cfg6.validate(), "missPipelineDepth must be within");
+}
+
+TEST(ConfigValidateDeath, RejectsNonPositiveFrequency)
+{
+    auto cfg = plainConfig();
+    cfg.coreFreqGHz = 0.0;
+    EXPECT_DEATH(cfg.validate(), "coreFreqGHz must be positive");
+}
+
+// ---- validate(): TLB --------------------------------------------------
+
+TEST(ConfigValidateDeath, RejectsBadTlbGeometry)
+{
+    auto cfg = plainConfig();
+    cfg.tlb.enabled = true;
+    cfg.tlb.pageBytes = 3000;
+    EXPECT_DEATH(cfg.validate(), "TLB page size");
+    auto cfg2 = plainConfig();
+    cfg2.tlb.enabled = true;
+    cfg2.tlb.entries = 5; // not a multiple of the 4-way associativity
+    EXPECT_DEATH(cfg2.validate(), "TLB entries");
+}
+
+// ---- validate(): tracing and remaining fault-config gaps -------------
+
+TEST(ConfigValidateDeath, RejectsTracingWithoutBuffer)
+{
+    auto cfg = plainConfig();
+    cfg.traceOut = "trace.json";
+    cfg.traceBufferEvents = 0;
+    EXPECT_DEATH(cfg.validate(), "traceBufferEvents must be nonzero");
+}
+
+TEST(ConfigValidateDeath, RejectsRemainingFaultGaps)
+{
+    auto cfg = plainConfig();
+    cfg.fault.straggler.units = {0};
+    cfg.fault.straggler.windowStartNs = -1.0;
+    EXPECT_DEATH(cfg.validate(),
+                 "straggler window bounds must be non-negative");
+    auto cfg2 = plainConfig();
+    cfg2.fault.link.extraLatencyNs = -1.0;
+    EXPECT_DEATH(cfg2.validate(),
+                 "extraLatencyNs and retryBackoffNs");
+    auto cfg3 = plainConfig();
+    cfg3.fault.link.count = cfg3.numStacks() * 4 + 1;
+    EXPECT_DEATH(cfg3.validate(), "exceeds the directed");
+}
+
+// ---- design helpers ---------------------------------------------------
+
+TEST(ConfigValidateDeath, UnknownDesignPanics)
+{
+    EXPECT_DEATH(designName(static_cast<Design>(99)), "unknown design");
+}
+
+// ---- watchdog / deadlock diagnostic dump -----------------------------
+
+TEST(WatchdogDeath, BudgetOverrunDumpsDiagnostics)
+{
+    auto cfg = plainConfig();
+    cfg.fault.watchdog.maxEpochEvents = 3; // far below one real epoch
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    EXPECT_DEATH(sys.run(*wl), "exceeded its budget");
+}
+
+TEST(WatchdogDeath, DumpListsPerUnitQueueDepths)
+{
+    auto cfg = plainConfig();
+    cfg.fault.watchdog.maxEpochTicks = 10;
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    EXPECT_DEATH(sys.run(*wl), "per-unit queue depths");
+}
+
+} // namespace abndp

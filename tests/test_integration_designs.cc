@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
+#include "check/config_fuzz.hh"
+#include "common/rng.hh"
 #include "core/ndp_system.hh"
 #include "driver/experiment.hh"
 #include "host/host_system.hh"
@@ -47,6 +50,61 @@ TEST_P(DesignWorkloadMatrix, RunsAndVerifies)
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, DesignWorkloadMatrix,
+    ::testing::Combine(::testing::ValuesIn(allDesigns()),
+                       ::testing::ValuesIn(allWorkloadNames())),
+    [](const auto &info) {
+        return std::string(designName(std::get<0>(info.param))) + "_"
+            + std::get<1>(info.param);
+    });
+
+/**
+ * Randomized companion to the fixed matrix above: per (design,
+ * workload) cell, three machines drawn by the config fuzzer's sampler
+ * must still verify. Seeds derive from gtest's --gtest_random_seed
+ * (shuffle runs explore new machines; the unshuffled default pins a
+ * fixed base so plain ctest runs stay reproducible).
+ */
+class RandomSeedGrid
+    : public ::testing::TestWithParam<std::tuple<Design, std::string>>
+{
+};
+
+TEST_P(RandomSeedGrid, VerifiesUnderFuzzerDrawnConfigs)
+{
+    auto [design, wlname] = GetParam();
+    const int gseed =
+        ::testing::UnitTest::GetInstance()->random_seed();
+    const std::uint64_t base =
+        gseed != 0 ? static_cast<std::uint64_t>(gseed) : 20260806ull;
+    // Decorrelate cells: mix the cell coordinates into the seed.
+    std::uint64_t cell = static_cast<std::uint64_t>(design) << 32;
+    for (char ch : wlname)
+        cell = cell * 131 + static_cast<unsigned char>(ch);
+    Rng rng(mix64(base) ^ mix64(cell));
+
+    for (int draw = 0; draw < 3; ++draw) {
+        check::FuzzCase c = check::sampleFuzzCase(rng);
+        SystemConfig cfg = applyDesign(c.cfg, design);
+        WorkloadSpec spec = WorkloadSpec::tiny(wlname);
+        auto wl = makeWorkload(spec);
+        RunMetrics m;
+        if (design == Design::H) {
+            HostSystem host(cfg);
+            m = host.run(*wl);
+        } else {
+            NdpSystem sys(cfg);
+            m = sys.run(*wl);
+        }
+        EXPECT_TRUE(wl->verify())
+            << "draw " << draw << " cfg seed " << cfg.seed
+            << " units " << cfg.numUnits()
+            << "\nrepro:\n" << check::fuzzCaseToJson(c);
+        EXPECT_GT(m.tasks, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RandomSeedGrid,
     ::testing::Combine(::testing::ValuesIn(allDesigns()),
                        ::testing::ValuesIn(allWorkloadNames())),
     [](const auto &info) {

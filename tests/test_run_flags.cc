@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The shared run-output flag helper (driver/run_flags.hh): parsing,
+ * config wiring with per-cell tagging, and the parallel-grid
+ * stats-interval guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "driver/cell_runner.hh"
+#include "driver/run_flags.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+/** Build CliFlags from a literal argv (argv[0] is the program name). */
+CliFlags
+makeFlags(std::vector<std::string> argv)
+{
+    argv.insert(argv.begin(), "test");
+    std::vector<char *> raw;
+    for (auto &a : argv)
+        raw.push_back(a.data());
+    return CliFlags(static_cast<int>(raw.size()), raw.data());
+}
+
+} // namespace
+
+TEST(RunFlags, DefaultsAreQuiet)
+{
+    CliFlags flags = makeFlags({});
+    RunFlags rf = parseRunFlags(flags);
+    EXPECT_EQ(rf.threads, defaultThreads());
+    EXPECT_TRUE(rf.traceOut.empty());
+    EXPECT_TRUE(rf.statsOut.empty());
+    EXPECT_EQ(rf.statsInterval, 0u);
+    EXPECT_FALSE(rf.anyOutput());
+}
+
+TEST(RunFlags, ThreadsDefaultOverride)
+{
+    CliFlags flags = makeFlags({});
+    EXPECT_EQ(parseRunFlags(flags, 1).threads, 1u);
+    CliFlags withFlag = makeFlags({"--threads=7"});
+    // An explicit --threads always wins over the caller's default.
+    EXPECT_EQ(parseRunFlags(withFlag, 1).threads, 7u);
+}
+
+TEST(RunFlags, ParsesAllFourFlags)
+{
+    CliFlags flags = makeFlags({"--threads=3", "--trace-out=t.json",
+                                "--stats-out=s.txt",
+                                "--stats-interval=5"});
+    RunFlags rf = parseRunFlags(flags);
+    EXPECT_EQ(rf.threads, 3u);
+    EXPECT_EQ(rf.traceOut, "t.json");
+    EXPECT_EQ(rf.statsOut, "s.txt");
+    EXPECT_EQ(rf.statsInterval, 5u);
+    EXPECT_TRUE(rf.anyOutput());
+}
+
+TEST(RunFlags, ApplyWiresConfigAndTagsPaths)
+{
+    RunFlags rf;
+    rf.traceOut = "out/trace.json";
+    rf.statsOut = "stats.txt";
+    rf.statsInterval = 2;
+    SystemConfig cfg;
+    applyRunFlags(rf, cfg, "pr.O");
+    EXPECT_EQ(cfg.traceOut, "out/trace.pr.O.json");
+    EXPECT_EQ(cfg.statsOut, "stats.pr.O.txt");
+    EXPECT_EQ(cfg.statsInterval, 2u);
+
+    SystemConfig untagged;
+    applyRunFlags(rf, untagged);
+    EXPECT_EQ(untagged.traceOut, "out/trace.json");
+    EXPECT_EQ(untagged.statsOut, "stats.txt");
+}
+
+TEST(RunFlags, ApplyLeavesUnsetFieldsAlone)
+{
+    RunFlags rf; // nothing requested
+    SystemConfig cfg;
+    cfg.traceOut = "preset.json";
+    applyRunFlags(rf, cfg, "tag");
+    EXPECT_EQ(cfg.traceOut, "preset.json"); // not clobbered by ""
+    EXPECT_EQ(cfg.statsInterval, 0u);
+}
+
+TEST(RunFlagsDeath, MultiCellIntervalStatsRequireFile)
+{
+    RunFlags rf;
+    rf.statsInterval = 3; // interval dumps but no --stats-out
+    SystemConfig cfg;
+    EXPECT_DEATH(applyRunFlags(rf, cfg, "pr.O", /*multiCell=*/true),
+                 "stats-interval under a parallel grid requires");
+}
+
+} // namespace abndp
