@@ -103,6 +103,48 @@ class PrefetchBuffer
         return ready;
     }
 
+    /**
+     * Targeted invalidation: drop every buffered block for which
+     * @p pred (Addr -> bool) returns true — used to purge prefetches
+     * homed on a failed unit. Survivors keep their FIFO order and
+     * ready ticks; removals count as evictions so the occupancy
+     * reconciliation (size == fills - evictions, src/check) keeps
+     * holding. Allocates a scratch vector; only called on the rare
+     * failure-transition path, never per access.
+     * @return the number of blocks dropped.
+     */
+    template <typename Pred>
+    std::uint64_t
+    invalidateMatching(Pred pred)
+    {
+        if (count == 0)
+            return 0;
+        std::vector<Entry> kept;
+        kept.reserve(count);
+        std::uint64_t dropped = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            std::size_t slot = head + i >= capacity ? head + i - capacity
+                                                    : head + i;
+            if (pred(ring[slot].block)) {
+                ++dropped;
+                ++nEvicts;
+            } else {
+                kept.push_back(ring[slot]);
+            }
+        }
+        if (dropped == 0)
+            return 0;
+        std::fill(index.begin(), index.end(), 0);
+        head = 0;
+        count = kept.size();
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            ring[i] = kept[i];
+            index[findIndex(kept[i].block)] =
+                static_cast<std::uint32_t>(i + 1);
+        }
+        return dropped;
+    }
+
     /** Drop everything (bulk invalidation at epoch end). */
     void
     invalidateAll()

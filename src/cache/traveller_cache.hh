@@ -132,6 +132,41 @@ class TravellerCache
         return true;
     }
 
+    /**
+     * Targeted invalidation: drop every cached block for which @p pred
+     * (Addr -> bool) returns true — used to purge blocks homed on a
+     * failed unit, whose copies can no longer be revalidated. Removals
+     * count as evictions so the occupancy conservation law (occupancy
+     * == insertions - evictions since bulk invalidation, src/check)
+     * keeps holding; surviving ways are compacted so occupied ways
+     * remain a contiguous prefix, as the lookup fast path requires.
+     * @return the number of blocks dropped.
+     */
+    template <typename Pred>
+    std::uint64_t
+    invalidateMatching(Pred pred)
+    {
+        std::uint64_t dropped = 0;
+        for (std::uint64_t s = 0; s < nSets; ++s) {
+            if (setGen[s] != curGen)
+                continue; // logically empty since the last bulk clear
+            Way *set = &ways[s * assoc];
+            std::uint32_t keep = 0;
+            std::uint32_t w = 0;
+            for (; w < assoc && set[w].block != invalidAddr; ++w) {
+                if (pred(set[w].block))
+                    ++dropped;
+                else
+                    set[keep++] = set[w];
+            }
+            for (; keep < w; ++keep)
+                set[keep] = {invalidAddr, 0};
+        }
+        nOccupied -= dropped;
+        nEvicts += dropped;
+        return dropped;
+    }
+
     /** Clear all tags at the end of a timestamp (no writeback needed). */
     void
     bulkInvalidate()

@@ -209,6 +209,18 @@ knobTable()
                         sched.exchangeIntervalCycles),
         ABNDP_BOOL_KNOB("sched.exhaustiveScoring",
                         sched.exhaustiveScoring),
+        ABNDP_UINT_KNOB("fault.unitFailure.count",
+                        fault.unitFailure.count),
+        ABNDP_DOUBLE_KNOB("fault.unitFailure.failAtNs",
+                          fault.unitFailure.failAtNs),
+        ABNDP_DOUBLE_KNOB("fault.unitFailure.recoverAtNs",
+                          fault.unitFailure.recoverAtNs),
+        ABNDP_DOUBLE_KNOB("fault.unitFailure.ackTimeoutNs",
+                          fault.unitFailure.ackTimeoutNs),
+        ABNDP_DOUBLE_KNOB("fault.unitFailure.redispatchBackoffNs",
+                          fault.unitFailure.redispatchBackoffNs),
+        ABNDP_UINT_KNOB("fault.unitFailure.maxRedispatch",
+                        fault.unitFailure.maxRedispatch),
         ABNDP_UINT_KNOB("seed", seed),
     };
     return table;
@@ -301,6 +313,26 @@ sampleFuzzCase(Rng &rng)
     cfg.sched.exchangeIntervalCycles = 50000ull << rng.below(3);
     cfg.sched.exhaustiveScoring = rng.below(2) != 0;
 
+    // Unit-failure axis (~1 case in 3): kill a strict minority of
+    // units at a seeded time, half the time with a transient recovery
+    // window. Leg 3 (design invariance) keeps holding because the
+    // functional execution is placement-independent, and the armed
+    // checkers enforce task conservation under failure.
+    if (rng.below(3) == 0) {
+        auto &uf = cfg.fault.unitFailure;
+        uf.count = 1
+            + static_cast<std::uint32_t>(rng.below(cfg.numUnits() / 2));
+        uf.failAtNs = 100.0 * static_cast<double>(rng.below(20));
+        if (rng.below(2) != 0)
+            uf.recoverAtNs = uf.failAtNs
+                + 200.0 * (1.0 + static_cast<double>(rng.below(10)));
+        uf.ackTimeoutNs =
+            500.0 * (1.0 + static_cast<double>(rng.below(8)));
+        uf.redispatchBackoffNs =
+            100.0 * static_cast<double>(rng.below(8));
+        uf.maxRedispatch = 1 + static_cast<std::uint32_t>(rng.below(8));
+    }
+
     cfg.seed = 1 + rng.below(1ull << 20);
     cfg.checkInvariants = true;
 
@@ -348,6 +380,27 @@ fuzzConfigValid(const SystemConfig &cfg)
     if (cfg.sched.missPipelineDepth == 0 ||
         cfg.sched.missPipelineDepth > 64)
         return false;
+    const auto &uf = cfg.fault.unitFailure;
+    for (std::uint32_t u : uf.units)
+        if (u >= cfg.numUnits())
+            return false;
+    if (uf.enabled()) {
+        // Conservative mirror of validate(): explicit ids are counted
+        // without dedup (the sampler only ever draws count).
+        std::uint32_t nFailed = !uf.units.empty()
+            ? static_cast<std::uint32_t>(uf.units.size())
+            : uf.count;
+        if (nFailed >= cfg.numUnits())
+            return false;
+        if (uf.failAtNs < 0.0 || uf.recoverAtNs < 0.0)
+            return false;
+        if (uf.recoverAtNs != 0.0 && uf.recoverAtNs <= uf.failAtNs)
+            return false;
+        if (uf.ackTimeoutNs <= 0.0 || uf.redispatchBackoffNs < 0.0)
+            return false;
+        if (uf.maxRedispatch == 0)
+            return false;
+    }
     return true;
 }
 
@@ -395,6 +448,10 @@ metricsFingerprint(const RunMetrics &m)
     field(m.netDropped);
     field(m.netRetries);
     field(m.dramEccRetries);
+    field(m.unitsFailed);
+    field(m.tasksRecovered);
+    field(m.tasksRedispatched);
+    field(m.recoveryTrafficBytes);
     field(m.readLatMeanNs);
     field(m.readLatMaxNs);
     field(m.simEvents);

@@ -47,12 +47,16 @@ MachineChecker::onEpochStart(std::uint64_t epoch,
 
 void
 MachineChecker::onEpochEnd(std::uint64_t epoch,
-                           std::uint64_t executedTasks,
+                           std::uint64_t executedDirect,
+                           std::uint64_t executedRecovered,
                            std::uint64_t stagedTasks)
 {
     MemSystem &mem = sys.memSystem();
 
-    checkTaskConservation(ctx, epoch, startStaged, executedTasks);
+    checkTaskConservation(ctx, epoch, startStaged,
+                          executedDirect + executedRecovered);
+    checkTaskConservationUnderFailure(ctx, epoch, startStaged,
+                                      executedDirect, executedRecovered);
 
     std::uint64_t staged_sum = 0;
     std::uint64_t trav_hits = 0, trav_misses = 0, trav_inserts = 0;

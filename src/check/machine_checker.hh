@@ -62,10 +62,15 @@ class MachineChecker
      * queue drain, cache occupancy/hit-miss reconciliation, NoC hop
      * accounting, and energy monotonicity.
      *
-     * @param executedTasks tasks executed during this epoch
+     * @param executedDirect tasks executed on their assigned unit
+     * @param executedRecovered tasks executed after the unit-failure
+     *                          recovery protocol touched them (queue
+     *                          drain or delivery-ack redispatch); zero
+     *                          whenever no unit failure is configured
      * @param stagedTasks tasks staged for the next epoch so far
      */
-    void onEpochEnd(std::uint64_t epoch, std::uint64_t executedTasks,
+    void onEpochEnd(std::uint64_t epoch, std::uint64_t executedDirect,
+                    std::uint64_t executedRecovered,
                     std::uint64_t stagedTasks);
 
     /** Run-end hook: metrics reconciliation and bandwidth audits. */
@@ -83,6 +88,26 @@ class MachineChecker
                     executed,
                     " (a task was lost or ran twice across "
                     "forward/steal)");
+    }
+
+    /**
+     * Task conservation under unit failures: every staged task still
+     * executes exactly once — either directly on its assigned unit or
+     * after the recovery protocol re-injected it (queue drain or
+     * delivery-ack redispatch) — and the two splits are disjoint.
+     */
+    static void
+    checkTaskConservationUnderFailure(CheckContext &ctx,
+                                      std::uint64_t epoch,
+                                      std::uint64_t staged,
+                                      std::uint64_t direct,
+                                      std::uint64_t recovered)
+    {
+        ctx.require(staged == direct + recovered,
+                    "task conservation under failure: epoch ", epoch,
+                    " staged ", staged, " tasks but executed ", direct,
+                    " directly + ", recovered, " recovered (a task was "
+                    "lost, ran twice, or lost its recovery marker)");
     }
 
     /**

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Capped exponential backoff, shared by every retry mechanism in the
+ * simulator: faulty-link retransmission timeouts (LinkFaultConfig) and
+ * the unit-failure task-redispatch timer (UnitFailureConfig) compute
+ * their waits through this one helper, so the two state machines stay
+ * bit-identical in their arithmetic and are tested in one place
+ * (tests/test_backoff.cc).
+ */
+
+#ifndef ABNDP_COMMON_BACKOFF_HH
+#define ABNDP_COMMON_BACKOFF_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/**
+ * Backoff before retry @p attempt (0-based): @p base doubled per
+ * attempt, with the shift saturated at @p shiftCap so huge attempt
+ * counts cannot overflow the 64-bit tick arithmetic. attempt 0 waits
+ * @p base, attempt 1 waits 2x @p base, and so on.
+ */
+constexpr Tick
+cappedExpBackoff(Tick base, std::uint32_t attempt,
+                 std::uint32_t shiftCap = 16)
+{
+    return base << (attempt < shiftCap ? attempt : shiftCap);
+}
+
+} // namespace abndp
+
+#endif // ABNDP_COMMON_BACKOFF_HH

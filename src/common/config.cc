@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -149,6 +150,46 @@ SystemConfig::validate() const
               df.eccRetryProb);
     if (df.eccRetryNs < 0.0)
         fatal("dram eccRetryNs must be non-negative");
+
+    const auto &uf = fault.unitFailure;
+    for (std::uint32_t u : uf.units)
+        if (u >= numUnits())
+            fatal("failed unit id ", u, " is out of range (system has ",
+                  numUnits(), " units, ids 0..", numUnits() - 1, ")");
+    if (uf.enabled()) {
+        // Recovery re-homes dead ranges onto live buddies; killing the
+        // whole machine leaves nowhere to recover to.
+        std::uint32_t nFailed;
+        if (!uf.units.empty()) {
+            auto ids = uf.units;
+            std::sort(ids.begin(), ids.end());
+            ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+            nFailed = static_cast<std::uint32_t>(ids.size());
+        } else {
+            nFailed = uf.count;
+        }
+        if (nFailed >= numUnits())
+            fatal("unit failures must leave at least one live unit (",
+                  nFailed, " failures configured for ", numUnits(),
+                  " units)");
+        if (uf.failAtNs < 0.0 || uf.recoverAtNs < 0.0)
+            fatal("unit-failure failAtNs and recoverAtNs must be "
+                  "non-negative");
+        if (uf.recoverAtNs != 0.0 && uf.recoverAtNs <= uf.failAtNs)
+            fatal("unit-failure recoverAtNs (", uf.recoverAtNs,
+                  ") must exceed failAtNs (", uf.failAtNs,
+                  "), or be 0 for a permanent kill");
+        if (uf.ackTimeoutNs <= 0.0)
+            fatal("unit-failure ackTimeoutNs must be positive (a zero "
+                  "timeout redispatches every send instantly)");
+        if (uf.redispatchBackoffNs < 0.0)
+            fatal("unit-failure redispatchBackoffNs must be "
+                  "non-negative");
+        if (uf.maxRedispatch == 0)
+            fatal("unit-failure maxRedispatch must be nonzero (an "
+                  "undeliverable task needs at least one redispatch "
+                  "to reach a live unit)");
+    }
 }
 
 void
@@ -208,6 +249,20 @@ SystemConfig::print(std::ostream &os) const
         if (fault.dram.enabled())
             os << " dram ECC retry p=" << fault.dram.eccRetryProb << " (+"
                << fault.dram.eccRetryNs << "ns);";
+        if (fault.unitFailure.enabled())
+            os << " failed units="
+               << (fault.unitFailure.units.empty()
+                       ? fault.unitFailure.count
+                       : static_cast<std::uint32_t>(
+                             fault.unitFailure.units.size()))
+               << " (fail@" << fault.unitFailure.failAtNs << "ns, "
+               << (fault.unitFailure.recoverAtNs == 0.0
+                       ? std::string("permanent")
+                       : std::string("recover@")
+                             + std::to_string(
+                                   fault.unitFailure.recoverAtNs)
+                             + "ns")
+               << ");";
         os << "\n";
     }
 }

@@ -8,7 +8,7 @@ namespace abndp
 MemSystem::MemSystem(const SystemConfig &cfg, const Topology &topo,
                      const AddressMap &amap, EnergyAccount &energy,
                      FaultModel *faults, obs::Tracer *tracer)
-    : cfg(cfg), topo(topo), amap(amap), energy(energy),
+    : cfg(cfg), topo(topo), amap(amap), energy(energy), faults(faults),
       net(cfg, topo, energy, faults, tracer),
       camps(cfg, topo, amap),
       style(cfg.traveller.style),
@@ -75,7 +75,10 @@ MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start,
                          AccessLevel &served)
 {
     addr = blockAlign(addr);
-    UnitId home = amap.homeOf(addr);
+    // Degraded mode: a down home unit's range is served by its live
+    // buddy (replica semantics); identical to homeOf() with no unit
+    // failure active.
+    UnitId home = liveHomeOf(addr);
     served = AccessLevel::HomeDram;
 
     if (style == CacheStyle::None)
@@ -84,6 +87,10 @@ MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start,
     // Probe only the nearest candidate location (Section 4.3).
     UnitId camp = camps.nearestCandidate(addr, u);
     if (camp == home)
+        return homeRead(u, home, addr, start);
+    // A down camp cannot be probed (or filled): fall through to the
+    // effective home directly.
+    if (faults && faults->anyUnitDown() && !faults->isLive(camp))
         return homeRead(u, home, addr, start);
 
     Tick t = start;
@@ -167,11 +174,22 @@ void
 MemSystem::writeBlock(UnitId u, Addr addr, Tick start)
 {
     addr = blockAlign(addr);
-    UnitId home = amap.homeOf(addr);
+    UnitId home = liveHomeOf(addr);
     Tick t = start;
     if (home != u)
         t += net.transfer(u, home, PacketSizes::data, t).latency;
     drams[home]->access(addr, cachelineBytes, true, false, t);
+}
+
+std::uint64_t
+MemSystem::invalidateHomedOn(UnitId dead)
+{
+    std::uint64_t dropped = 0;
+    for (auto &cc : campCaches)
+        dropped += cc->invalidateMatching([this, dead](Addr block) {
+            return amap.homeOf(block) == dead;
+        });
+    return dropped;
 }
 
 void

@@ -71,6 +71,14 @@ class MemSystem
     /** Bulk-invalidate every unit's camp cache (end of timestamp). */
     void bulkInvalidate();
 
+    /**
+     * Unit-failure support: drop every camp-cache block whose home is
+     * @p dead (its copies can no longer be revalidated once the home
+     * range is re-homed onto a buddy).
+     * @return the total number of blocks dropped across all camps.
+     */
+    std::uint64_t invalidateHomedOn(UnitId dead);
+
     Network &network() { return net; }
     const Network &network() const { return net; }
     const CampMapping &campMapping() const { return camps; }
@@ -109,10 +117,25 @@ class MemSystem
     Tick readBlockImpl(UnitId u, Addr addr, Tick start,
                        AccessLevel &served);
 
+    /**
+     * Effective home of @p addr: the mapped home while it is live, its
+     * live buddy (FaultModel::rehomeOf) while the home unit is down.
+     * Exact identity whenever no unit failure is active.
+     */
+    UnitId
+    liveHomeOf(Addr addr) const
+    {
+        UnitId home = amap.homeOf(addr);
+        if (faults && faults->anyUnitDown() && !faults->isLive(home))
+            return faults->rehomeOf(home);
+        return home;
+    }
+
     const SystemConfig &cfg;
     const Topology &topo;
     const AddressMap &amap;
     EnergyAccount &energy;
+    FaultModel *faults;
 
     Network net;
     CampMapping camps;

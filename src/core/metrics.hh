@@ -69,6 +69,17 @@ struct RunMetrics
     /** DRAM accesses that paid an injected ECC-retry cycle. */
     std::uint64_t dramEccRetries = 0;
 
+    // Unit-failure recovery (all zero when no unit failure is
+    // configured; see docs/ARCHITECTURE.md).
+    /** Units that went down at least once during the run. */
+    std::uint64_t unitsFailed = 0;
+    /** Tasks drained from failing units' queues and re-injected. */
+    std::uint64_t tasksRecovered = 0;
+    /** Forward/steal deliveries redispatched after an ack timeout. */
+    std::uint64_t tasksRedispatched = 0;
+    /** Bytes shipped by the recovery protocol (drains + redispatch). */
+    std::uint64_t recoveryTrafficBytes = 0;
+
     /** End-to-end block read latency (ns) seen below the L1/buffers. */
     double readLatMeanNs = 0.0;
     double readLatMaxNs = 0.0;

@@ -37,6 +37,9 @@ NdpSystem::NdpSystem(const SystemConfig &cfg_)
     for (UnitId u = 0; u < cfg.numUnits(); ++u)
         units[u].init(cfg, u);
 
+    failuresOn = faults.unitFailuresEnabled();
+    acksOutstanding.assign(units.size(), 0);
+
     if (cfg.checkInvariants) {
         checker = std::make_unique<check::MachineChecker>(*this);
         mem.network().setCheckContext(&checker->context());
@@ -111,6 +114,32 @@ NdpSystem::buildStats()
                       return n;
                   },
                   obs::StatKind::Counter, true);
+
+    // Recovery stats exist only when a unit failure is configured, so
+    // failure-free stat dumps (and the golden suite) are unchanged.
+    if (cfg.fault.unitFailure.enabled()) {
+        obs::StatNode &rec = root.child("recovery");
+        rec.addValue("unitsDown",
+                     [this]() {
+                         return static_cast<double>(faults.downCount());
+                     },
+                     obs::StatKind::Gauge, true);
+        rec.addValue("tasksRecovered",
+                     [this]() {
+                         return static_cast<double>(tasksRecovered);
+                     },
+                     obs::StatKind::Counter, true);
+        rec.addValue("tasksRedispatched",
+                     [this]() {
+                         return static_cast<double>(tasksRedispatched);
+                     },
+                     obs::StatKind::Counter, true);
+        rec.addValue("recoveryTrafficBytes",
+                     [this]() {
+                         return static_cast<double>(recoveryTrafficBytes);
+                     },
+                     obs::StatKind::Counter, true);
+    }
 
     sched.regStats(root.child("sched"));
     mem.network().regStats(root.child("net"));
@@ -189,6 +218,8 @@ void
 NdpSystem::pumpScheduler(UnitId u)
 {
     auto &unit = units[u];
+    if (failuresOn && !faults.isLive(u))
+        return;
     if (unit.schedBusy || unit.pending.empty())
         return;
     unit.schedBusy = true;
@@ -198,6 +229,10 @@ NdpSystem::pumpScheduler(UnitId u)
     eq.scheduleIn(decision, [this, u] {
         auto &unit = units[u];
         unit.schedBusy = false;
+        // The unit may have died while the decision was in flight; its
+        // pending queue was drained by the recovery protocol.
+        if (failuresOn && !faults.isLive(u))
+            return;
         if (unit.pending.empty())
             return;
         Task task = std::move(unit.pending.front());
@@ -221,25 +256,38 @@ NdpSystem::pumpScheduler(UnitId u)
             bool reexamine = task.forwardHops < maxForwardHops;
             Tick t = eq.now();
             t += mem.network().transfer(u, dst, 32, t).latency;
-            auto moved = std::make_shared<Task>(std::move(task));
-            auto deliver = [this, dst, moved, reexamine] {
-                if (reexamine) {
-                    units[dst].pending.push_back(std::move(*moved));
-                    pumpScheduler(dst);
-                } else {
-                    units[dst].ready.push_back(std::move(*moved));
-                    tryDispatch(dst);
-                }
-            };
-            // The event kernel stores captures inline with no heap
-            // fallback; this forwarding closure (this + UnitId +
-            // shared_ptr<Task> + bool) is the largest one this file
-            // schedules and must fit the fixed slot.
-            static_assert(EventQueue::callbackFits<decltype(deliver)>,
-                          "NdpSystem forwarding capture no longer fits "
-                          "the event kernel's inline slot; grow "
-                          "EventQueue::callbackCapacity");
-            eq.schedule(t, std::move(deliver));
+            if (failuresOn) {
+                // Failure-tolerant path: the delivery carries an ack
+                // with a timeout; expiry redispatches the task to a
+                // live unit (docs/ARCHITECTURE.md).
+                auto tr = std::make_shared<TaskTransit>();
+                tr->task = std::move(task);
+                tr->from = u;
+                tr->dst = dst;
+                tr->reexamine = reexamine;
+                trackDelivery(tr, t);
+            } else {
+                auto moved = std::make_shared<Task>(std::move(task));
+                auto deliver = [this, dst, moved, reexamine] {
+                    if (reexamine) {
+                        units[dst].pending.push_back(std::move(*moved));
+                        pumpScheduler(dst);
+                    } else {
+                        units[dst].ready.push_back(std::move(*moved));
+                        tryDispatch(dst);
+                    }
+                };
+                // The event kernel stores captures inline with no heap
+                // fallback; this forwarding closure (this + UnitId +
+                // shared_ptr<Task> + bool) is the largest one this file
+                // schedules and must fit the fixed slot.
+                static_assert(
+                    EventQueue::callbackFits<decltype(deliver)>,
+                    "NdpSystem forwarding capture no longer fits "
+                    "the event kernel's inline slot; grow "
+                    "EventQueue::callbackCapacity");
+                eq.schedule(t, std::move(deliver));
+            }
         }
         pumpScheduler(u);
     });
@@ -265,6 +313,10 @@ void
 NdpSystem::tryDispatch(UnitId u)
 {
     auto &unit = units[u];
+    // A down unit dispatches nothing (fail-stop at task granularity:
+    // tasks already issued to cores complete, new work is refused).
+    if (failuresOn && !faults.isLive(u))
+        return;
     for (std::uint32_t c = 0; c < unit.cores.size(); ++c) {
         auto &core = unit.cores[c];
         if (core.busy)
@@ -292,6 +344,8 @@ NdpSystem::tryDispatch(UnitId u)
         core.activeTicks += end - now;
         epochBusy += end - now;
         ++epochTaskCount;
+        if (task.recovered)
+            ++epochRecoveredCount;
         ++core.tasksRun;
         ++totalTasks;
         if (tracer.enabled())
@@ -330,6 +384,10 @@ NdpSystem::attemptSteal(UnitId u)
     for (std::uint32_t i = 0; i < probes; ++i) {
         auto v = static_cast<UnitId>(unit.rng.below(units.size()));
         if (v == u)
+            continue;
+        // Never steal from a down unit: its queues were drained by the
+        // recovery protocol and it cannot answer the probe.
+        if (failuresOn && !faults.isLive(v))
             continue;
         std::size_t len = units[v].ready.size();
         if (len > best_len) {
@@ -386,6 +444,40 @@ NdpSystem::attemptSteal(UnitId u)
     t += mem.network().transfer(victim, u, desc_bytes, t).latency;
 
     unit.stealInFlight = true;
+    if (failuresOn) {
+        // Tracked delivery: the batch carries an ack with a timeout so
+        // a thief that dies with the batch in flight cannot lose it.
+        auto tr = std::make_shared<StealTransit>();
+        tr->batch = std::move(*stolen);
+        tr->victim = victim;
+        tr->thief = u;
+        ++acksOutstanding[u];
+        eq.schedule(t, [this, tr] {
+            if (tr->abandoned)
+                return;
+            tr->delivered = true;
+            --acksOutstanding[tr->thief];
+            units[tr->thief].stealInFlight = false;
+            if (!faults.isLive(tr->thief)) {
+                reinjectStealBatch(tr, false);
+                return;
+            }
+            auto &thief = units[tr->thief];
+            for (auto &task : tr->batch)
+                thief.ready.push_back(std::move(task));
+            tr->batch.clear();
+            tryDispatch(tr->thief);
+        });
+        eq.scheduleIn(faults.ackTimeoutTicks(), [this, tr] {
+            if (tr->delivered || tr->abandoned)
+                return;
+            tr->abandoned = true;
+            --acksOutstanding[tr->thief];
+            units[tr->thief].stealInFlight = false;
+            reinjectStealBatch(tr, true);
+        });
+        return;
+    }
     eq.schedule(t, [this, u, stolen] {
         auto &thief = units[u];
         thief.stealInFlight = false;
@@ -393,6 +485,244 @@ NdpSystem::attemptSteal(UnitId u)
             thief.ready.push_back(std::move(task));
         tryDispatch(u);
     });
+}
+
+void
+NdpSystem::armFailureTransitions()
+{
+    Tick now = eq.now();
+    Tick fail = faults.failAtTick();
+    Tick recover = faults.recoverAtTick();
+    if (!unitsDown && (recover == 0 || now < recover)) {
+        if (now >= fail) {
+            applyUnitFailures();
+        } else {
+            eq.schedule(fail, [this] {
+                if (!unitsDown)
+                    applyUnitFailures();
+            });
+        }
+    }
+    if (recover != 0) {
+        if (unitsDown && now >= recover) {
+            applyUnitRecovery();
+        } else if (now < recover) {
+            eq.schedule(recover, [this] {
+                if (unitsDown)
+                    applyUnitRecovery();
+            });
+        }
+    }
+}
+
+void
+NdpSystem::applyUnitFailures()
+{
+    unitsDown = true;
+    everFailed = true;
+    for (UnitId dead : faults.failedUnits())
+        faults.markDown(dead);
+    // Copies homed on a down unit can no longer be kept coherent with
+    // its re-homed range: purge them from every camp cache and
+    // prefetch buffer. The purges count as evictions, so the occupancy
+    // conservation law (src/check) keeps holding mid-epoch.
+    if (mem.cachingEnabled())
+        for (UnitId dead : faults.failedUnits())
+            mem.invalidateHomedOn(dead);
+    for (auto &unit : units)
+        unit.pb->invalidateMatching([this](Addr block) {
+            return !faults.isLive(alloc.map().homeOf(block));
+        });
+    // Drain every dead unit's queues and re-inject the tasks so no
+    // work is lost (task conservation under failure).
+    for (UnitId dead : faults.failedUnits())
+        recoverUnitTasks(dead);
+}
+
+void
+NdpSystem::applyUnitRecovery()
+{
+    unitsDown = false;
+    for (UnitId dead : faults.failedUnits())
+        faults.markUp(dead);
+    // The recovered units come back with empty queues; scheduling
+    // decisions, steals, and the next exchange snapshot repopulate
+    // them. Kick their dispatch loop so they can start stealing now.
+    for (UnitId u : faults.failedUnits())
+        tryDispatch(u);
+}
+
+void
+NdpSystem::recoverUnitTasks(UnitId dead)
+{
+    auto &unit = units[dead];
+    unit.prefetchedCount = 0;
+    while (!unit.pending.empty()) {
+        Task task = std::move(unit.pending.front());
+        unit.pending.pop_front();
+        reinjectLiveTask(dead, std::move(task));
+    }
+    while (!unit.ready.empty()) {
+        Task task = std::move(unit.ready.front());
+        unit.ready.pop_front();
+        reinjectLiveTask(dead, std::move(task));
+    }
+    // Staged (next-epoch) tasks re-stage onto live units keeping their
+    // queue kind; staging is bookkeeping, so no delivery events — only
+    // the descriptor traffic is modelled.
+    UnitId buddy = faults.rehomeOf(dead);
+    while (!unit.stagedPending.empty()) {
+        Task task = std::move(unit.stagedPending.front());
+        unit.stagedPending.pop_front();
+        task.recovered = true;
+        ++tasksRecovered;
+        recoveryTrafficBytes += 32;
+        mem.network().transfer(dead, buddy, 32, eq.now());
+        sched.onStolen(dead, buddy, task.loadEstimate);
+        units[buddy].stagedPending.push_back(std::move(task));
+    }
+    while (!unit.stagedReady.empty()) {
+        Task task = std::move(unit.stagedReady.front());
+        unit.stagedReady.pop_front();
+        task.recovered = true;
+        task.prefetched = false;
+        ++tasksRecovered;
+        UnitId dst = sched.choose(task, buddy);
+        recoveryTrafficBytes += 32;
+        mem.network().transfer(dead, dst, 32, eq.now());
+        sched.onStolen(dead, dst, task.loadEstimate);
+        units[dst].stagedReady.push_back(std::move(task));
+    }
+}
+
+void
+NdpSystem::reinjectLiveTask(UnitId dead, Task task)
+{
+    task.recovered = true;
+    task.prefetched = false;
+    ++tasksRecovered;
+    UnitId buddy = faults.rehomeOf(dead);
+    UnitId dst = sched.choose(task, buddy);
+    sched.onStolen(dead, dst, task.loadEstimate);
+    recoveryTrafficBytes += 32;
+    Tick t = eq.now();
+    t += mem.network().transfer(dead, dst, 32, t).latency;
+    auto moved = std::make_shared<Task>(std::move(task));
+    eq.schedule(t, [this, dst, moved] {
+        UnitId target = faults.isLive(dst) ? dst : faults.rehomeOf(dst);
+        units[target].ready.push_back(std::move(*moved));
+        tryDispatch(target);
+    });
+}
+
+void
+NdpSystem::trackDelivery(std::shared_ptr<TaskTransit> tr, Tick deliverAt)
+{
+    ++acksOutstanding[tr->dst];
+    auto deliver = [this, tr] {
+        // A dead receiver never acks; the timeout event recovers.
+        if (tr->abandoned || !faults.isLive(tr->dst))
+            return;
+        tr->delivered = true;
+        --acksOutstanding[tr->dst];
+        auto &unit = units[tr->dst];
+        if (tr->reexamine) {
+            unit.pending.push_back(std::move(tr->task));
+            pumpScheduler(tr->dst);
+        } else {
+            unit.ready.push_back(std::move(tr->task));
+            tryDispatch(tr->dst);
+        }
+    };
+    static_assert(EventQueue::callbackFits<decltype(deliver)>,
+                  "tracked-delivery capture no longer fits the event "
+                  "kernel's inline slot");
+    eq.schedule(deliverAt, std::move(deliver));
+    eq.scheduleIn(faults.ackTimeoutTicks(), [this, tr] {
+        if (tr->delivered || tr->abandoned)
+            return;
+        tr->abandoned = true;
+        --acksOutstanding[tr->dst];
+        redispatchTask(tr);
+    });
+}
+
+void
+NdpSystem::redispatchTask(std::shared_ptr<TaskTransit> tr)
+{
+    Task &task = tr->task;
+    task.recovered = true;
+    if (task.redispatchCount < faults.maxRedispatch())
+        ++task.redispatchCount;
+    ++tasksRedispatched;
+    // Exponential backoff (capped shift) before the resend; the
+    // creator's live buddy acts for it if the creator itself is down.
+    Tick wait = faults.redispatchBackoffTicks(task.redispatchCount - 1);
+    UnitId from = faults.isLive(tr->from) ? tr->from
+        : faults.rehomeOf(tr->from);
+    eq.scheduleIn(wait, [this, tr, from] {
+        auto nt = std::make_shared<TaskTransit>();
+        nt->task = std::move(tr->task);
+        nt->from = from;
+        nt->reexamine = false;
+        UnitId dst = sched.choose(nt->task, from);
+        sched.onStolen(tr->dst, dst, nt->task.loadEstimate);
+        nt->dst = dst;
+        recoveryTrafficBytes += 32;
+        Tick t = eq.now();
+        t += mem.network().transfer(from, dst, 32, t).latency;
+        if (nt->task.redispatchCount >= faults.maxRedispatch())
+            deliverDirect(nt, t);
+        else
+            trackDelivery(nt, t);
+    });
+}
+
+void
+NdpSystem::deliverDirect(std::shared_ptr<TaskTransit> tr, Tick deliverAt)
+{
+    // Unconditional delivery with a live fallback applied at arrival,
+    // so a task whose redispatch budget is burnt cannot strand on a
+    // unit that died while it was in flight.
+    eq.schedule(deliverAt, [this, tr] {
+        UnitId dst = tr->dst;
+        if (!faults.isLive(dst)) {
+            UnitId live = faults.rehomeOf(dst);
+            sched.onStolen(dst, live, tr->task.loadEstimate);
+            dst = live;
+        }
+        units[dst].ready.push_back(std::move(tr->task));
+        tryDispatch(dst);
+    });
+}
+
+void
+NdpSystem::reinjectStealBatch(std::shared_ptr<StealTransit> tr,
+                              bool timedOut)
+{
+    UnitId from = faults.isLive(tr->thief) ? tr->thief
+        : faults.rehomeOf(tr->thief);
+    for (auto &task : tr->batch) {
+        task.recovered = true;
+        task.prefetched = false;
+        if (timedOut)
+            ++tasksRedispatched;
+        else
+            ++tasksRecovered;
+        UnitId dst = sched.choose(task, from);
+        sched.onStolen(tr->thief, dst, task.loadEstimate);
+        recoveryTrafficBytes += 32;
+        Tick t = eq.now();
+        t += mem.network().transfer(from, dst, 32, t).latency;
+        auto moved = std::make_shared<Task>(std::move(task));
+        eq.schedule(t, [this, dst, moved] {
+            UnitId target = faults.isLive(dst) ? dst
+                : faults.rehomeOf(dst);
+            units[target].ready.push_back(std::move(*moved));
+            tryDispatch(target);
+        });
+    }
+    tr->batch.clear();
 }
 
 void
@@ -434,6 +764,12 @@ NdpSystem::startEpoch(std::uint64_t ts)
         activeRemaining += unit.beginEpoch();
     stagedCount = 0;
 
+    // Failure/recovery transitions must be re-armed every epoch: the
+    // barrier cancelled all pending events. Runs before the exchange
+    // snapshot so the first snapshot already sees the liveness mask.
+    if (failuresOn)
+        armFailureTransitions();
+
     if (windowPolicy || sched.stealingEnabled()) {
         // The barrier is already a global synchronization point, so the
         // workload information exchange piggybacks on it; further
@@ -458,23 +794,44 @@ NdpSystem::dumpStallDiagnostics(const std::string &reason,
         << " ns), epoch " << curEpoch << ", " << activeRemaining
         << " tasks live, " << eq.size() << " events pending, "
         << eq.executed() << " executed\n";
+    if (failuresOn) {
+        std::uint32_t unacked = 0;
+        for (std::uint32_t a : acksOutstanding)
+            unacked += a;
+        oss << "  liveness: " << units.size() - faults.downCount()
+            << "/" << units.size() << " units live, " << unacked
+            << " un-acked deliveries, " << tasksRecovered
+            << " tasks recovered, " << tasksRedispatched
+            << " redispatched\n";
+    }
     oss << "  per-unit queue depths (units with work or busy cores):\n";
     std::uint32_t listed = 0;
     constexpr std::uint32_t maxListed = 32;
     for (UnitId u = 0; u < units.size(); ++u) {
         const auto &unit = units[u];
         std::uint32_t busy = unit.busyCores();
-        if (unit.pending.empty() && unit.ready.empty() && busy == 0)
+        std::uint32_t unacked = failuresOn ? acksOutstanding[u] : 0;
+        bool down = failuresOn && !faults.isLive(u);
+        if (unit.pending.empty() && unit.ready.empty() && busy == 0
+            && unacked == 0 && !down)
             continue;
         if (++listed > maxListed) {
             oss << "    ... (further units elided)\n";
             break;
         }
         oss << "    unit " << u << ": pending=" << unit.pending.size()
-            << " ready=" << unit.ready.size() << " busyCores=" << busy
-            << (unit.schedBusy ? " schedBusy" : "")
-            << (unit.stealInFlight ? " stealInFlight" : "")
-            << (faults.isStraggler(u) ? " [straggler]" : "") << "\n";
+            << " ready=" << unit.ready.size() << " busyCores=" << busy;
+        if (unit.schedBusy)
+            oss << " schedBusy";
+        if (unit.stealInFlight)
+            oss << " stealInFlight";
+        if (unacked > 0)
+            oss << " unackedDeliveries=" << unacked;
+        if (down)
+            oss << " [down]";
+        if (faults.isStraggler(u))
+            oss << " [straggler]";
+        oss << "\n";
     }
     if (listed == 0)
         oss << "    (none: all queues empty and all cores idle)\n";
@@ -565,7 +922,8 @@ NdpSystem::run(Workload &wl)
                     false);
         }
         if (checker)
-            checker->onEpochEnd(ts, epochTaskCount, stagedCount);
+            checker->onEpochEnd(ts, epochTaskCount - epochRecoveredCount,
+                                epochRecoveredCount, stagedCount);
         eq.clearPending();
         exchangeScheduled = false;
         for (auto &unit : units)
@@ -592,6 +950,7 @@ NdpSystem::run(Workload &wl)
         }
         epochBusy = 0;
         epochTaskCount = 0;
+        epochRecoveredCount = 0;
 
         // Bulk-synchronous timestamp boundary: invalidate all cached
         // primary data (tag clear; no writebacks) and apply updates.
@@ -651,6 +1010,12 @@ NdpSystem::run(Workload &wl)
     }
     m.netDropped = mem.network().totalDropped();
     m.netRetries = mem.network().totalRetries();
+    m.unitsFailed = everFailed
+        ? static_cast<std::uint64_t>(faults.failedUnits().size())
+        : 0;
+    m.tasksRecovered = tasksRecovered;
+    m.tasksRedispatched = tasksRedispatched;
+    m.recoveryTrafficBytes = recoveryTrafficBytes;
     m.simEvents = eq.executed();
 
     if (checker)

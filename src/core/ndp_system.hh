@@ -132,6 +132,64 @@ class NdpSystem : public TaskSink
     [[noreturn]] void dumpStallDiagnostics(const std::string &reason,
                                            bool simulatorBug);
 
+    // ---- Unit-failure tolerance (docs/ARCHITECTURE.md) ----
+
+    /** A tracked task delivery awaiting its ack. */
+    struct TaskTransit
+    {
+        Task task;
+        UnitId from = invalidUnit;
+        UnitId dst = invalidUnit;
+        /** Receiver may re-forward (scheduling-window path). */
+        bool reexamine = false;
+        bool delivered = false;
+        /** Set on ack timeout: a late delivery event must drop it. */
+        bool abandoned = false;
+    };
+
+    /** A tracked steal-batch delivery awaiting its ack. */
+    struct StealTransit
+    {
+        std::vector<Task> batch;
+        UnitId victim = invalidUnit;
+        UnitId thief = invalidUnit;
+        bool delivered = false;
+        bool abandoned = false;
+    };
+
+    /**
+     * Re-arm this epoch's failure/recovery transitions. The barrier
+     * clears the event queue, so transitions still in the future must
+     * be rescheduled every epoch; past ones apply immediately (guarded
+     * by unitsDown so the application is idempotent).
+     */
+    void armFailureTransitions();
+
+    /** Take the configured unit set down and recover its queued work. */
+    void applyUnitFailures();
+
+    /** Bring the failed unit set back up (transient window end). */
+    void applyUnitRecovery();
+
+    /** Drain a dead unit's live and staged queues, re-injecting all. */
+    void recoverUnitTasks(UnitId dead);
+
+    /** Re-inject one live-queue task drained from a dead unit. */
+    void reinjectLiveTask(UnitId dead, Task task);
+
+    /** Ship a forwarded task with delivery-ack tracking. */
+    void trackDelivery(std::shared_ptr<TaskTransit> tr, Tick deliverAt);
+
+    /** Ack timeout expired: redispatch to a live unit after backoff. */
+    void redispatchTask(std::shared_ptr<TaskTransit> tr);
+
+    /** Redispatch budget burnt: deliver with a live-unit fallback. */
+    void deliverDirect(std::shared_ptr<TaskTransit> tr, Tick deliverAt);
+
+    /** Re-inject a steal batch whose thief died or whose ack expired. */
+    void reinjectStealBatch(std::shared_ptr<StealTransit> tr,
+                            bool timedOut);
+
     /** Populate the stats registry from every modelled unit. */
     void buildStats();
 
@@ -180,6 +238,23 @@ class NdpSystem : public TaskSink
     std::uint64_t stealAttempts = 0;
     std::uint64_t stolenTasks = 0;
     std::uint64_t forwardedTasks = 0;
+
+    // Unit-failure recovery state. All of it stays untouched (and all
+    // recovery code paths unreachable) unless failuresOn, so runs
+    // without a configured unit failure remain bit-identical.
+    /** Unit failures configured; gates every recovery path. */
+    bool failuresOn = false;
+    /** The configured failure set is currently applied. */
+    bool unitsDown = false;
+    /** The failure transition fired at least once this run. */
+    bool everFailed = false;
+    /** Per-destination deliveries sent but not yet acked. */
+    std::vector<std::uint32_t> acksOutstanding;
+    /** Tasks executed this epoch that the recovery protocol touched. */
+    std::uint64_t epochRecoveredCount = 0;
+    std::uint64_t tasksRecovered = 0;
+    std::uint64_t tasksRedispatched = 0;
+    std::uint64_t recoveryTrafficBytes = 0;
 };
 
 } // namespace abndp

@@ -107,6 +107,40 @@ struct DramFaultConfig
 };
 
 /**
+ * Failed NDP units: a chosen subset of units stops accepting work at a
+ * configured point in simulated time — permanently (a dead vault) or
+ * for a transient down-window (a unit-level reset). Unlike the latency
+ * deratings above, this is a *loss* fault: the recovery protocol
+ * (docs/ARCHITECTURE.md) drains the failing unit's queues, re-homes
+ * its address range onto a live buddy, and redispatches undelivered
+ * forwarded/stolen tasks after an ack timeout with capped exponential
+ * backoff, so every staged task still executes exactly once.
+ */
+struct UnitFailureConfig
+{
+    /** Explicit failed unit ids; takes precedence over @ref count. */
+    std::vector<std::uint32_t> units;
+    /** Number of failed units picked deterministically from the seed. */
+    std::uint32_t count = 0;
+    /** Simulated time at which the set goes down (may be mid-epoch). */
+    double failAtNs = 0.0;
+    /** Time the units come back up; 0 means a permanent kill. */
+    double recoverAtNs = 0.0;
+    /**
+     * Base delivery-ack timeout for forwarded/stolen tasks: a send not
+     * acknowledged within this window (doubled per redispatch attempt,
+     * see common/backoff.hh) is redispatched to a live unit.
+     */
+    double ackTimeoutNs = 2000.0;
+    /** Base backoff added before each redispatch attempt. */
+    double redispatchBackoffNs = 500.0;
+    /** Redispatch budget per task before delivery is forced direct. */
+    std::uint32_t maxRedispatch = 8;
+
+    bool enabled() const { return count > 0 || !units.empty(); }
+};
+
+/**
  * Epoch watchdog: abort with a diagnostic dump of per-unit queue depths
  * instead of hanging silently when one bulk-synchronous epoch exceeds
  * the configured simulated-time or event budget (0 = unlimited).
@@ -127,13 +161,15 @@ struct FaultConfig
     StragglerFaultConfig straggler;
     LinkFaultConfig link;
     DramFaultConfig dram;
+    UnitFailureConfig unitFailure;
     WatchdogConfig watchdog;
 
     /** Any injector (not the watchdog) active? */
     bool
     anyInjector() const
     {
-        return straggler.enabled() || link.enabled() || dram.enabled();
+        return straggler.enabled() || link.enabled() || dram.enabled()
+            || unitFailure.enabled();
     }
 };
 

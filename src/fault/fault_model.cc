@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/backoff.hh"
+
 namespace abndp
 {
 
@@ -53,6 +55,15 @@ FaultModel::FaultModel(const SystemConfig &sysCfg)
       extraTicks(static_cast<Tick>(cfg.link.extraLatencyNs * ticksPerNs)),
       backoffTicks(static_cast<Tick>(cfg.link.retryBackoffNs * ticksPerNs)),
       eccTicks(static_cast<Tick>(cfg.dram.eccRetryNs * ticksPerNs)),
+      liveMask(sysCfg.numUnits(), 1),
+      rehome(sysCfg.numUnits()),
+      failTick(static_cast<Tick>(cfg.unitFailure.failAtNs * ticksPerNs)),
+      recoverTick(static_cast<Tick>(cfg.unitFailure.recoverAtNs
+                                    * ticksPerNs)),
+      ackTicks(static_cast<Tick>(cfg.unitFailure.ackTimeoutNs
+                                 * ticksPerNs)),
+      redispatchTicks(static_cast<Tick>(cfg.unitFailure.redispatchBackoffNs
+                                        * ticksPerNs)),
       linkRng(mix64(sysCfg.seed ^ 0xFA177001ull))
 {
     stragglerIds = resolveSet(cfg.straggler.units, cfg.straggler.count,
@@ -68,6 +79,62 @@ FaultModel::FaultModel(const SystemConfig &sysCfg)
         linkMask.assign(nLinks, 0);
         for (std::uint32_t l : faulty)
             linkMask[l] = 1;
+    }
+
+    if (cfg.unitFailure.enabled())
+        failedIds = resolveSet(cfg.unitFailure.units,
+                               cfg.unitFailure.count, sysCfg.numUnits(),
+                               sysCfg.seed ^ 0xFA177004ull);
+    recomputeRehome();
+}
+
+Tick
+FaultModel::retryBackoffTicks(std::uint32_t attempt) const
+{
+    return cappedExpBackoff(backoffTicks, attempt);
+}
+
+Tick
+FaultModel::redispatchBackoffTicks(std::uint32_t attempt) const
+{
+    return cappedExpBackoff(redispatchTicks, attempt);
+}
+
+void
+FaultModel::markDown(UnitId u)
+{
+    if (liveMask[u] == 0)
+        return;
+    liveMask[u] = 0;
+    ++nDown;
+    recomputeRehome();
+}
+
+void
+FaultModel::markUp(UnitId u)
+{
+    if (liveMask[u] != 0)
+        return;
+    liveMask[u] = 1;
+    --nDown;
+    recomputeRehome();
+}
+
+void
+FaultModel::recomputeRehome()
+{
+    // Buddy re-homing rule: a down unit is stood in for by the next
+    // live unit in id order (wrapping) — deterministic, stateless, and
+    // identical on every consumer. Live units stand in for themselves.
+    const auto n = static_cast<UnitId>(liveMask.size());
+    for (UnitId u = 0; u < n; ++u) {
+        UnitId cand = u;
+        for (UnitId step = 0; step < n; ++step) {
+            if (liveMask[cand] != 0)
+                break;
+            cand = cand + 1 == n ? 0 : cand + 1;
+        }
+        rehome[u] = cand;
     }
 }
 

@@ -98,18 +98,71 @@ class FaultModel
     }
 
     /** Sender timeout before retransmission @p attempt (exponential). */
-    Tick
-    retryBackoffTicks(std::uint32_t attempt) const
-    {
-        return backoffTicks << (attempt < 16 ? attempt : 16);
-    }
+    Tick retryBackoffTicks(std::uint32_t attempt) const;
 
     // ---- DRAM error-retry ----
 
     double eccRetryProb() const { return cfg.dram.eccRetryProb; }
     Tick eccRetryTicks() const { return eccTicks; }
 
+    // ---- Unit failures (fail-stop; see docs/ARCHITECTURE.md) ----
+    //
+    // The FaultModel owns the liveness mask and the deterministic
+    // re-home map; the epoch engine drives the down/up transitions
+    // (markDown/markUp) at the configured simulated times, and every
+    // consumer — scheduler, memory system, steal probes — consults
+    // isLive()/rehomeOf() instead of keeping private copies.
+
+    /** Is the unit-failure injector configured at all? */
+    bool unitFailuresEnabled() const { return cfg.unitFailure.enabled(); }
+
+    /** The resolved failure set, in unit-id order. */
+    const std::vector<UnitId> &failedUnits() const { return failedIds; }
+
+    /** Is unit @p u currently accepting work? */
+    bool isLive(UnitId u) const { return liveMask[u] != 0; }
+
+    /** Any unit currently down (fast no-failure path check)? */
+    bool anyUnitDown() const { return nDown > 0; }
+
+    /** Units currently down. */
+    std::uint32_t downCount() const { return nDown; }
+
+    /**
+     * The live unit serving unit @p u's role while @p u is down: the
+     * next live unit in id order (wrapping), i.e. @p u itself while it
+     * is live. validate() guarantees at least one live unit exists.
+     */
+    UnitId rehomeOf(UnitId u) const { return rehome[u]; }
+
+    /** Take unit @p u down (idempotent); recomputes the re-home map. */
+    void markDown(UnitId u);
+
+    /** Bring unit @p u back up (idempotent). */
+    void markUp(UnitId u);
+
+    /** Tick at which the failure set goes down. */
+    Tick failAtTick() const { return failTick; }
+
+    /** Tick of recovery; 0 means the kill is permanent. */
+    Tick recoverAtTick() const { return recoverTick; }
+
+    /** Base delivery-ack timeout for forwarded/stolen tasks. */
+    Tick ackTimeoutTicks() const { return ackTicks; }
+
+    /** Backoff before redispatch @p attempt (capped exponential). */
+    Tick redispatchBackoffTicks(std::uint32_t attempt) const;
+
+    /** Redispatch budget per task. */
+    std::uint32_t
+    maxRedispatch() const
+    {
+        return cfg.unitFailure.maxRedispatch;
+    }
+
   private:
+    void recomputeRehome();
+
     bool
     windowActive(Tick now) const
     {
@@ -132,6 +185,15 @@ class FaultModel
     Tick extraTicks;
     Tick backoffTicks;
     Tick eccTicks;
+
+    std::vector<UnitId> failedIds;
+    std::vector<std::uint8_t> liveMask;  // unit -> currently live?
+    std::vector<UnitId> rehome;          // unit -> live stand-in
+    std::uint32_t nDown = 0;
+    Tick failTick;
+    Tick recoverTick;
+    Tick ackTicks;
+    Tick redispatchTicks;
 
     Rng linkRng;
 };

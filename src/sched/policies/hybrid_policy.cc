@@ -10,7 +10,9 @@ HybridPolicy::choose(Scheduler &sched, const Task &task, UnitId creator)
 {
     // Eq. 1: costmem (camp-aware when a cache layer holds copies),
     // plus the descriptor shipping cost, plus B * costload from the
-    // creator's (possibly stale) view of the system.
+    // creator's (possibly stale) view of the system. Both argmin
+    // variants and the tie resolution consult the liveness mask while
+    // a unit failure is active, so a down unit never wins Eq. 1.
     sched.scoreCostMem(task, sched.campAwareScoring());
     sched.addForwardPenalty(creator);
     sched.addCostLoad(creator);

@@ -1,5 +1,6 @@
 #include "sched/policies/local_policy.hh"
 
+#include "sched/scheduler.hh"
 #include "tasking/task.hh"
 
 namespace abndp
@@ -8,9 +9,10 @@ namespace abndp
 UnitId
 LocalPolicy::choose(Scheduler &sched, const Task &task, UnitId creator)
 {
-    (void)sched;
     (void)creator;
-    return task.mainHome;
+    // Degraded mode: when the main home is down, fall back to the live
+    // buddy now serving its address range (exact identity otherwise).
+    return sched.liveTarget(task.mainHome);
 }
 
 } // namespace abndp

@@ -10,7 +10,10 @@ MemMatchPolicy::choose(Scheduler &sched, const Task &task, UnitId creator)
 {
     // Pure data-affinity scoring: camp copies are not consulted even
     // when a cache layer is present (design C matches the paper's
-    // lowest-distance baseline, which is cache-oblivious).
+    // lowest-distance baseline, which is cache-oblivious). Under an
+    // active unit failure argminAllUnits/resolveTies score live units
+    // only, so the lowest-distance choice degrades to the nearest
+    // live unit.
     sched.scoreCostMem(task, false);
     return sched.resolveTies(task, creator, sched.argminAllUnits());
 }

@@ -18,6 +18,11 @@ UnitId
 WorkStealingPolicy::choose(Scheduler &sched, const Task &task,
                            UnitId creator)
 {
+    // Placement delegates to the inner policy (which is liveness-
+    // masked through the scheduler's scoring services); the stealing
+    // side of degraded mode — never probing a down victim, recovering
+    // a batch whose thief died in flight — lives in the epoch engine
+    // (NdpSystem::attemptSteal).
     return wrapped->choose(sched, task, creator);
 }
 

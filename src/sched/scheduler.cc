@@ -188,6 +188,19 @@ Scheduler::addCostLoad(UnitId creator)
 UnitId
 Scheduler::argminAllUnits() const
 {
+    // Degraded mode: a down unit must never win a placement decision.
+    // The mask is consulted only while a failure is active, so the
+    // no-fault argmin (and with it every golden run) is untouched.
+    if (faults && faults->anyUnitDown()) {
+        UnitId best = invalidUnit;
+        for (UnitId u = 0; u < nUnits; ++u) {
+            if (!faults->isLive(u))
+                continue;
+            if (best == invalidUnit || unitScore[u] < unitScore[best])
+                best = u;
+        }
+        return best;
+    }
     UnitId best = 0;
     for (UnitId u = 1; u < nUnits; ++u)
         if (unitScore[u] < unitScore[best])
@@ -219,10 +232,16 @@ Scheduler::argminPruned(const Task &task, UnitId creator)
     }
     for (UnitId u : idleHint)
         set.push_back(u);
+    // set.front() is the creator: the only caller guaranteed live even
+    // in degraded mode (dead units make no placement decisions).
+    const bool masked = faults && faults->anyUnitDown();
     UnitId best = set.front();
-    for (UnitId u : set)
+    for (UnitId u : set) {
+        if (masked && !faults->isLive(u))
+            continue;
         if (unitScore[u] < unitScore[best])
             best = u;
+    }
     return best;
 }
 
@@ -230,11 +249,15 @@ UnitId
 Scheduler::resolveTies(const Task &task, UnitId creator, UnitId best) const
 {
     // Ties (e.g., a cold camp scoring like the home) must not move the
-    // task: prefer the creating unit, then the main element's home.
+    // task: prefer the creating unit, then the main element's home —
+    // but never a down unit while a failure is active.
     constexpr double eps = 1e-9;
-    if (unitScore[creator] <= unitScore[best] + eps)
+    const bool masked = faults && faults->anyUnitDown();
+    if ((!masked || faults->isLive(creator))
+        && unitScore[creator] <= unitScore[best] + eps)
         return creator;
     if (task.mainHome < nUnits
+        && (!masked || faults->isLive(task.mainHome))
         && unitScore[task.mainHome] <= unitScore[best] + eps)
         return task.mainHome;
     return best;
@@ -303,11 +326,17 @@ Scheduler::exchangeSnapshot(Tick now)
     // hint depth is capped by the unit count: machines smaller than
     // the nominal 8-entry hint must not sort past the end.
     if (!exhaustiveScoring) {
-        const std::size_t hintDepth =
-            std::min<std::size_t>(8, nUnits);
-        idleHint.resize(nUnits);
+        // Down units are excluded from the idle hint: an "idle" dead
+        // unit would otherwise look like the perfect steal/forward
+        // target. With no failure active the candidate list is the
+        // full 0..nUnits-1 sequence as before.
+        const bool masked = faults && faults->anyUnitDown();
+        idleHint.clear();
         for (UnitId u = 0; u < nUnits; ++u)
-            idleHint[u] = u;
+            if (!masked || faults->isLive(u))
+                idleHint.push_back(u);
+        const std::size_t hintDepth =
+            std::min<std::size_t>(8, idleHint.size());
         std::partial_sort(idleHint.begin(),
                           idleHint.begin() + hintDepth,
                           idleHint.end(), [this](UnitId a, UnitId b) {

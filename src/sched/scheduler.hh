@@ -129,6 +129,20 @@ class Scheduler
     /** Whether camp locations count as data copies in costmem (§4.3). */
     bool campAwareScoring() const { return campAware; }
 
+    /**
+     * Graceful-degradation service: @p u itself while it is live, its
+     * deterministic live stand-in (FaultModel::rehomeOf buddy) while it
+     * is down. Exact identity whenever no unit failure is active, so
+     * the no-fault decision stream is untouched.
+     */
+    UnitId
+    liveTarget(UnitId u) const
+    {
+        if (faults && faults->anyUnitDown() && !faults->isLive(u))
+            return faults->rehomeOf(u);
+        return u;
+    }
+
     /** Fill unitScore with costmem for all units (Eq. 2). */
     void scoreCostMem(const Task &task, bool withCamps);
 

@@ -93,6 +93,15 @@ struct Task
     bool prefetched = false;
     /** Times this task was forwarded between scheduling windows. */
     std::uint8_t forwardHops = 0;
+    /**
+     * True once the unit-failure recovery protocol touched this task:
+     * drained from a failing unit's queues, or redispatched after a
+     * delivery-ack timeout. Feeds the task-conservation-under-failure
+     * law (staged == executed-direct + executed-recovered, src/check).
+     */
+    bool recovered = false;
+    /** Delivery-ack redispatch attempts consumed (capped backoff). */
+    std::uint8_t redispatchCount = 0;
 };
 
 /**

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the shared capped-exponential-backoff helper
+ * (src/common/backoff.hh) and its two consumers: faulty-link
+ * retransmission waits and unit-failure redispatch waits must both be
+ * bit-identical to the helper (one arithmetic, two state machines).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/backoff.hh"
+#include "common/config.hh"
+#include "fault/fault_model.hh"
+
+namespace abndp
+{
+
+TEST(CappedExpBackoff, DoublesPerAttempt)
+{
+    constexpr Tick base = 250 * ticksPerNs;
+    EXPECT_EQ(cappedExpBackoff(base, 0), base);
+    EXPECT_EQ(cappedExpBackoff(base, 1), 2 * base);
+    EXPECT_EQ(cappedExpBackoff(base, 2), 4 * base);
+    EXPECT_EQ(cappedExpBackoff(base, 10), base << 10);
+}
+
+TEST(CappedExpBackoff, ShiftSaturatesAtCap)
+{
+    constexpr Tick base = 100;
+    EXPECT_EQ(cappedExpBackoff(base, 16), base << 16);
+    // Past the cap the wait stays flat instead of overflowing.
+    EXPECT_EQ(cappedExpBackoff(base, 17), base << 16);
+    EXPECT_EQ(cappedExpBackoff(base, std::numeric_limits<
+                  std::uint32_t>::max()), base << 16);
+    // Custom cap.
+    EXPECT_EQ(cappedExpBackoff(base, 9, 4), base << 4);
+}
+
+TEST(CappedExpBackoff, ZeroBaseStaysZero)
+{
+    EXPECT_EQ(cappedExpBackoff(0, 0), 0u);
+    EXPECT_EQ(cappedExpBackoff(0, 40), 0u);
+}
+
+TEST(CappedExpBackoff, ConstexprUsable)
+{
+    static_assert(cappedExpBackoff(5, 3) == 40, "must fold at compile "
+                  "time");
+    SUCCEED();
+}
+
+TEST(CappedExpBackoff, MatchesLinkRetryBackoff)
+{
+    // The faulty-link retransmission timer delegates to the helper;
+    // its waits must equal the helper applied to the configured base.
+    SystemConfig cfg = applyDesign(SystemConfig{}, Design::B);
+    cfg.fault.link.count = 1;
+    cfg.fault.link.dropProb = 0.5;
+    cfg.validate();
+    FaultModel fm(cfg);
+    const Tick base = static_cast<Tick>(cfg.fault.link.retryBackoffNs
+                                        * ticksPerNs);
+    for (std::uint32_t attempt = 0; attempt < 24; ++attempt)
+        EXPECT_EQ(fm.retryBackoffTicks(attempt),
+                  cappedExpBackoff(base, attempt))
+            << "attempt " << attempt;
+}
+
+TEST(CappedExpBackoff, MatchesUnitRedispatchBackoff)
+{
+    SystemConfig cfg = applyDesign(SystemConfig{}, Design::B);
+    cfg.fault.unitFailure.count = 1;
+    cfg.fault.unitFailure.redispatchBackoffNs = 750.0;
+    cfg.validate();
+    FaultModel fm(cfg);
+    const Tick base = static_cast<Tick>(
+        cfg.fault.unitFailure.redispatchBackoffNs * ticksPerNs);
+    for (std::uint32_t attempt = 0; attempt < 24; ++attempt)
+        EXPECT_EQ(fm.redispatchBackoffTicks(attempt),
+                  cappedExpBackoff(base, attempt))
+            << "attempt " << attempt;
+}
+
+} // namespace abndp

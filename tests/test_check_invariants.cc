@@ -179,6 +179,22 @@ TEST(CheckerPerturbation, BucketFillFires)
     EXPECT_NE(ctx.violations()[0].find("overbooked"), std::string::npos);
 }
 
+TEST(CheckerPerturbation, TaskConservationUnderFailureFires)
+{
+    // The failure-mode split law: staged == direct + recovered. A lost
+    // task, a double-run, or a dropped recovery marker all surface as
+    // an imbalance between the three counters.
+    check::CheckContext ctx;
+    check::MachineChecker::checkTaskConservationUnderFailure(ctx, 2, 10,
+                                                             7, 3);
+    EXPECT_TRUE(ctx.clean());
+    check::MachineChecker::checkTaskConservationUnderFailure(ctx, 2, 10,
+                                                             7, 2);
+    ASSERT_FALSE(ctx.clean());
+    EXPECT_NE(ctx.violations()[0].find("task conservation under failure"),
+              std::string::npos);
+}
+
 TEST(CheckerPerturbation, EpochHookDetectsLostTask)
 {
     // End-to-end through the hook: a freshly built machine whose epoch
@@ -190,7 +206,7 @@ TEST(CheckerPerturbation, EpochHookDetectsLostTask)
     ASSERT_NE(checker, nullptr);
     checker->context().setCollect(true);
     checker->onEpochStart(0, 5);
-    checker->onEpochEnd(0, 3, 0);
+    checker->onEpochEnd(0, 3, 0, 0);
     bool found = false;
     for (const auto &v : checker->context().violations())
         found |= v.find("task conservation") != std::string::npos;

@@ -208,6 +208,74 @@ TEST(ConfigValidateDeath, RejectsRemainingFaultGaps)
     EXPECT_DEATH(cfg3.validate(), "exceeds the directed");
 }
 
+// ---- validate(): unit failures ----------------------------------------
+
+TEST(ConfigValidateDeath, RejectsOutOfRangeFailedUnit)
+{
+    auto cfg = plainConfig();
+    cfg.fault.unitFailure.units = {cfg.numUnits()};
+    EXPECT_DEATH(cfg.validate(), "failed unit id .* is out of range");
+}
+
+TEST(ConfigValidateDeath, RejectsKillingEveryUnit)
+{
+    auto cfg = plainConfig();
+    cfg.fault.unitFailure.count = cfg.numUnits();
+    EXPECT_DEATH(cfg.validate(),
+                 "unit failures must leave at least one live unit");
+    // Duplicated explicit ids must not evade the live-unit floor.
+    auto cfg2 = plainConfig();
+    for (UnitId u = 0; u < cfg2.numUnits(); ++u) {
+        cfg2.fault.unitFailure.units.push_back(u);
+        cfg2.fault.unitFailure.units.push_back(u);
+    }
+    EXPECT_DEATH(cfg2.validate(),
+                 "unit failures must leave at least one live unit");
+}
+
+TEST(ConfigValidateDeath, RejectsNegativeFailureTimes)
+{
+    auto cfg = plainConfig();
+    cfg.fault.unitFailure.count = 1;
+    cfg.fault.unitFailure.failAtNs = -1.0;
+    EXPECT_DEATH(cfg.validate(),
+                 "failAtNs and recoverAtNs must be non-negative");
+}
+
+TEST(ConfigValidateDeath, RejectsRecoveryBeforeFailure)
+{
+    auto cfg = plainConfig();
+    cfg.fault.unitFailure.count = 1;
+    cfg.fault.unitFailure.failAtNs = 500.0;
+    cfg.fault.unitFailure.recoverAtNs = 500.0;
+    EXPECT_DEATH(cfg.validate(), "must exceed failAtNs");
+}
+
+TEST(ConfigValidateDeath, RejectsNonPositiveAckTimeout)
+{
+    auto cfg = plainConfig();
+    cfg.fault.unitFailure.count = 1;
+    cfg.fault.unitFailure.ackTimeoutNs = 0.0;
+    EXPECT_DEATH(cfg.validate(), "ackTimeoutNs must be positive");
+}
+
+TEST(ConfigValidateDeath, RejectsNegativeRedispatchBackoff)
+{
+    auto cfg = plainConfig();
+    cfg.fault.unitFailure.count = 1;
+    cfg.fault.unitFailure.redispatchBackoffNs = -1.0;
+    EXPECT_DEATH(cfg.validate(),
+                 "redispatchBackoffNs must be\\s+non-negative");
+}
+
+TEST(ConfigValidateDeath, RejectsZeroMaxRedispatch)
+{
+    auto cfg = plainConfig();
+    cfg.fault.unitFailure.count = 1;
+    cfg.fault.unitFailure.maxRedispatch = 0;
+    EXPECT_DEATH(cfg.validate(), "maxRedispatch must be nonzero");
+}
+
 // ---- design helpers ---------------------------------------------------
 
 TEST(ConfigValidateDeath, UnknownDesignPanics)
