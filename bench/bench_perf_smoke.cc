@@ -14,6 +14,11 @@
  * nonzero when throughput regressed by more than --tolerance (default
  * 0.10). A missing or unparsable baseline warns and passes, so the
  * first CI run on a fresh cache succeeds.
+ *
+ * --workloads=pr,bfs and --designs=B,O subset the grid (comma-
+ * separated workload names / Table-2 design letters), so expensive
+ * large-scale records (e.g. the scale-20 guard in CI) can track a
+ * single representative cell instead of the full default grid.
  */
 
 #include <chrono>
@@ -47,6 +52,19 @@ extractJsonNumber(const std::string &json, const std::string &key,
     return true;
 }
 
+/** Split a comma-separated flag value; empty fields are dropped. */
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(s);
+    std::string tok;
+    while (std::getline(iss, tok, ','))
+        if (!tok.empty())
+            out.push_back(tok);
+    return out;
+}
+
 } // namespace
 
 int
@@ -56,17 +74,26 @@ main(int argc, char **argv)
     using namespace abndp::bench;
 
     Options opts = parseOptions(argc, argv, /*sweepBench=*/true);
-    // Fixed grid: two contrasting workloads on the baseline and the
-    // full design; --scale only changes fidelity, not the grid.
     std::uint32_t scale = static_cast<std::uint32_t>(
         opts.flags.getUint("scale", 12));
     opts.scale = scale;
     const std::string outPath = opts.flags.getString("out", "");
 
+    // Default grid: two contrasting workloads on the baseline and the
+    // full design; --workloads/--designs subset it for targeted
+    // records (the order is workload-major, matching the default).
+    const std::vector<std::string> wls =
+        splitCsv(opts.flags.getString("workloads", "pr,bfs"));
+    const std::vector<std::string> designNames =
+        splitCsv(opts.flags.getString("designs", "B,O"));
+    if (wls.empty() || designNames.empty())
+        fatal("--workloads/--designs must name at least one cell");
+
     std::vector<CellSpec> grid;
-    for (const char *wl : {"pr", "bfs"})
-        for (Design d : {Design::B, Design::O})
-            grid.push_back(cellFor(d, specFor(wl, opts), opts));
+    for (const std::string &wl : wls)
+        for (const std::string &dn : designNames)
+            grid.push_back(
+                cellFor(designFromName(dn), specFor(wl, opts), opts));
 
     auto start = std::chrono::steady_clock::now();
     std::vector<RunMetrics> results = runGrid(opts, grid);
@@ -82,9 +109,17 @@ main(int argc, char **argv)
 
     std::uint32_t threads = opts.threads ? opts.threads
                                          : defaultThreads();
+    auto joinCsv = [](const std::vector<std::string> &v) {
+        std::string s;
+        for (const std::string &e : v)
+            s += (s.empty() ? "" : ",") + e;
+        return s;
+    };
     std::ostringstream json;
     json << "{\"bench\":\"perf_smoke\""
          << ",\"scale\":" << scale
+         << ",\"workloads\":\"" << joinCsv(wls) << "\""
+         << ",\"designs\":\"" << joinCsv(designNames) << "\""
          << ",\"threads\":" << threads
          << ",\"cells\":" << grid.size()
          << ",\"sim_events\":" << events

@@ -38,6 +38,31 @@ CampMapping::CampMapping(const SystemConfig &cfg, const Topology &topo,
     nTagBitsFree = cap_bits - cachelineBits - set_bits;
     std::uint32_t unit_bits = log2u64(topo.unitsPerGroup());
     nTagBits = nTagBitsFree >= unit_bits ? nTagBitsFree - unit_bits : 0;
+
+    // Flatten the per-group unit lists and salts for the per-access
+    // loops below; power-of-two group sizes index with a mask instead
+    // of a 64-bit modulo.
+    upg = topo.unitsPerGroup();
+    upgPow2 = upg > 0 && (upg & (upg - 1)) == 0;
+    upgMask = upg - 1;
+    const GroupId ngroups = topo.numGroups();
+    groupUnitsFlat.resize(static_cast<std::size_t>(ngroups) * upg);
+    salts.resize(ngroups);
+    for (GroupId g = 0; g < ngroups; ++g) {
+        salts[g] = groupSalt(g);
+        for (std::uint32_t i = 0; i < upg; ++i)
+            groupUnitsFlat[static_cast<std::size_t>(g) * upg + i] =
+                topo.unitInGroup(g, i);
+    }
+}
+
+UnitId
+CampMapping::campOf(std::uint64_t block, GroupId g) const
+{
+    std::uint64_t h = useSkew ? mix64(block ^ salts[g]) : mix64(block);
+    auto idx = static_cast<std::uint32_t>(
+        upgPow2 ? (h & upgMask) : (h % upg));
+    return groupUnitsFlat[static_cast<std::size_t>(g) * upg + idx];
 }
 
 UnitId
@@ -46,28 +71,32 @@ CampMapping::locationInGroup(Addr addr, GroupId g) const
     UnitId home = amap.homeOf(addr);
     if (topo.groupOf(home) == g)
         return home;
-    std::uint64_t block = blockNumber(addr);
-    std::uint64_t h = useSkew ? mix64(block ^ groupSalt(g)) : mix64(block);
-    auto idx = static_cast<std::uint32_t>(h % topo.unitsPerGroup());
-    return topo.unitInGroup(g, idx);
+    return campOf(blockNumber(addr), g);
 }
 
 void
 CampMapping::candidates(Addr addr, CandidateList &out) const
 {
+    const UnitId home = amap.homeOf(addr);
+    const GroupId hg = topo.groupOf(home);
+    const std::uint64_t block = blockNumber(addr);
     out.n = topo.numGroups();
     for (GroupId g = 0; g < out.n; ++g)
-        out.loc[g] = locationInGroup(addr, g);
+        out.loc[g] = g == hg ? home : campOf(block, g);
 }
 
 UnitId
 CampMapping::nearestCandidate(Addr addr, UnitId from) const
 {
+    const UnitId home = amap.homeOf(addr);
+    const GroupId hg = topo.groupOf(home);
+    const std::uint64_t block = blockNumber(addr);
+    const double *row = topo.distanceRow(from);
     UnitId best = invalidUnit;
     double bestCost = 0.0;
     for (GroupId g = 0; g < topo.numGroups(); ++g) {
-        UnitId cand = locationInGroup(addr, g);
-        double cost = topo.distanceCost(from, cand);
+        UnitId cand = g == hg ? home : campOf(block, g);
+        double cost = row ? row[cand] : topo.distanceCost(from, cand);
         if (best == invalidUnit || cost < bestCost) {
             best = cand;
             bestCost = cost;

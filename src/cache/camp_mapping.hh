@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/rng.hh"
@@ -97,6 +98,13 @@ class CampMapping
     std::uint32_t numGroups() const { return topo.numGroups(); }
 
   private:
+    /**
+     * Camp unit of block @p block in group @p g (the non-home case of
+     * locationInGroup); callers hoist homeOf/blockNumber so the per-
+     * group loops of candidates()/nearestCandidate() resolve them once.
+     */
+    UnitId campOf(std::uint64_t block, GroupId g) const;
+
     const Topology &topo;
     const AddressMap &amap;
     std::uint64_t nSets;
@@ -104,6 +112,16 @@ class CampMapping
     std::uint32_t nTagBits;
     std::uint32_t nTagBitsFree;
     bool useSkew;
+
+    // Hot-path precomputation (all derived from the topology, which is
+    // immutable after construction).
+    std::uint32_t upg = 0;       // units per group
+    std::uint32_t upgMask = 0;   // upg - 1 (used iff upgPow2)
+    bool upgPow2 = false;
+    /** groupUnits flattened to [g * upg + idx] (one indirection). */
+    std::vector<UnitId> groupUnitsFlat;
+    /** Per-group mapping salts (groupSalt(g)). */
+    std::vector<std::uint64_t> salts;
 };
 
 } // namespace abndp

@@ -6,14 +6,17 @@
  * the Traveller Cache variants.
  *
  * The lookup path is one of the hottest in the simulator (every modelled
- * memory reference probes an L1), so it is defined inline here: ways are
- * 16 bytes (sentinel address instead of a valid flag), and power-of-two
- * set counts index with a mask instead of a 64-bit division.
+ * memory reference probes an L1), so it is defined inline here: tags and
+ * recency stamps live in separate parallel arrays (struct-of-arrays) so
+ * the probe is a contiguous, vectorizable scan over 8-byte tags — a set
+ * of 8 ways spans one cacheline instead of two — and power-of-two set
+ * counts index with a mask instead of a 64-bit division.
  */
 
 #ifndef ABNDP_CACHE_SET_ASSOC_CACHE_HH
 #define ABNDP_CACHE_SET_ASSOC_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -43,7 +46,8 @@ class SetAssocCache
         : sets(numSets), ways(assoc), repl(repl), hashed(hashedIndex),
           pow2(numSets > 0 && (numSets & (numSets - 1)) == 0),
           rng(seed),
-          store(static_cast<std::size_t>(numSets) * assoc)
+          tags(static_cast<std::size_t>(numSets) * assoc, invalidAddr),
+          stamps(static_cast<std::size_t>(numSets) * assoc, 0)
     {
         abndp_assert(numSets > 0 && assoc > 0,
                      "degenerate cache geometry");
@@ -64,11 +68,15 @@ class SetAssocCache
     bool
     access(Addr blockAddr)
     {
-        if (Way *way = findWay(blockAddr)) {
-            if (repl == ReplPolicy::Lru)
-                way->stamp = ++tick;
-            ++nHits;
-            return true;
+        const std::size_t base = setIndex(blockAddr) * ways;
+        const Addr *tag = tags.data() + base;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (tag[w] == blockAddr) {
+                if (repl == ReplPolicy::Lru)
+                    stamps[base + w] = ++tick;
+                ++nHits;
+                return true;
+            }
         }
         ++nMisses;
         return false;
@@ -78,7 +86,11 @@ class SetAssocCache
     bool
     contains(Addr blockAddr) const
     {
-        return findWay(blockAddr) != nullptr;
+        const Addr *tag = tags.data() + setIndex(blockAddr) * ways;
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (tag[w] == blockAddr)
+                return true;
+        return false;
     }
 
     /**
@@ -88,19 +100,22 @@ class SetAssocCache
     Addr
     insert(Addr blockAddr)
     {
-        std::size_t set = setIndex(blockAddr);
-        if (Way *way = findWay(blockAddr)) {
-            // Already present: refresh recency only.
-            if (repl == ReplPolicy::Lru)
-                way->stamp = ++tick;
-            return invalidAddr;
+        const std::size_t base = setIndex(blockAddr) * ways;
+        const Addr *tag = tags.data() + base;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (tag[w] == blockAddr) {
+                // Already present: refresh recency only.
+                if (repl == ReplPolicy::Lru)
+                    stamps[base + w] = ++tick;
+                return invalidAddr;
+            }
         }
-        Way &way = store[set * ways + victimWay(set)];
-        Addr evicted = way.block;
+        const std::size_t slot = base + victimWay(base);
+        Addr evicted = tags[slot];
         if (evicted != invalidAddr)
             ++nEvicts;
-        way.block = blockAddr;
-        way.stamp = ++tick;
+        tags[slot] = blockAddr;
+        stamps[slot] = ++tick;
         ++nInserts;
         return evicted;
     }
@@ -109,9 +124,12 @@ class SetAssocCache
     bool
     invalidate(Addr blockAddr)
     {
-        if (Way *way = findWay(blockAddr)) {
-            way->block = invalidAddr;
-            return true;
+        const std::size_t base = setIndex(blockAddr) * ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (tags[base + w] == blockAddr) {
+                tags[base + w] = invalidAddr;
+                return true;
+            }
         }
         return false;
     }
@@ -120,8 +138,7 @@ class SetAssocCache
     void
     invalidateAll()
     {
-        for (auto &way : store)
-            way.block = invalidAddr;
+        std::fill(tags.begin(), tags.end(), invalidAddr);
     }
 
     std::uint64_t hits() const { return nHits.value(); }
@@ -136,8 +153,8 @@ class SetAssocCache
     occupancy() const
     {
         std::uint64_t n = 0;
-        for (const auto &way : store)
-            n += way.block != invalidAddr ? 1 : 0;
+        for (Addr t : tags)
+            n += t != invalidAddr ? 1 : 0;
         return n;
     }
 
@@ -161,12 +178,6 @@ class SetAssocCache
     }
 
   private:
-    struct Way
-    {
-        Addr block = invalidAddr;
-        std::uint64_t stamp = 0; // recency (LRU) or insertion order (FIFO)
-    };
-
     /**
      * Set indexing. Hashed by default: the range-partitioned address
      * space aligns every unit's data at large power-of-two bases, so
@@ -182,40 +193,22 @@ class SetAssocCache
         return pow2 ? (h & (sets - 1)) : (h % sets);
     }
 
-    Way *
-    findWay(Addr blockAddr)
-    {
-        Way *base = &store[setIndex(blockAddr) * ways];
-        for (std::uint32_t w = 0; w < ways; ++w)
-            if (base[w].block == blockAddr)
-                return &base[w];
-        return nullptr;
-    }
-
-    const Way *
-    findWay(Addr blockAddr) const
-    {
-        const Way *base = &store[setIndex(blockAddr) * ways];
-        for (std::uint32_t w = 0; w < ways; ++w)
-            if (base[w].block == blockAddr)
-                return &base[w];
-        return nullptr;
-    }
-
+    /** Victim choice within the set starting at flat index @p base. */
     std::uint32_t
-    victimWay(std::size_t set)
+    victimWay(std::size_t base)
     {
-        const Way *base = &store[set * ways];
+        const Addr *tag = tags.data() + base;
         // Prefer an invalid way.
         for (std::uint32_t w = 0; w < ways; ++w)
-            if (base[w].block == invalidAddr)
+            if (tag[w] == invalidAddr)
                 return w;
         if (repl == ReplPolicy::Random)
             return static_cast<std::uint32_t>(rng.below(ways));
         // LRU and FIFO both evict the smallest stamp.
+        const std::uint64_t *stamp = stamps.data() + base;
         std::uint32_t victim = 0;
         for (std::uint32_t w = 1; w < ways; ++w)
-            if (base[w].stamp < base[victim].stamp)
+            if (stamp[w] < stamp[victim])
                 victim = w;
         return victim;
     }
@@ -227,7 +220,8 @@ class SetAssocCache
     bool pow2;
     Rng rng;
     std::uint64_t tick = 0;
-    std::vector<Way> store;
+    std::vector<Addr> tags;         // way tags (invalidAddr = empty)
+    std::vector<std::uint64_t> stamps; // recency (LRU) / insertion (FIFO)
 
     stats::Counter nHits;
     stats::Counter nMisses;

@@ -25,9 +25,11 @@ AccessPath::AccessPath(const SystemConfig &cfg, MemSystem &mem,
     quota = static_cast<std::uint32_t>(pb_blocks);
 }
 
-void
-AccessPath::collectBlocks(const Task &task)
+std::span<const Addr>
+AccessPath::taskBlocks(const Task &task)
 {
+    if (!task.blocks.empty())
+        return {task.blocks.data(), task.blocks.size()};
     blockScratch.clear();
     for (Addr a : task.hint.data)
         blockScratch.push_back(blockAlign(a));
@@ -39,22 +41,27 @@ AccessPath::collectBlocks(const Task &task)
     blockScratch.erase(
         std::unique(blockScratch.begin(), blockScratch.end()),
         blockScratch.end());
+    return {blockScratch.data(), blockScratch.size()};
 }
 
 void
 AccessPath::prefetchTask(NdpUnit &unit, Task &task, Tick now)
 {
     task.prefetched = true;
-    collectBlocks(task);
+    const auto blocks = taskBlocks(task);
     std::uint32_t issued = 0;
-    for (Addr block : blockScratch) {
+    for (Addr block : blocks) {
         if (issued >= quota)
             break;
         if (unit.pb->peek(block))
             continue; // already buffered or in flight
         bool in_l1 = false;
-        for (const auto &core : unit.cores)
-            in_l1 |= core.l1d->contains(block);
+        for (const auto &core : unit.cores) {
+            if (core.l1d->contains(block)) {
+                in_l1 = true;
+                break;
+            }
+        }
         if (in_l1)
             continue; // a core already holds the line
         AccessRequest req{unit.id(), 0, block, now, true};
@@ -73,7 +80,7 @@ AccessPath::executeTask(NdpUnit &unit, std::uint32_t coreIdx,
     auto &core = unit.cores[coreIdx];
     Tick t = start;
 
-    collectBlocks(task);
+    const auto blocks = taskBlocks(task);
 
     // Straggler compute derating stretches every core-local latency
     // (instruction fetch, TLB walks, L1/buffer hits, compute cycles);
@@ -103,7 +110,7 @@ AccessPath::executeTask(NdpUnit &unit, std::uint32_t coreIdx,
     // (Section 3.2: per-core local TLBs).
     if (cfg.tlb.enabled) {
         Addr last_page = invalidAddr;
-        for (Addr block : blockScratch) {
+        for (Addr block : blocks) {
             Addr page = block >> pageShift;
             if (page == last_page)
                 continue;
@@ -125,7 +132,7 @@ AccessPath::executeTask(NdpUnit &unit, std::uint32_t coreIdx,
     abndp_assert(depth >= 1 && depth <= 64);
     Tick inflight[64] = {};
     std::uint32_t slot = 0;
-    for (Addr block : blockScratch) {
+    for (Addr block : blocks) {
         Tick ready = unit.pb->lookup(block, t);
         if (ready != tickNever) {
             if (ready > t)
@@ -157,7 +164,7 @@ AccessPath::executeTask(NdpUnit &unit, std::uint32_t coreIdx,
     }
 
     t += stretch(task.computeInstrs * cfg.ticksPerCycle());
-    energy.addCoreInstructions(task.computeInstrs + blockScratch.size());
+    energy.addCoreInstructions(task.computeInstrs + blocks.size());
 
     for (Addr w : task.writes)
         mem.writeBlock(u, w, t);

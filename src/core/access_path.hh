@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/config.hh"
@@ -47,11 +48,13 @@ class AccessPath
     AccessPath(const SystemConfig &cfg, MemSystem &mem,
                EnergyAccount &energy, const FaultModel &faults);
 
-    /** Dedup a task's hint into block addresses (into blocks()). */
-    void collectBlocks(const Task &task);
-
-    /** Blocks gathered by the last collectBlocks() call. */
-    const std::vector<Addr> &blocks() const { return blockScratch; }
+    /**
+     * The task's sorted deduplicated block addresses: the list memoized
+     * by Task::finalizeBlocks() when present, otherwise derived into
+     * scratch (hand-built test tasks bypass the enqueue path). The span
+     * is valid until the next taskBlocks() call.
+     */
+    std::span<const Addr> taskBlocks(const Task &task);
 
     /** Per-task prefetch quota in blocks (buffer size / window). */
     std::uint32_t prefetchQuota() const { return quota; }

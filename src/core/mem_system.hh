@@ -72,6 +72,22 @@ class MemSystem
     void bulkInvalidate();
 
     /**
+     * Barrier-time storage reclamation: retire bandwidth-meter pages
+     * that no reservation can reach anymore. Called with the barrier
+     * tick (every post-barrier access starts at or after it); forwards
+     * to every DRAM channel (per-bank refresh floor applies there) and
+     * the interconnect. Purely a memory-footprint optimization — the
+     * timing and stats of every subsequent reservation are identical.
+     */
+    void
+    discardBefore(Tick tb)
+    {
+        for (auto &d : drams)
+            d->discardBefore(tb);
+        net.discardBefore(tb);
+    }
+
+    /**
      * Unit-failure support: drop every camp-cache block whose home is
      * @p dead (its copies can no longer be revalidated once the home
      * range is re-homed onto a buddy).

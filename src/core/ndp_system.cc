@@ -192,6 +192,7 @@ NdpSystem::enqueueTask(Task &&task)
         : (!task.writes.empty() ? task.writes[0] : invalidAddr);
     task.mainHome = main_addr != invalidAddr ? alloc.map().homeOf(main_addr)
         : (creatorCtx != invalidUnit ? creatorCtx : 0);
+    task.finalizeBlocks(workload->taskArena());
     task.loadEstimate = sched.estimateLoad(task);
 
     UnitId creator = creatorCtx != invalidUnit ? creatorCtx : task.mainHome;
@@ -212,6 +213,31 @@ NdpSystem::enqueueTask(Task &&task)
         units[dst].stagedReady.push_back(std::move(task));
     }
     ++stagedCount;
+}
+
+std::uint32_t
+NdpSystem::grabFwdSlot(Task &&task)
+{
+    if (fwdPoolFree.empty()) {
+        fwdPool.push_back(std::move(task));
+        return static_cast<std::uint32_t>(fwdPool.size() - 1);
+    }
+    std::uint32_t idx = fwdPoolFree.back();
+    fwdPoolFree.pop_back();
+    fwdPool[idx] = std::move(task);
+    return idx;
+}
+
+std::uint32_t
+NdpSystem::grabBatchSlot()
+{
+    if (batchPoolFree.empty()) {
+        batchPool.emplace_back();
+        return static_cast<std::uint32_t>(batchPool.size() - 1);
+    }
+    std::uint32_t idx = batchPoolFree.back();
+    batchPoolFree.pop_back();
+    return idx;
 }
 
 void
@@ -267,19 +293,21 @@ NdpSystem::pumpScheduler(UnitId u)
                 tr->reexamine = reexamine;
                 trackDelivery(tr, t);
             } else {
-                auto moved = std::make_shared<Task>(std::move(task));
-                auto deliver = [this, dst, moved, reexamine] {
+                const std::uint32_t idx = grabFwdSlot(std::move(task));
+                auto deliver = [this, idx, dst, reexamine] {
+                    Task moved = std::move(fwdPool[idx]);
+                    fwdPoolFree.push_back(idx);
                     if (reexamine) {
-                        units[dst].pending.push_back(std::move(*moved));
+                        units[dst].pending.push_back(std::move(moved));
                         pumpScheduler(dst);
                     } else {
-                        units[dst].ready.push_back(std::move(*moved));
+                        units[dst].ready.push_back(std::move(moved));
                         tryDispatch(dst);
                     }
                 };
                 // The event kernel stores captures inline with no heap
-                // fallback; this forwarding closure (this + UnitId +
-                // shared_ptr<Task> + bool) is the largest one this file
+                // fallback; this forwarding closure (this + pool index
+                // + UnitId + bool) is the largest one this file
                 // schedules and must fit the fixed slot.
                 static_assert(
                     EventQueue::callbackFits<decltype(deliver)>,
@@ -418,37 +446,45 @@ NdpSystem::attemptSteal(UnitId u)
         static_cast<std::uint32_t>((best_len + 1) / 2));
     abndp_assert(batch > 0);
 
-    auto stolen = std::make_shared<std::vector<Task>>();
+    // The batch is built in place: directly in the tracked transit on
+    // the failure-tolerant path, or in a recycled pool slot (keeping
+    // its vector capacity) on the common path.
+    std::shared_ptr<StealTransit> tr;
+    std::uint32_t slotIdx = 0;
+    if (failuresOn)
+        tr = std::make_shared<StealTransit>();
+    else
+        slotIdx = grabBatchSlot();
+    std::vector<Task> &stolen = failuresOn ? tr->batch
+                                           : batchPool[slotIdx];
     double load = 0.0;
     for (std::uint32_t i = 0; i < batch && !vic.ready.empty(); ++i) {
         Task t = std::move(vic.ready.back());
         vic.ready.pop_back();
         t.prefetched = false;
         load += t.loadEstimate;
-        stolen->push_back(std::move(t));
+        stolen.push_back(std::move(t));
     }
     vic.prefetchedCount = std::min<std::uint32_t>(
         vic.prefetchedCount, static_cast<std::uint32_t>(vic.ready.size()));
     sched.onStolen(victim, u, load);
-    stolenTasks += stolen->size();
+    stolenTasks += stolen.size();
     if (tracer.enabled())
         tracer.record(obs::TraceEvent::TaskSteal, u,
                       obs::Tracer::laneSched, eq.now(), 0,
                       (static_cast<std::uint64_t>(victim) << 32)
-                          | stolen->size());
+                          | stolen.size());
 
     // Round trip: steal request + task descriptors back.
     Tick t = eq.now();
     t += mem.network().transfer(u, victim, PacketSizes::request, t).latency;
-    auto desc_bytes = static_cast<std::uint32_t>(16 + 32 * stolen->size());
+    auto desc_bytes = static_cast<std::uint32_t>(16 + 32 * stolen.size());
     t += mem.network().transfer(victim, u, desc_bytes, t).latency;
 
     unit.stealInFlight = true;
     if (failuresOn) {
         // Tracked delivery: the batch carries an ack with a timeout so
         // a thief that dies with the batch in flight cannot lose it.
-        auto tr = std::make_shared<StealTransit>();
-        tr->batch = std::move(*stolen);
         tr->victim = victim;
         tr->thief = u;
         ++acksOutstanding[u];
@@ -478,11 +514,14 @@ NdpSystem::attemptSteal(UnitId u)
         });
         return;
     }
-    eq.schedule(t, [this, u, stolen] {
+    eq.schedule(t, [this, u, slotIdx] {
         auto &thief = units[u];
         thief.stealInFlight = false;
-        for (auto &task : *stolen)
+        auto &delivered = batchPool[slotIdx];
+        for (auto &task : delivered)
             thief.ready.push_back(std::move(task));
+        delivered.clear();
+        batchPoolFree.push_back(slotIdx);
         tryDispatch(u);
     });
 }
@@ -895,6 +934,10 @@ NdpSystem::run(Workload &wl)
     };
 
     while (stagedCount > 0 && (cfg.maxEpochs == 0 || ts < cfg.maxEpochs)) {
+        // Epoch boundary: this epoch's staged hints live in the arena
+        // generation children must not share; the generation freed here
+        // held epoch ts-2's hints, whose tasks have all completed.
+        wl.taskArena().rotate();
         Tick epoch_begin = eq.now();
         eq.armWatchdog();
         // Epoch-start invariants run before startEpoch() dispatches
@@ -957,6 +1000,11 @@ NdpSystem::run(Workload &wl)
         mem.bulkInvalidate();
         for (auto &unit : units)
             unit.invalidatePrimaryData();
+        // The barrier is also a time fence: every event of the next
+        // epoch is scheduled at or after now(), so meter pages wholly
+        // below it are unreachable and their storage can be reclaimed
+        // (bounds resident pages to one epoch's backlog window).
+        mem.discardBefore(eq.now());
         wl.endEpoch(ts);
         ++ts;
         epochsDone = ts;

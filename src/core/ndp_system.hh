@@ -193,6 +193,24 @@ class NdpSystem : public TaskSink
     /** Populate the stats registry from every modelled unit. */
     void buildStats();
 
+    /**
+     * Pooled payloads for the non-failure forward/steal transits: the
+     * event kernel stores captures inline, so a forward ships a pool
+     * index (trivially copyable) instead of heap-allocating a
+     * shared_ptr<Task> (or a task vector) per hop. Slots recycle
+     * through free lists and batch slots keep their vector capacity,
+     * so steady-state forwarding and stealing allocate nothing. An
+     * in-flight slot always carries not-yet-executed tasks, which hold
+     * activeRemaining > 0 — the epoch barrier (which clears pending
+     * events) cannot fire while a slot is live.
+     */
+    std::uint32_t grabFwdSlot(Task &&task);
+    std::uint32_t grabBatchSlot();
+    std::vector<Task> fwdPool;
+    std::vector<std::uint32_t> fwdPoolFree;
+    std::vector<std::vector<Task>> batchPool;
+    std::vector<std::uint32_t> batchPoolFree;
+
     SystemConfig cfg;
     Topology topo;
     FaultModel faults;

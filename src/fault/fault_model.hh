@@ -80,6 +80,19 @@ class FaultModel
         return !linkMask.empty() && linkMask[linkIdx] != 0;
     }
 
+    /**
+     * Any faulty mesh link at all? Lets the network hoist the per-hop
+     * linkFaulty() query out of its hot loop on fault-free machines.
+     */
+    bool
+    anyLinkFault() const
+    {
+        for (std::uint8_t m : linkMask)
+            if (m)
+                return true;
+        return false;
+    }
+
     /** Fixed extra latency of one faulty-link traversal. */
     Tick linkExtraTicks() const { return extraTicks; }
 

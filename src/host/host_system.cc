@@ -30,6 +30,7 @@ HostSystem::enqueueTask(Task &&task)
         abndp_assert(task.timestamp == curEpoch + 1);
     else
         abndp_assert(task.timestamp == curEpoch);
+    task.finalizeBlocks(workload->taskArena());
     staged.push_back(std::move(task));
 }
 
@@ -38,20 +39,10 @@ HostSystem::executeTiming(const Task &task, Tick start)
 {
     Tick t = start;
 
-    blockScratch.clear();
-    for (Addr a : task.hint.data)
-        blockScratch.push_back(blockAlign(a));
-    for (const auto &r : task.hint.ranges)
-        for (Addr a = blockAlign(r.start); a < r.start + r.bytes;
-             a += cachelineBytes)
-            blockScratch.push_back(a);
-    std::sort(blockScratch.begin(), blockScratch.end());
-    blockScratch.erase(
-        std::unique(blockScratch.begin(), blockScratch.end()),
-        blockScratch.end());
-
+    // Blocks were memoized at enqueue (Task::finalizeBlocks); an empty
+    // list means an empty hint.
     double stall = 0.0;
-    for (Addr block : blockScratch) {
+    for (Addr block : task.blocks) {
         if (llc.access(block)) {
             stall += static_cast<double>(llcHitTicks);
         } else {
@@ -124,6 +115,9 @@ HostSystem::run(Workload &wl)
 
     std::uint64_t ts = 0;
     while (!staged.empty() && (cfg.maxEpochs == 0 || ts < cfg.maxEpochs)) {
+        // Epoch boundary (see NdpSystem::run): free the generation two
+        // epochs back, keep this epoch's staged hints alive.
+        wl.taskArena().rotate();
         curEpoch = ts;
         active.swap(staged);
         staged.clear();

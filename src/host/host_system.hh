@@ -69,8 +69,6 @@ class HostSystem : public TaskSink
     Tick ddrLatencyTicks;
     double ddrTicksPerByte;
     double cycleTicks;
-
-    std::vector<Addr> blockScratch;
 };
 
 } // namespace abndp

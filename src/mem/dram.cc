@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include <bit>
+
 #include "check/check_context.hh"
 
 namespace abndp
@@ -23,6 +25,14 @@ DramChannel::DramChannel(const SystemConfig &cfg, EnergyAccount &energy,
       ticksPerByte(8.0 * 1000.0
                    / (cfg.dram.busBits * 2.0 * cfg.dram.busGHz))
 {
+    rowPow2 = rowBytes > 0 && (rowBytes & (rowBytes - 1)) == 0;
+    if (rowPow2)
+        rowShift = static_cast<std::uint32_t>(
+            std::countr_zero(static_cast<std::uint64_t>(rowBytes)));
+    const std::uint64_t nb = banks.size();
+    bankPow2 = nb > 0 && (nb & (nb - 1)) == 0;
+    bankMask = nb - 1;
+    faultsActive = faults && faults->anyInjector();
     staggerRefresh();
 }
 
@@ -38,8 +48,8 @@ Tick
 DramChannel::access(Addr addr, std::uint32_t bytes, bool isWrite,
                     bool cacheRegion, Tick start)
 {
-    std::uint64_t row = addr / rowBytes;
-    auto &bank = banks[row % banks.size()];
+    std::uint64_t row = rowPow2 ? addr >> rowShift : addr / rowBytes;
+    auto &bank = banks[bankPow2 ? row & bankMask : row % banks.size()];
 
     // Lazy per-bank refresh: account the refreshes due before this
     // access; long idle gaps only charge a bounded backlog (the rest is
@@ -68,7 +78,7 @@ DramChannel::access(Addr addr, std::uint32_t bytes, bool isWrite,
     }
 
     auto burst = static_cast<Tick>(ticksPerByte * bytes);
-    if (faults) {
+    if (faultsActive) {
         // Injected DRAM error-retry: this access hits an ECC
         // correction/retry cycle on its bank and pays a latency adder.
         double p = faults->eccRetryProb();
@@ -86,7 +96,9 @@ DramChannel::access(Addr addr, std::uint32_t bytes, bool isWrite,
     }
     Tick begin = bank.meter.reserve(start, core + burst);
     Tick queue = begin - start;
-    waitNs.sample(static_cast<double>(queue) / ticksPerNs);
+    // Skip the int-to-double divide for uncontended accesses; 0/1000
+    // is exactly 0.0, so the sampled distribution is unchanged.
+    waitNs.sample(queue ? static_cast<double>(queue) / ticksPerNs : 0.0);
 
     if (isWrite)
         ++nWrites;
@@ -104,6 +116,16 @@ DramChannel::auditBandwidth(check::CheckContext &ctx) const
         check::checkBucketFill(ctx, "dram bank", b,
                                banks[b].meter.maxBucketFill(),
                                banks[b].meter.bucketWidth());
+}
+
+void
+DramChannel::discardBefore(Tick tb)
+{
+    for (auto &bank : banks) {
+        Tick floor = refreshOn && bank.nextRefresh < tb
+            ? bank.nextRefresh : tb;
+        bank.meter.discardBefore(floor);
+    }
 }
 
 void

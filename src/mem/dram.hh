@@ -84,6 +84,19 @@ class DramChannel
     void resetState();
 
     /**
+     * Retire bank-meter pages unreachable after the barrier at @p tb.
+     *
+     * Every access() reservation walks forward from its start tick,
+     * and after a bulk-synchronous barrier all future starts are
+     * >= @p tb — except the lazy refresh catch-up, which backdates
+     * reservations to bank.nextRefresh. nextRefresh is monotone, so
+     * flooring each bank's discard at min(tb, nextRefresh) keeps the
+     * retirement exact even for a bank whose refresh schedule lags
+     * the barrier arbitrarily far behind.
+     */
+    void discardBefore(Tick tb);
+
+    /**
      * Audit every bank meter against the bandwidth-conservation
      * invariant (no bucket filled beyond its width); src/check only.
      */
@@ -108,6 +121,15 @@ class DramChannel
     Rng faultRng;
     std::vector<Bank> banks;
     std::uint32_t rowBytes;
+    // Hot-path precomputation: power-of-two row size / bank count
+    // address with shift/mask instead of 64-bit divisions, and a
+    // fault-free channel skips the injector block entirely (an exact
+    // no-op: no probability draw and slowdown 1.0).
+    bool rowPow2 = false;
+    std::uint32_t rowShift = 0;
+    bool bankPow2 = false;
+    std::uint64_t bankMask = 0;
+    bool faultsActive = false;
     Tick tCas;
     Tick tRcd;
     Tick tRp;

@@ -31,6 +31,7 @@ Network::Network(const SystemConfig &cfg, const Topology &topo,
 {
     intraTopo = cfg.net.intraTopology;
     unitsPerStack = cfg.unitsPerStack;
+    linkFaultsOn = faults && faults->anyLinkFault();
 }
 
 TransferResult
@@ -50,7 +51,10 @@ Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
     auto crossbar = [&](UnitId port) {
         auto ser = static_cast<Tick>(intraTicksPerByte * bytes);
         Tick begin = portMeter[port].reserve(t, ser);
-        portWait.sample(static_cast<double>(begin - t) / ticksPerNs);
+        // 0/1000 is exactly 0.0: uncontended hops skip the divide.
+        const Tick wait = begin - t;
+        portWait.sample(wait ? static_cast<double>(wait) / ticksPerNs
+                             : 0.0);
         t = begin + intraLatency + ser;
         ++intraHops;
         energy.addIntraTransfer(bytes);
@@ -69,7 +73,9 @@ Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
             std::uint32_t dir = clockwise ? 0 : 1;
             Tick begin =
                 ringMeter[(base + cur) * 2 + dir].reserve(t, ser);
-            portWait.sample(static_cast<double>(begin - t) / ticksPerNs);
+            const Tick wait = begin - t;
+            portWait.sample(wait ? static_cast<double>(wait) / ticksPerNs
+                                 : 0.0);
             t = begin + intraLatency + ser;
             ++intraHops;
             energy.addIntraTransfer(bytes);
@@ -109,13 +115,16 @@ Network::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Tick start)
 
     std::uint32_t x = sx, y = sy;
     StackId cur = s;
+    const auto interSer = static_cast<Tick>(interTicksPerByte * bytes);
     auto hop = [&](std::uint32_t dir, StackId next) {
-        auto ser = static_cast<Tick>(interTicksPerByte * bytes);
+        const Tick ser = interSer;
         std::size_t li = linkIndex(cur, dir);
         Tick begin = linkMeter[li].reserve(t, ser);
-        linkWait.sample(static_cast<double>(begin - t) / ticksPerNs);
+        const Tick wait = begin - t;
+        linkWait.sample(wait ? static_cast<double>(wait) / ticksPerNs
+                             : 0.0);
         t = begin + interLatency + ser;
-        if (faults && faults->linkFaulty(li)) {
+        if (linkFaultsOn && faults->linkFaulty(li)) {
             // Injected link fault: a fixed latency adder plus transient
             // drops. Each drop is repaired sender-side — an exponential
             // backoff timeout, then a retransmission that reserves the
@@ -219,6 +228,17 @@ Network::resetState()
         m.reset();
     for (auto &m : ringMeter)
         m.reset();
+}
+
+void
+Network::discardBefore(Tick tb)
+{
+    for (auto &m : linkMeter)
+        m.discardBefore(tb);
+    for (auto &m : portMeter)
+        m.discardBefore(tb);
+    for (auto &m : ringMeter)
+        m.discardBefore(tb);
 }
 
 } // namespace abndp

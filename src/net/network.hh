@@ -91,6 +91,15 @@ class Network
     /** Clear link/port reservations (between epochs of separate runs). */
     void resetState();
 
+    /**
+     * Retire meter pages below the barrier tick @p tb on every link,
+     * port, and ring meter. Exact: transfer() reserves hops at
+     * monotonically advancing ticks starting from the packet's start,
+     * and after a barrier every future packet starts at or after
+     * @p tb, so no reservation can ever land below it.
+     */
+    void discardBefore(Tick tb);
+
     /** Register the interconnect stats under @p node. */
     void regStats(obs::StatNode &node) const;
 
@@ -133,6 +142,8 @@ class Network
     std::uint32_t meshX;
     IntraTopology intraTopo;
     std::uint32_t unitsPerStack;
+    /** Any faulty link configured (hoists the per-hop fault query). */
+    bool linkFaultsOn = false;
 
     Tick intraLatency;
     Tick interLatency;

@@ -106,6 +106,15 @@ Topology::Topology(const SystemConfig &cfg)
     abndp_assert(next == nUnits);
     for (GroupId g = 0; g < nGroups; ++g)
         abndp_assert(groupUnits[g].size() == unitsPerGroup());
+
+    // Dense unit-pair distance table for the scheduler/camp hot paths.
+    if (nUnits <= distTableMaxUnits) {
+        distTable.resize(static_cast<std::size_t>(nUnits) * nUnits);
+        for (UnitId f = 0; f < nUnits; ++f)
+            for (UnitId t = 0; t < nUnits; ++t)
+                distTable[static_cast<std::size_t>(f) * nUnits + t] =
+                    distanceCostSlow(f, t);
+    }
 }
 
 } // namespace abndp

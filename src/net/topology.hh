@@ -103,15 +103,25 @@ class Topology
      * Scheduler distance cost between units (Eq. 2): Dlocal for the same
      * unit, Dintra within a stack, Dinter * hops across stacks.
      * Expressed in nanoseconds of one-way interconnect latency.
+     * Precomputed into a dense table at construction for machines up to
+     * distTableMaxUnits (the table is filled from the formula below, so
+     * both paths are bit-identical).
      */
     double
     distanceCost(UnitId from, UnitId to) const
     {
-        if (from == to)
-            return dLocal;
-        if (unitStack[from] == unitStack[to])
-            return dIntra * intraHops(from, to);
-        return dInter * interHops(from, to);
+        if (!distTable.empty())
+            return distTable[static_cast<std::size_t>(from) * nUnits + to];
+        return distanceCostSlow(from, to);
+    }
+
+    /** One row of the distance-cost table (empty on huge machines). */
+    const double *
+    distanceRow(UnitId from) const
+    {
+        return distTable.empty()
+            ? nullptr
+            : distTable.data() + static_cast<std::size_t>(from) * nUnits;
     }
 
     /** The per-hop inter-stack cost Dinter used by distanceCost(). */
@@ -137,6 +147,20 @@ class Topology
     std::uint32_t diameter() const { return meshDiam; }
 
   private:
+    /** Table bound: 1024 units cost 8 MiB; beyond that, compute. */
+    static constexpr std::uint32_t distTableMaxUnits = 1024;
+
+    /** The formula behind distanceCost() (also fills the table). */
+    double
+    distanceCostSlow(UnitId from, UnitId to) const
+    {
+        if (from == to)
+            return dLocal;
+        if (unitStack[from] == unitStack[to])
+            return dIntra * intraHops(from, to);
+        return dInter * interHops(from, to);
+    }
+
     std::uint32_t nUnits;
     std::uint32_t nStacks;
     std::uint32_t nGroups;
@@ -152,6 +176,7 @@ class Topology
     std::vector<GroupId> unitGroup;           // unit -> group
     std::vector<std::uint32_t> stackX, stackY; // stack -> mesh coords
     std::vector<std::vector<UnitId>> groupUnits; // group -> units
+    std::vector<double> distTable;            // from*nUnits+to -> cost
 };
 
 } // namespace abndp

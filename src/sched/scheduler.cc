@@ -22,12 +22,47 @@ Scheduler::Scheduler(const SystemConfig &cfg, const Topology &topo,
       nStacks(topo.numStacks()),
       wTrue(nUnits, 0.0),
       wSnap(nUnits, 0.0),
-      wDelta(nUnits, std::vector<double>(nUnits, 0.0)),
+      wDelta(static_cast<std::size_t>(nUnits) * nUnits, 0.0),
+      deltaDirty(nUnits, 0),
       speed(nUnits, 1.0),
+      stackOfUnit(nUnits, 0),
       stackBase(nStacks, 0.0),
+      stackMin(nStacks, 0.0),
       unitBonus(nUnits, 0.0),
       unitScore(nUnits, 0.0)
 {
+    // Eq. 2 stack-pair costs, precomputed with the exact expressions
+    // scoreCostMem() used to evaluate inline (bit-equal by operand
+    // identity): the diagonal is the intra-stack estimate, off-diagonal
+    // entries are Dinter * XY-mesh hops.
+    const double d_intra = topo.intraCost() * topo.meanIntraHops();
+    const double d_inter = topo.interCost();
+    stackPairCost.resize(static_cast<std::size_t>(nStacks) * nStacks);
+    for (StackId cs = 0; cs < nStacks; ++cs) {
+        for (StackId s = 0; s < nStacks; ++s) {
+            double cost;
+            if (cs == s) {
+                cost = d_intra;
+            } else {
+                auto [x1, y1] = topo.stackCoord(s);
+                auto [x2, y2] = topo.stackCoord(cs);
+                std::uint32_t hops = (x1 > x2 ? x1 - x2 : x2 - x1)
+                    + (y1 > y2 ? y1 - y2 : y2 - y1);
+                cost = d_inter * hops;
+            }
+            stackPairCost[static_cast<std::size_t>(cs) * nStacks + s] =
+                cost;
+        }
+    }
+    for (UnitId u = 0; u < nUnits; ++u)
+        stackOfUnit[u] = topo.stackOf(u);
+    if (forwardPenalty > 0.0 && nUnits <= fwdPenMaxUnits) {
+        fwdPen.resize(static_cast<std::size_t>(nUnits) * nUnits);
+        for (UnitId c = 0; c < nUnits; ++c)
+            for (UnitId u = 0; u < nUnits; ++u)
+                fwdPen[static_cast<std::size_t>(c) * nUnits + u] =
+                    forwardPenalty * topo.distanceCost(c, u);
+    }
 }
 
 double
@@ -40,9 +75,9 @@ Scheduler::estimateLoad(const Task &task) const
     // plus a fixed task overhead; only relative magnitudes matter.
     constexpr double nominal_access = 51.0; // ~tRP + tRCD + tCAS, ns
     constexpr double task_overhead = 20.0;
-    return task_overhead
-        + nominal_access
-        * static_cast<double>(task.hint.totalLines());
+    std::uint64_t lines =
+        task.hintLines != 0 ? task.hintLines : task.hint.totalLines();
+    return task_overhead + nominal_access * static_cast<double>(lines);
 }
 
 void
@@ -51,9 +86,9 @@ Scheduler::scoreCostMem(const Task &task, bool withCamps)
     // With the crossbar NoC Dintra is constant (the paper's setting);
     // for the ring option the stack-level term uses the mean ring
     // distance as an estimate (placement within the stack is then a
-    // second-order effect).
+    // second-order effect). Both terms live premultiplied in
+    // stackPairCost (see the constructor).
     const double d_intra = topo.intraCost() * topo.meanIntraHops();
-    const double d_inter = topo.interCost();
 
     std::fill(stackBase.begin(), stackBase.end(), 0.0);
     for (UnitId u : bonusDirty)
@@ -96,27 +131,28 @@ Scheduler::scoreCostMem(const Task &task, bool withCamps)
             cl.n = 1;
         }
 
-        for (StackId s = 0; s < nStacks; ++s) {
-            double cmin = -1.0;
-            for (std::uint32_t c = 0; c < cl.n; ++c) {
-                StackId cs = topo.stackOf(cl.loc[c]);
-                double cost;
-                if (cs == s) {
-                    cost = d_intra;
-                } else {
-                    UnitId rep0 = cl.loc[c];
-                    // Hop count only depends on the stacks.
-                    auto [x1, y1] = topo.stackCoord(s);
-                    auto [x2, y2] = topo.stackCoord(cs);
-                    std::uint32_t hops = (x1 > x2 ? x1 - x2 : x2 - x1)
-                        + (y1 > y2 ? y1 - y2 : y2 - y1);
-                    cost = d_inter * hops;
-                    (void)rep0;
-                }
-                if (cmin < 0.0 || cost < cmin)
-                    cmin = cost;
+        // Per-stack nearest-candidate cost: streaming add of one
+        // contiguous stackPairCost row per candidate (min across rows
+        // keeps the first minimum, matching the original candidate-
+        // order scan).
+        const double *row0 = stackPairCost.data()
+            + static_cast<std::size_t>(topo.stackOf(cl.loc[0])) * nStacks;
+        if (cl.n == 1) {
+            for (StackId s = 0; s < nStacks; ++s)
+                stackBase[s] += row0[s];
+        } else {
+            for (StackId s = 0; s < nStacks; ++s)
+                stackMin[s] = row0[s];
+            for (std::uint32_t c = 1; c < cl.n; ++c) {
+                const double *row = stackPairCost.data()
+                    + static_cast<std::size_t>(topo.stackOf(cl.loc[c]))
+                        * nStacks;
+                for (StackId s = 0; s < nStacks; ++s)
+                    stackMin[s] =
+                        row[s] < stackMin[s] ? row[s] : stackMin[s];
             }
-            stackBase[s] += cmin;
+            for (StackId s = 0; s < nStacks; ++s)
+                stackBase[s] += stackMin[s];
         }
 
         // A unit equal to a candidate saves (Dintra - Dlocal) for this
@@ -131,8 +167,11 @@ Scheduler::scoreCostMem(const Task &task, bool withCamps)
 
     abndp_assert(sampled > 0);
     const double inv = 1.0 / sampled;
+    const double *sb = stackBase.data();
+    const StackId *sou = stackOfUnit.data();
+    const double *ub = unitBonus.data();
     for (UnitId u = 0; u < nUnits; ++u)
-        unitScore[u] = (stackBase[topo.stackOf(u)] - unitBonus[u]) * inv;
+        unitScore[u] = (sb[sou[u]] - ub[u]) * inv;
 }
 
 UnitId
@@ -147,10 +186,19 @@ Scheduler::addForwardPenalty(UnitId creator)
 {
     // Moving the task itself ships its descriptor to the target: a
     // real (if small) cost that keeps tiny tasks from migrating for
-    // negligible gains.
+    // negligible gains. The premultiplied row makes this a streaming
+    // add over contiguous doubles.
     if (forwardPenalty > 0.0) {
-        for (UnitId u = 0; u < nUnits; ++u)
-            unitScore[u] += forwardPenalty * topo.distanceCost(creator, u);
+        if (!fwdPen.empty()) {
+            const double *row = fwdPen.data()
+                + static_cast<std::size_t>(creator) * nUnits;
+            for (UnitId u = 0; u < nUnits; ++u)
+                unitScore[u] += row[u];
+        } else {
+            for (UnitId u = 0; u < nUnits; ++u)
+                unitScore[u] +=
+                    forwardPenalty * topo.distanceCost(creator, u);
+        }
     }
 }
 
@@ -158,30 +206,40 @@ void
 Scheduler::addCostLoad(UnitId creator)
 {
     // costload from the stale snapshot plus this creator's local
-    // adjustments since the last exchange (Eq. 3).
-    const auto &delta = wDelta[creator];
-    double avg = wSnapSum / nUnits; // forwards are sum-preserving
+    // adjustments since the last exchange (Eq. 3). The loop runs the
+    // uniform snapshot expression for every unit (branchless, over
+    // contiguous rows) and then patches the creator, whose own queue
+    // it always knows exactly — the terms are per-unit independent,
+    // so the reordering is bit-exact. Clean viewers (no forwards
+    // since the last exchange) skip the all-zero delta row: adding
+    // 0.0 to a non-negative W is an exact no-op. Likewise the speed
+    // division is skipped while every factor is exactly 1.0.
+    const double avg = wAvg; // forwards are sum-preserving
     if (avg > 0.0) {
+        const double b = weightB;
+        const double dead = deadband;
+        const double *snap = wSnap.data();
+        const double *spd = speed.data();
+        const double *delta = wDelta.data()
+            + static_cast<std::size_t>(creator) * nUnits;
+        const bool dirty = deltaDirty[creator] != 0;
+        const double creatorBase = unitScore[creator];
         for (UnitId u = 0; u < nUnits; ++u) {
-            // A unit always knows its own queue exactly; everyone
-            // else is seen through the snapshot + local adjustments.
-            // Dividing by the service speed sampled at the last
-            // exchange makes derated (straggler) units look
-            // proportionally busier (exact no-op at speed 1.0).
-            double w = u == creator ? wTrue[u]
-                                    : wSnap[u] + delta[u];
-            w /= speed[u];
+            double w = dirty ? snap[u] + delta[u] : snap[u];
+            if (!speedsUniform)
+                w /= spd[u];
             double r = w / avg - 1.0;
             // Small deviations are measurement noise on shallow
             // queues, not imbalance worth moving tasks for.
-            if (r > deadband)
-                r -= deadband;
-            else if (r < -deadband)
-                r += deadband;
-            else
-                r = 0.0;
-            unitScore[u] += weightB * r;
+            r = r > dead ? r - dead : (r < -dead ? r + dead : 0.0);
+            unitScore[u] += b * r;
         }
+        double w = wTrue[creator];
+        if (!speedsUniform)
+            w /= spd[creator];
+        double r = w / avg - 1.0;
+        r = r > dead ? r - dead : (r < -dead ? r + dead : 0.0);
+        unitScore[creator] = creatorBase + b * r;
     }
 }
 
@@ -201,10 +259,17 @@ Scheduler::argminAllUnits() const
         }
         return best;
     }
+    // Branchless first-min-wins scan over the contiguous score row
+    // (strict < keeps the lowest-numbered unit on ties, exactly like
+    // the branching loop it replaces).
+    const double *score = unitScore.data();
     UnitId best = 0;
-    for (UnitId u = 1; u < nUnits; ++u)
-        if (unitScore[u] < unitScore[best])
-            best = u;
+    double bestV = score[0];
+    for (UnitId u = 1; u < nUnits; ++u) {
+        const bool lt = score[u] < bestV;
+        best = lt ? u : best;
+        bestV = lt ? score[u] : bestV;
+    }
     return best;
 }
 
@@ -301,8 +366,13 @@ Scheduler::onForwarded(UnitId from, UnitId to, double load, UnitId viewer)
     wTrue[to] += load;
     // The forwarding unit immediately reflects its own decision in its
     // local view; other units learn at the next exchange.
-    wDelta[viewer][from] -= load;
-    wDelta[viewer][to] += load;
+    double *row = wDelta.data() + static_cast<std::size_t>(viewer) * nUnits;
+    row[from] -= load;
+    row[to] += load;
+    if (!deltaDirty[viewer]) {
+        deltaDirty[viewer] = 1;
+        dirtyViewers.push_back(viewer);
+    }
 }
 
 void
@@ -314,14 +384,19 @@ Scheduler::exchangeSnapshot(Tick now)
                        obs::Tracer::systemUnit, 1, now, 0,
                        nExchanges.value());
     wSnap = wTrue;
-    if (faults && faults->anyInjector())
-        for (UnitId u = 0; u < nUnits; ++u)
+    if (faults && faults->anyInjector()) {
+        speedsUniform = true;
+        for (UnitId u = 0; u < nUnits; ++u) {
             speed[u] = faults->speedFactor(u, now);
+            speedsUniform = speedsUniform && speed[u] == 1.0;
+        }
+    }
     // The average uses the same effective (speed-scaled) W values the
     // per-unit costload terms see.
     wSnapSum = 0.0;
     for (UnitId u = 0; u < nUnits; ++u)
         wSnapSum += wSnap[u] / speed[u];
+    wAvg = wSnapSum / nUnits;
     // Refresh the most-idle hint used by the pruned scoring mode. The
     // hint depth is capped by the unit count: machines smaller than
     // the nominal 8-entry hint must not sort past the end.
@@ -344,8 +419,15 @@ Scheduler::exchangeSnapshot(Tick now)
                           });
         idleHint.resize(hintDepth);
     }
-    for (auto &d : wDelta)
-        std::fill(d.begin(), d.end(), 0.0);
+    // Clear only the rows of viewers that actually forwarded since the
+    // last exchange: O(active viewers * units) instead of O(units^2).
+    // Clean rows are already all-zero by the deltaDirty invariant.
+    for (UnitId v : dirtyViewers) {
+        auto *row = wDelta.data() + static_cast<std::size_t>(v) * nUnits;
+        std::fill(row, row + nUnits, 0.0);
+        deltaDirty[v] = 0;
+    }
+    dirtyViewers.clear();
 }
 
 } // namespace abndp

@@ -206,9 +206,19 @@ class Scheduler
     std::vector<double> wTrue;
     std::vector<double> wSnap;
     double wSnapSum = 0.0;
-    // Per-unit local adjustments since the last exchange (tracking only
-    // that unit's own forwarding decisions).
-    std::vector<std::vector<double>> wDelta;
+    /** wSnapSum / nUnits, refreshed at each exchange (costload's W_avg). */
+    double wAvg = 0.0;
+    /**
+     * Per-unit local adjustments since the last exchange (tracking only
+     * that unit's own forwarding decisions). Stored as one flat
+     * nUnits x nUnits row-major array; rows are touched lazily — a
+     * viewer that never forwarded since the last exchange has an
+     * all-zero row, marked clean in deltaDirty so both the exchange
+     * refill and addCostLoad() skip it entirely.
+     */
+    std::vector<double> wDelta;
+    std::vector<std::uint8_t> deltaDirty;
+    std::vector<UnitId> dirtyViewers;
     /**
      * Service-speed factor of each unit as of the last exchange (1.0
      * healthy, the straggler derating otherwise). costload divides W by
@@ -216,14 +226,37 @@ class Scheduler
      * loaded.
      */
     std::vector<double> speed;
+    /** True while every sampled speed factor is exactly 1.0 (the
+     *  common no-straggler case): lets costload skip the division. */
+    bool speedsUniform = true;
 
     /** Most-idle units as of the last exchange (pruned-mode hint). */
     std::vector<UnitId> idleHint;
+
+    // ---- Precomputed scoring tables (struct-of-arrays rows) ----
+    /**
+     * Eq. 2 stack-pair cost, row-major [cs * nStacks + s]: Dintra *
+     * meanIntraHops on the diagonal, Dinter * mesh hops off it. Rows
+     * are contiguous so the per-sample stack walk is a vectorizable
+     * streaming add / min over nStacks doubles.
+     */
+    std::vector<double> stackPairCost;
+    /** topo.stackOf(u) flattened for the final scoring pass. */
+    std::vector<StackId> stackOfUnit;
+    /**
+     * forwardPenalty * distanceCost(creator, u) premultiplied,
+     * row-major per creator (empty above fwdPenMaxUnits or when the
+     * penalty is zero). The products use the identical operand pairs
+     * as the on-the-fly computation, so both paths are bit-equal.
+     */
+    std::vector<double> fwdPen;
+    static constexpr std::uint32_t fwdPenMaxUnits = 1024;
 
     // Scoring scratch (reused across calls; single-threaded simulator).
     std::vector<Addr> sampleScratch;
     std::vector<UnitId> prunedScratch;
     std::vector<double> stackBase;
+    std::vector<double> stackMin;
     std::vector<double> unitBonus;
     std::vector<UnitId> bonusDirty;
     std::vector<double> unitScore;

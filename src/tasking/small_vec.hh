@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Small-size-inlined span container for task hints.
+ *
+ * Behaves like a minimal std::vector for trivially copyable elements,
+ * with three storage tiers chosen to keep the task hot path free of
+ * per-task heap traffic:
+ *
+ *   1. inline: up to N elements live inside the object (the common
+ *      case for writes and low-degree hint lists);
+ *   2. arena: reserveIn(TaskArena) places the exact-sized spill in the
+ *      epoch bump arena — no ownership, freed wholesale at rotation;
+ *   3. heap: growth beyond a reserved capacity (tests, standalone
+ *      hints built without an arena) falls back to an owned buffer.
+ *
+ * Moves transfer the pointer (or memcpy the inline prefix); copies are
+ * deep and always land inline or on the heap, never aliasing an arena
+ * generation the copy does not control.
+ */
+
+#ifndef ABNDP_TASKING_SMALL_VEC_HH
+#define ABNDP_TASKING_SMALL_VEC_HH
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "common/logging.hh"
+#include "tasking/task_arena.hh"
+
+namespace abndp
+{
+
+/** Vector-like container with inline/arena/heap storage (see above). */
+template <typename T, std::uint32_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec is memcpy-based");
+    static_assert(N > 0, "inline capacity must be nonzero");
+
+  public:
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> il) { assign(il.begin(), il.size()); }
+
+    SmallVec(const SmallVec &o) { assign(o.ptr, o.len); }
+
+    SmallVec(SmallVec &&o) noexcept { steal(o); }
+
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this != &o)
+            assign(o.ptr, o.len);
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this != &o) {
+            releaseHeap();
+            steal(o);
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(std::initializer_list<T> il)
+    {
+        assign(il.begin(), il.size());
+        return *this;
+    }
+
+    ~SmallVec() { releaseHeap(); }
+
+    std::size_t size() const { return len; }
+    bool empty() const { return len == 0; }
+    std::size_t capacity() const { return cap; }
+
+    T *data() { return ptr; }
+    const T *data() const { return ptr; }
+    T *begin() { return ptr; }
+    const T *begin() const { return ptr; }
+    T *end() { return ptr + len; }
+    const T *end() const { return ptr + len; }
+
+    T &operator[](std::size_t i) { return ptr[i]; }
+    const T &operator[](std::size_t i) const { return ptr[i]; }
+    T &front() { return ptr[0]; }
+    const T &front() const { return ptr[0]; }
+    T &back() { return ptr[len - 1]; }
+    const T &back() const { return ptr[len - 1]; }
+
+    /** Drop all elements; storage (inline, arena, or heap) is kept. */
+    void clear() { len = 0; }
+
+    /** Drop elements past @p n (sort+unique tail trim). */
+    void
+    truncate(std::size_t n)
+    {
+        abndp_assert(n <= len);
+        len = static_cast<std::uint32_t>(n);
+    }
+
+    /**
+     * Reserve exact capacity for an empty container, spilling to the
+     * epoch arena when @p n exceeds the inline capacity. Callers know
+     * the final size (hint builders walk degree counts), so the arena
+     * block never needs to grow; should a later push_back overflow it
+     * anyway, growth falls back to the heap and the arena block is
+     * simply abandoned until rotation.
+     */
+    void
+    reserveIn(TaskArena &arena, std::size_t n)
+    {
+        abndp_assert(len == 0, "reserveIn on a non-empty SmallVec");
+        releaseHeap();
+        if (n <= N) {
+            ptr = inlineBuf;
+            cap = N;
+        } else {
+            ptr = arena.alloc<T>(n);
+            cap = static_cast<std::uint32_t>(n);
+        }
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (len == cap)
+            growHeap();
+        ptr[len++] = v;
+    }
+
+  private:
+    void
+    assign(const T *src, std::size_t n)
+    {
+        releaseHeap();
+        if (n <= N) {
+            ptr = inlineBuf;
+            cap = N;
+        } else {
+            ptr = new T[n];
+            cap = static_cast<std::uint32_t>(n);
+            heapOwned = true;
+        }
+        if (n > 0)
+            std::memcpy(ptr, src, n * sizeof(T));
+        len = static_cast<std::uint32_t>(n);
+    }
+
+    void
+    steal(SmallVec &o) noexcept
+    {
+        len = o.len;
+        if (o.ptr == o.inlineBuf) {
+            ptr = inlineBuf;
+            cap = N;
+            heapOwned = false;
+            if (len > 0)
+                std::memcpy(inlineBuf, o.inlineBuf, len * sizeof(T));
+        } else {
+            ptr = o.ptr;
+            cap = o.cap;
+            heapOwned = o.heapOwned;
+        }
+        o.ptr = o.inlineBuf;
+        o.len = 0;
+        o.cap = N;
+        o.heapOwned = false;
+    }
+
+    void
+    growHeap()
+    {
+        std::uint32_t newCap = cap < 4 ? 8 : cap * 2;
+        T *np = new T[newCap];
+        if (len > 0)
+            std::memcpy(np, ptr, len * sizeof(T));
+        releaseHeap();
+        ptr = np;
+        cap = newCap;
+        heapOwned = true;
+    }
+
+    void
+    releaseHeap()
+    {
+        if (heapOwned) {
+            delete[] ptr;
+            heapOwned = false;
+        }
+        ptr = inlineBuf;
+        cap = N;
+    }
+
+    T *ptr = inlineBuf;
+    std::uint32_t len = 0;
+    std::uint32_t cap = N;
+    bool heapOwned = false;
+    T inlineBuf[N];
+};
+
+} // namespace abndp
+
+#endif // ABNDP_TASKING_SMALL_VEC_HH

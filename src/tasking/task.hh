@@ -8,15 +8,25 @@
  * timestamps run in parallel; updates become visible when the timestamp
  * ends. By convention hint.data[0] is the address of the task's main
  * (to-be-updated) element, which defines its "home" for co-location.
+ *
+ * The hint spans (data, ranges, writes, and the runtime-memoized block
+ * list) are SmallVec spans: small hints live inline in the task object
+ * and larger ones spill into the per-epoch TaskArena owned by the
+ * workload generator, so task creation performs no per-member heap
+ * allocation and task movement (steals, forwards, queue shuffles) is a
+ * pointer transfer. Tasks are therefore move-only; the rare test or
+ * tool that needs a duplicate calls clone().
  */
 
 #ifndef ABNDP_TASKING_TASK_HH
 #define ABNDP_TASKING_TASK_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <vector>
 
 #include "common/types.hh"
+#include "tasking/small_vec.hh"
+#include "tasking/task_arena.hh"
 
 namespace abndp
 {
@@ -44,12 +54,12 @@ struct AddrRange
 struct TaskHint
 {
     /** Primary-data read addresses; data[0] is the main element. */
-    std::vector<Addr> data;
+    SmallVec<Addr, 2> data;
     /**
      * Contiguous primary-data ranges (Section 3.1 allows "single
      * cacheline addresses or address ranges"); e.g., adjacency lists.
      */
-    std::vector<AddrRange> ranges;
+    SmallVec<AddrRange, 1> ranges;
     /**
      * Optional programmer-supplied computation load. 0 means unset, in
      * which case the scheduler estimates the load from the memory access
@@ -80,11 +90,21 @@ struct Task
     /** Scheduler hint: read addresses + optional load. */
     TaskHint hint;
     /** Addresses written at task completion (bypass caches, to home). */
-    std::vector<Addr> writes;
+    SmallVec<Addr, 2> writes;
     /** Non-memory instruction estimate for timing/energy. */
     std::uint64_t computeInstrs = 0;
 
     // ---- Fields managed by the runtime, not the workload ----
+    /**
+     * Memoized sorted, deduplicated block addresses of the hint, filled
+     * by finalizeBlocks() at enqueue so neither the prefetcher nor the
+     * execution walk re-derives (and re-sorts) them per visit. Empty
+     * means "not memoized": consumers fall back to deriving the list,
+     * which is exact because an empty hint also derives an empty list.
+     */
+    SmallVec<Addr, 2> blocks;
+    /** Memoized hint.totalLines(), set alongside blocks. 0 = unset. */
+    std::uint64_t hintLines = 0;
     /** Home unit of the main element (set on enqueue). */
     UnitId mainHome = invalidUnit;
     /** Scheduler load estimate used for the W counters. */
@@ -102,6 +122,65 @@ struct Task
     bool recovered = false;
     /** Delivery-ack redispatch attempts consumed (capped backoff). */
     std::uint8_t redispatchCount = 0;
+
+    // Move-only: every runtime path (staging, forwards, steals,
+    // recovery transits) transfers ownership of the hint spans; an
+    // accidental copy would silently re-heap them per hop.
+    Task() = default;
+    Task(Task &&) noexcept = default;
+    Task &operator=(Task &&) noexcept = default;
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    /** Explicit deep copy for tests/tools (heap-backed spans). */
+    Task
+    clone() const
+    {
+        Task t;
+        t.func = func;
+        t.timestamp = timestamp;
+        t.arg = arg;
+        t.hint = hint;
+        t.writes = writes;
+        t.computeInstrs = computeInstrs;
+        t.blocks = blocks;
+        t.hintLines = hintLines;
+        t.mainHome = mainHome;
+        t.loadEstimate = loadEstimate;
+        t.prefetched = prefetched;
+        t.forwardHops = forwardHops;
+        t.recovered = recovered;
+        t.redispatchCount = redispatchCount;
+        return t;
+    }
+
+    /**
+     * Memoize the hint-derived per-task state: totalLines() for the
+     * load estimate and the sorted deduplicated block list for the
+     * access path. Called once at enqueue by the runtime that owns
+     * @p arena (the workload generator's epoch arena).
+     */
+    void
+    finalizeBlocks(TaskArena &arena)
+    {
+        hintLines = hint.totalLines();
+        blocks.clear();
+        std::size_t cnt = hint.data.size();
+        for (const auto &r : hint.ranges)
+            cnt += r.lines();
+        if (cnt == 0)
+            return;
+        blocks.reserveIn(arena, cnt);
+        for (Addr a : hint.data)
+            blocks.push_back(blockAlign(a));
+        for (const auto &r : hint.ranges)
+            for (Addr a = blockAlign(r.start); a < r.start + r.bytes;
+                 a += cachelineBytes)
+                blocks.push_back(a);
+        std::sort(blocks.begin(), blocks.end());
+        blocks.truncate(static_cast<std::size_t>(
+            std::unique(blocks.begin(), blocks.end()) - blocks.begin()));
+    }
 };
 
 /**

@@ -125,6 +125,8 @@ AstarWorkload::makeTask(std::uint32_t q, std::uint32_t vertex,
     Task t;
     t.timestamp = ts;
     t.arg = (static_cast<std::uint64_t>(q) << 32) | vertex;
+    t.hint.data.reserveIn(hintArena,
+                          2 + 2ull * graph.degree(vertex));
     t.hint.data.push_back(query.recAddr[vertex]);
     if (adjAddr[vertex] != invalidAddr)
         t.hint.ranges.push_back(

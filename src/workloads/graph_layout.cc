@@ -34,13 +34,16 @@ GraphLayout::appendAdjacency(std::uint32_t v, TaskHint &hint) const
 }
 
 void
-GraphLayout::buildVertexTaskHint(std::uint32_t v, TaskHint &hint) const
+GraphLayout::buildVertexTaskHint(std::uint32_t v, TaskHint &hint,
+                                 TaskArena &arena) const
 {
+    const auto neigh = graph->neighbors(v);
     hint.data.clear();
     hint.ranges.clear();
+    hint.data.reserveIn(arena, 1 + neigh.size());
     hint.data.push_back(recAddr[v]);
     appendAdjacency(v, hint);
-    for (std::uint32_t n : graph->neighbors(v))
+    for (std::uint32_t n : neigh)
         hint.data.push_back(recAddr[n]);
 }
 

@@ -49,9 +49,12 @@ class GraphLayout
     /**
      * Build the standard hint of a vertex-centric task on @p v:
      * data[0] = v's record (main element), then v's adjacency lines,
-     * then every neighbor's record.
+     * then every neighbor's record. The address list is exact-size
+     * reserved in @p arena (the workload's epoch arena), so only
+     * low-degree hints stay inline in the task object.
      */
-    void buildVertexTaskHint(std::uint32_t v, TaskHint &hint) const;
+    void buildVertexTaskHint(std::uint32_t v, TaskHint &hint,
+                             TaskArena &arena) const;
 
   private:
     const Graph *graph;

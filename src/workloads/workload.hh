@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mem/allocator.hh"
 #include "tasking/task.hh"
+#include "tasking/task_arena.hh"
 
 namespace abndp
 {
@@ -64,9 +66,24 @@ class Workload
      */
     void setExplicitLoadHints(bool on) { explicitLoadHints = on; }
 
+    /**
+     * The per-epoch bump arena backing this workload's task-hint spans
+     * (the workload generator owns hint storage; see task_arena.hh).
+     * The driving runtime (NdpSystem, HostSystem, ImmediateExecutor)
+     * calls rotate() at every epoch boundary.
+     */
+    TaskArena &taskArena() const { return hintArena; }
+
   protected:
     /** When true, makeTask() should set hint.workload explicitly. */
     bool explicitLoadHints = false;
+
+    /**
+     * Epoch-scoped storage for hint spans built by makeTask().
+     * Mutable: the arena is allocation plumbing, not observable
+     * workload state, and makeTask() is const across workloads.
+     */
+    mutable TaskArena hintArena;
 };
 
 /**
@@ -91,6 +108,9 @@ class ImmediateExecutor : public TaskSink
     {
         std::uint64_t ts = 0;
         while (!pending.empty() && (maxEpochs == 0 || ts < maxEpochs)) {
+            // Epoch boundary: children enqueued below must not share an
+            // arena generation with the hints they are executed from.
+            wl.taskArena().rotate();
             current.swap(pending);
             pending.clear();
             for (auto &task : current)

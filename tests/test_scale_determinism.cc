@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Slow-tier determinism locks at benchmark scale.
+ *
+ * The tier1 determinism tests run tiny workloads; the data-oriented
+ * hot paths (task arenas, SoA scheduler scoring, bandwidth-meter fast
+ * path, cache tag arrays) only reach their steady-state regimes on
+ * graphs large enough to overflow the small-size-inlined spans and the
+ * meter's single-bucket fast path. These tests re-prove bit-exactness
+ * at scale 16 (~65k vertices, ~1M edges — the perf-smoke grid size):
+ * the same config must produce a byte-identical full stats dump run
+ * twice, and identical per-cell metrics whether the grid runs inline
+ * or on a cell_runner thread pool.
+ *
+ * Labeled `slow` (tests/CMakeLists.txt): each run takes seconds, so
+ * they are excluded from the tier1 push gate and run in the full
+ * suite / nightly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/ndp_system.hh"
+#include "driver/cell_runner.hh"
+#include "driver/experiment.hh"
+#include "workloads/factory.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+/** The perf-smoke cell: default geometry, scale-16 R-MAT PageRank. */
+WorkloadSpec
+scale16Spec(const std::string &name)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.scale = 16;
+    return spec;
+}
+
+/** Run @p spec under design @p d and return the full registry dump. */
+std::string
+runAndDump(Design d, const WorkloadSpec &spec)
+{
+    SystemConfig cfg;
+    cfg = applyDesign(cfg, d);
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(spec);
+    sys.run(*wl);
+    EXPECT_TRUE(wl->verify());
+    std::ostringstream oss;
+    sys.statsRegistry().dump(oss);
+    return oss.str();
+}
+
+} // namespace
+
+TEST(ScaleDeterminism, Scale16RunTwiceBitExact)
+{
+    // Two independent simulator instances on the same scale-16 config:
+    // every counter, distribution moment, and histogram bucket in the
+    // full stats dump must match byte-for-byte (hostSeconds and other
+    // wall-clock self-measurement are not part of the registry).
+    std::string a = runAndDump(Design::O, scale16Spec("pr"));
+    std::string b = runAndDump(Design::O, scale16Spec("pr"));
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(ScaleDeterminism, Scale16CellRunnerThreadCountInvariant)
+{
+    // The same two-cell grid through cell_runner inline (threads=1)
+    // and on a pool (threads=4): each cell is seeded purely by its own
+    // config, so per-cell metrics must be bit-identical regardless of
+    // host thread count or completion order.
+    SystemConfig base;
+    std::vector<CellSpec> cells;
+    for (Design d : {Design::B, Design::O}) {
+        CellSpec cell;
+        cell.design = d;
+        cell.workload = scale16Spec("pr");
+        cells.push_back(cell);
+    }
+
+    std::vector<RunMetrics> seq = runCells(base, cells, 1);
+    std::vector<RunMetrics> par = runCells(base, cells, 4);
+    ASSERT_EQ(seq.size(), cells.size());
+    ASSERT_EQ(par.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE(designName(cells[i].design));
+        EXPECT_EQ(seq[i].ticks, par[i].ticks);
+        EXPECT_EQ(seq[i].tasks, par[i].tasks);
+        EXPECT_EQ(seq[i].epochs, par[i].epochs);
+        EXPECT_EQ(seq[i].interHops, par[i].interHops);
+        EXPECT_EQ(seq[i].intraTraversals, par[i].intraTraversals);
+        EXPECT_EQ(seq[i].simEvents, par[i].simEvents);
+        EXPECT_EQ(seq[i].coreActiveTicks, par[i].coreActiveTicks);
+        EXPECT_EQ(seq[i].epochTicks, par[i].epochTicks);
+        EXPECT_EQ(seq[i].epochTasks, par[i].epochTasks);
+        EXPECT_EQ(seq[i].campHits, par[i].campHits);
+        EXPECT_EQ(seq[i].campMisses, par[i].campMisses);
+        EXPECT_EQ(seq[i].stolenTasks, par[i].stolenTasks);
+        EXPECT_EQ(seq[i].forwardedTasks, par[i].forwardedTasks);
+        EXPECT_EQ(seq[i].dramReads, par[i].dramReads);
+        EXPECT_EQ(seq[i].dramWrites, par[i].dramWrites);
+        EXPECT_EQ(seq[i].dramRowMisses, par[i].dramRowMisses);
+    }
+}
+
+} // namespace abndp
