@@ -116,6 +116,30 @@ topoFromName(const std::string &v)
     return IntraTopology::Crossbar;
 }
 
+const char *
+profileName(RateProfile p)
+{
+    switch (p) {
+      case RateProfile::Constant: return "constant";
+      case RateProfile::Bursty: return "bursty";
+      case RateProfile::Diurnal: return "diurnal";
+    }
+    return "constant";
+}
+
+RateProfile
+profileFromName(const std::string &v)
+{
+    if (v == "constant")
+        return RateProfile::Constant;
+    if (v == "bursty")
+        return RateProfile::Bursty;
+    if (v == "diurnal")
+        return RateProfile::Diurnal;
+    fatal("fuzz repro: bad rate profile '", v, "'");
+    return RateProfile::Constant;
+}
+
 /**
  * One mutable configuration knob: a dotted JSON key plus string
  * accessors. The table drives serialization and minimization, so a
@@ -221,6 +245,29 @@ knobTable()
                           fault.unitFailure.redispatchBackoffNs),
         ABNDP_UINT_KNOB("fault.unitFailure.maxRedispatch",
                         fault.unitFailure.maxRedispatch),
+        ABNDP_UINT_KNOB("serving.requests", serving.requests),
+        ABNDP_DOUBLE_KNOB("serving.ratePerUs", serving.ratePerUs),
+        { "serving.profile",
+          [](const SystemConfig &c) {
+              return std::string(profileName(c.serving.profile));
+          },
+          [](SystemConfig &c, const std::string &v) {
+              c.serving.profile = profileFromName(v);
+          } },
+        ABNDP_DOUBLE_KNOB("serving.burstFactor", serving.burstFactor),
+        ABNDP_DOUBLE_KNOB("serving.burstFraction",
+                          serving.burstFraction),
+        ABNDP_DOUBLE_KNOB("serving.burstPeriodUs",
+                          serving.burstPeriodUs),
+        ABNDP_DOUBLE_KNOB("serving.diurnalPeriodUs",
+                          serving.diurnalPeriodUs),
+        ABNDP_DOUBLE_KNOB("serving.diurnalDepth",
+                          serving.diurnalDepth),
+        ABNDP_DOUBLE_KNOB("serving.zipfS", serving.zipfS),
+        ABNDP_UINT_KNOB("serving.tenants", serving.tenants),
+        ABNDP_DOUBLE_KNOB("serving.sloNs", serving.sloNs),
+        ABNDP_UINT_KNOB("serving.maxOutstanding",
+                        serving.maxOutstanding),
         ABNDP_UINT_KNOB("seed", seed),
     };
     return table;
@@ -338,6 +385,37 @@ sampleFuzzCase(Rng &rng)
 
     const auto &names = allWorkloadNames();
     c.workload = names[rng.below(names.size())];
+
+    // Serving axis (~1 case in 3): a short open-loop stream over one
+    // of the point-query services. Rates stay modest and streams
+    // short: the sampled machines are tiny (1-2 cores), and an
+    // unsustainable rate is a watchdog fatal(), not a bug. Every
+    // sampled combination satisfies validate() by construction
+    // (mirrored in fuzzConfigValid below).
+    if (rng.below(3) == 0) {
+        auto &sv = cfg.serving;
+        sv.requests = 100ull << rng.below(3); // 100..400
+        sv.ratePerUs = 1.0 + static_cast<double>(rng.below(4)); // 1..4
+        switch (rng.below(3)) {
+          case 0: sv.profile = RateProfile::Constant; break;
+          case 1: sv.profile = RateProfile::Bursty; break;
+          default: sv.profile = RateProfile::Diurnal; break;
+        }
+        sv.burstFactor = 2.0 * (1.0 + static_cast<double>(rng.below(2)));
+        sv.burstFraction = 0.1 * (1.0 + static_cast<double>(rng.below(2)));
+        sv.burstPeriodUs = 10.0 * (1.0 + static_cast<double>(rng.below(8)));
+        sv.diurnalPeriodUs =
+            50.0 * (1.0 + static_cast<double>(rng.below(8)));
+        sv.diurnalDepth = 0.2 * static_cast<double>(rng.below(5));
+        sv.zipfS = 0.33 * static_cast<double>(rng.below(4));
+        sv.tenants = 1 + static_cast<std::uint32_t>(rng.below(4));
+        sv.sloNs = 1000.0 * (1.0 + static_cast<double>(rng.below(8)));
+        sv.maxOutstanding = rng.below(3) == 0 ? 0 : 32ull << rng.below(4);
+        // Serving requires a QueryService workload (see serveRun).
+        static const char *const served[] = {"kv", "knn", "sssp",
+                                             "astar"};
+        c.workload = served[rng.below(4)];
+    }
     return c;
 }
 
@@ -401,6 +479,33 @@ fuzzConfigValid(const SystemConfig &cfg)
         if (uf.maxRedispatch == 0)
             return false;
     }
+    const auto &sv = cfg.serving;
+    if (sv.enabled()) {
+        // Mirror of the serving section of SystemConfig::validate().
+        if (sv.ratePerUs <= 0.0 || sv.burstFactor < 1.0)
+            return false;
+        if (sv.burstFraction < 0.0 || sv.burstFraction >= 1.0)
+            return false;
+        if (sv.profile == RateProfile::Bursty
+            && sv.burstFactor * sv.burstFraction >= 1.0)
+            return false;
+        if (sv.burstPeriodUs <= 0.0 || sv.diurnalPeriodUs <= 0.0)
+            return false;
+        if (sv.diurnalDepth < 0.0 || sv.diurnalDepth >= 1.0)
+            return false;
+        if (sv.zipfS < 0.0)
+            return false;
+        if (sv.tenants == 0 || sv.tenants > 64)
+            return false;
+        if (!sv.tenantWeights.empty()
+            && sv.tenantWeights.size() != sv.tenants)
+            return false;
+        for (double w : sv.tenantWeights)
+            if (w <= 0.0)
+                return false;
+        if (sv.sloNs <= 0.0)
+            return false;
+    }
     return true;
 }
 
@@ -452,6 +557,19 @@ metricsFingerprint(const RunMetrics &m)
     field(m.tasksRecovered);
     field(m.tasksRedispatched);
     field(m.recoveryTrafficBytes);
+    field(m.servingInjected);
+    field(m.servingRejected);
+    field(m.servingCompletedDirect);
+    field(m.servingCompletedRecovered);
+    field(m.servingSloMisses);
+    field(m.servingWindows);
+    field(m.servingP50Ns);
+    field(m.servingP95Ns);
+    field(m.servingP99Ns);
+    field(m.servingP999Ns);
+    field(m.servingMeanNs);
+    field(m.servingGoodputQps);
+    field(m.servingSloMissRate);
     field(m.readLatMeanNs);
     field(m.readLatMaxNs);
     field(m.simEvents);
@@ -490,6 +608,35 @@ runFuzzCase(const FuzzCase &c, std::uint32_t threads)
         fp[i] = metricsFingerprint(m);
         tasks[i] = m.tasks;
         epochs[i] = m.epochs;
+
+        // Serving metamorphic relation: every injected request is
+        // accounted for exactly once — rejected at admission, served
+        // directly, or served through the recovery path.
+        if (cfg.serving.enabled()) {
+            if (m.servingInjected != cfg.serving.requests) {
+                r.ok = false;
+                r.message = std::string("serving injected ") +
+                    std::to_string(m.servingInjected) + " of " +
+                    std::to_string(cfg.serving.requests) +
+                    " configured requests under design " +
+                    designName(designs[i]);
+                return r;
+            }
+            if (m.servingInjected != m.servingRejected
+                    + m.servingCompletedDirect
+                    + m.servingCompletedRecovered) {
+                r.ok = false;
+                r.message = std::string("serving conservation broken "
+                    "under design ") + designName(designs[i]) + ": " +
+                    std::to_string(m.servingInjected) + " injected != " +
+                    std::to_string(m.servingRejected) + " rejected + " +
+                    std::to_string(m.servingCompletedDirect) +
+                    " direct + " +
+                    std::to_string(m.servingCompletedRecovered) +
+                    " recovered";
+                return r;
+            }
+        }
     }
 
     // Leg 2 (metamorphic): the same configs rerun through the parallel
@@ -516,7 +663,11 @@ runFuzzCase(const FuzzCase &c, std::uint32_t threads)
 
     // Leg 3 (metamorphic): scheduling and caching are performance
     // features; the functional execution — tasks spawned, epochs run —
-    // must be identical across every NDP design.
+    // must be identical across every NDP design. Serving runs are
+    // exempt: admission (hence the task count) and the window count
+    // depend on each design's latency, by design.
+    if (c.cfg.serving.enabled())
+        return r;
     for (std::size_t i = 1; i < designs.size(); ++i) {
         if (tasks[i] != tasks[0] || epochs[i] != epochs[0]) {
             r.ok = false;

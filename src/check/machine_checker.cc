@@ -162,6 +162,10 @@ MachineChecker::onRunEnd(const RunMetrics &m)
     checkHopAccounting(ctx, m.interHops,
                        mem.network().expectedInterHops());
 
+    checkServingConservation(ctx, m.servingInjected, m.servingRejected,
+                             m.servingCompletedDirect,
+                             m.servingCompletedRecovered);
+
     // The reported breakdown is additive and identical to the live
     // account (RunMetrics copies, it must not recompute).
     checkEnergyAdditivity(ctx, m.energy);

@@ -111,6 +111,26 @@ class MachineChecker
     }
 
     /**
+     * Serving-mode request conservation: every generated arrival is
+     * accounted for exactly once — rejected by admission control,
+     * completed directly, or completed after the recovery protocol
+     * touched its task. Trivially holds (all zeros) in batch runs.
+     */
+    static void
+    checkServingConservation(CheckContext &ctx, std::uint64_t injected,
+                             std::uint64_t rejected,
+                             std::uint64_t direct,
+                             std::uint64_t recovered)
+    {
+        ctx.require(injected == rejected + direct + recovered,
+                    "serving request conservation: ", injected,
+                    " arrivals != ", rejected, " rejected + ", direct,
+                    " completed direct + ", recovered,
+                    " completed recovered (a request was lost, served "
+                    "twice, or mis-classified)");
+    }
+
+    /**
      * A cache's occupancy equals insertions minus evictions since its
      * last bulk invalidation and never exceeds its capacity.
      */

@@ -19,6 +19,8 @@
 #ifndef ABNDP_CHECK_REF_MODELS_HH
 #define ABNDP_CHECK_REF_MODELS_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -533,6 +535,105 @@ class RefEventQueue
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+};
+
+/**
+ * Reference latency accumulator: quantiles from a full std::sort over
+ * the stored samples instead of nth_element on a scratch copy. Same
+ * nearest-rank contract as serve::LatencyRecorder — sorted[ceil(q*n)]
+ * (1-based) — so percentiles must match bit-exactly over any stream.
+ */
+class RefLatencyRecorder
+{
+  public:
+    explicit RefLatencyRecorder(Tick sloTicks = 0) : slo(sloTicks) {}
+
+    void
+    record(Tick latency)
+    {
+        lat.push_back(latency);
+        sum += latency;
+        if (slo > 0 && latency > slo)
+            ++nSloMisses;
+    }
+
+    std::uint64_t samples() const { return lat.size(); }
+    std::uint64_t sloMisses() const { return nSloMisses; }
+
+    double
+    meanTicks() const
+    {
+        return lat.empty() ? 0.0
+            : static_cast<double>(sum) / static_cast<double>(lat.size());
+    }
+
+    Tick
+    percentile(double q) const
+    {
+        abndp_assert(q > 0.0 && q <= 1.0);
+        if (lat.empty())
+            return 0;
+        std::vector<Tick> sorted = lat;
+        std::sort(sorted.begin(), sorted.end());
+        auto rank = static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(sorted.size())));
+        rank = std::max<std::uint64_t>(
+            1, std::min<std::uint64_t>(rank, sorted.size()));
+        return sorted[rank - 1];
+    }
+
+  private:
+    std::vector<Tick> lat;
+    Tick slo;
+    std::uint64_t nSloMisses = 0;
+    std::uint64_t sum = 0;
+};
+
+/**
+ * Reference Zipfian sampler: the same sequentially-accumulated CDF
+ * table as serve::ZipfianSampler (bit-identical construction order),
+ * inverted by a linear scan instead of binary search. Identical
+ * uniform draws must yield identical keys, bit for bit.
+ */
+class RefZipfSampler
+{
+  public:
+    RefZipfSampler(std::uint64_t n, double s)
+    {
+        abndp_assert(n > 0);
+        cdf.resize(n);
+        double total = 0.0;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            total += std::pow(static_cast<double>(k + 1), -s);
+            cdf[k] = total;
+        }
+        for (std::uint64_t k = 0; k < n; ++k)
+            cdf[k] /= total;
+        cdf[n - 1] = 1.0;
+    }
+
+    std::uint64_t
+    keyFor(double u) const
+    {
+        // Linear scan with the same predicate upper_bound uses: the
+        // first key whose cumulative probability exceeds u.
+        for (std::uint64_t k = 0; k < cdf.size(); ++k)
+            if (cdf[k] > u)
+                return k;
+        return cdf.size() - 1;
+    }
+
+    std::uint64_t operator()(Rng &rng) const { return keyFor(rng.uniform()); }
+
+    double
+    probabilityOf(std::uint64_t k) const
+    {
+        abndp_assert(k < cdf.size());
+        return k == 0 ? cdf[0] : cdf[k] - cdf[k - 1];
+    }
+
+  private:
+    std::vector<double> cdf;
 };
 
 } // namespace check

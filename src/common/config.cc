@@ -151,6 +151,60 @@ SystemConfig::validate() const
     if (df.eccRetryNs < 0.0)
         fatal("dram eccRetryNs must be non-negative");
 
+    // ---- Online serving (src/serve) ----
+    if (serving.enabled()) {
+        if (serving.ratePerUs <= 0.0)
+            fatal("serving ratePerUs must be positive, got ",
+                  serving.ratePerUs,
+                  " (an open-loop stream needs a nonzero arrival rate)");
+        if (serving.burstFactor < 1.0)
+            fatal("serving burstFactor must be >= 1, got ",
+                  serving.burstFactor,
+                  " (the burst phase cannot run below the mean rate)");
+        if (serving.burstFraction < 0.0 || serving.burstFraction >= 1.0)
+            fatal("serving burstFraction must be within [0, 1), got ",
+                  serving.burstFraction);
+        if (serving.profile == RateProfile::Bursty
+            && serving.burstFactor * serving.burstFraction >= 1.0)
+            fatal("serving burstFactor (", serving.burstFactor,
+                  ") * burstFraction (", serving.burstFraction,
+                  ") must stay below 1 so the off-phase rate that "
+                  "preserves the mean remains positive");
+        if (serving.burstPeriodUs <= 0.0)
+            fatal("serving burstPeriodUs must be positive, got ",
+                  serving.burstPeriodUs);
+        if (serving.diurnalPeriodUs <= 0.0)
+            fatal("serving diurnalPeriodUs must be positive, got ",
+                  serving.diurnalPeriodUs);
+        if (serving.diurnalDepth < 0.0 || serving.diurnalDepth >= 1.0)
+            fatal("serving diurnalDepth must be within [0, 1), got ",
+                  serving.diurnalDepth,
+                  " (depth 1 would zero the trough rate and the "
+                  "thinning sampler would stall)");
+        if (serving.zipfS < 0.0)
+            fatal("serving zipfS must be non-negative, got ",
+                  serving.zipfS);
+        if (serving.tenants == 0)
+            fatal("serving tenants must be nonzero (every request "
+                  "belongs to some tenant)");
+        if (serving.tenants > 64)
+            fatal("serving tenants must be at most 64, got ",
+                  serving.tenants, " (per-tenant latency logs are "
+                  "dense and tasks carry an 8-bit tenant id)");
+        if (!serving.tenantWeights.empty()
+            && serving.tenantWeights.size() != serving.tenants)
+            fatal("serving tenantWeights has ",
+                  serving.tenantWeights.size(), " entries but ",
+                  serving.tenants, " tenants are configured (leave it "
+                  "empty for equal shares)");
+        for (double w : serving.tenantWeights)
+            if (w <= 0.0)
+                fatal("serving tenant weights must be positive, got ",
+                      w);
+        if (serving.sloNs <= 0.0)
+            fatal("serving sloNs must be positive, got ", serving.sloNs);
+    }
+
     const auto &uf = fault.unitFailure;
     for (std::uint32_t u : uf.units)
         if (u >= numUnits())

@@ -14,6 +14,7 @@
 
 #include "common/types.hh"
 #include "fault/fault_config.hh"
+#include "serve/serving_config.hh"
 
 namespace abndp
 {
@@ -309,6 +310,13 @@ struct SystemConfig
      * bit-deterministic.
      */
     FaultConfig fault;
+
+    /**
+     * Online serving mode (src/serve): an open-loop, seeded request
+     * stream injected without epoch drain barriers. Off by default
+     * (requests == 0); batch runs never read these knobs.
+     */
+    ServingConfig serving;
 
     // ---- Simulation ----
     std::uint64_t seed = 1;

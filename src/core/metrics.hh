@@ -80,6 +80,30 @@ struct RunMetrics
     /** Bytes shipped by the recovery protocol (drains + redispatch). */
     std::uint64_t recoveryTrafficBytes = 0;
 
+    // Online serving (all zero in batch runs; see docs/ARCHITECTURE.md).
+    /** Requests the open-loop arrival process generated. */
+    std::uint64_t servingInjected = 0;
+    /** Arrivals refused by admission control (maxOutstanding). */
+    std::uint64_t servingRejected = 0;
+    /** Admitted requests completed without recovery involvement. */
+    std::uint64_t servingCompletedDirect = 0;
+    /** Admitted requests completed after the recovery protocol. */
+    std::uint64_t servingCompletedRecovered = 0;
+    /** Completed requests whose latency exceeded the SLO. */
+    std::uint64_t servingSloMisses = 0;
+    /** Stats/exchange windows elapsed (the serving "epochs"). */
+    std::uint64_t servingWindows = 0;
+    /** Exact nearest-rank latency percentiles, in nanoseconds. */
+    double servingP50Ns = 0.0;
+    double servingP95Ns = 0.0;
+    double servingP99Ns = 0.0;
+    double servingP999Ns = 0.0;
+    double servingMeanNs = 0.0;
+    /** Completed-within-SLO requests per second of simulated time. */
+    double servingGoodputQps = 0.0;
+    /** (rejected + SLO misses) / injected. */
+    double servingSloMissRate = 0.0;
+
     /** End-to-end block read latency (ns) seen below the L1/buffers. */
     double readLatMeanNs = 0.0;
     double readLatMaxNs = 0.0;

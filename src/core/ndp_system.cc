@@ -9,9 +9,58 @@
 
 #include "check/machine_checker.hh"
 #include "common/logging.hh"
+#include "serve/arrival.hh"
+#include "serve/zipf.hh"
+#include "workloads/query_service.hh"
 
 namespace abndp
 {
+
+/**
+ * Serving stream generator state: the seeded arrival process, the
+ * Zipfian key sampler, the tenant mix, and the QueryService face of
+ * the workload. Out of line so the header needs no serve/ generator
+ * includes; exists only for the duration of a serving run.
+ */
+struct NdpSystem::ServeState
+{
+    serve::ArrivalProcess arrivals;
+    serve::ZipfianSampler zipf;
+    QueryService *svc;
+    /** Cumulative normalized tenant-weight distribution. */
+    std::vector<double> tenantCdf;
+    /** Dense sequence numbers handed to admitted requests. */
+    std::uint64_t admitted = 0;
+
+    ServeState(const ServingConfig &sc, std::uint64_t systemSeed,
+               std::uint64_t keys, QueryService *svc_)
+        : arrivals(sc, systemSeed), zipf(keys, sc.zipfS), svc(svc_)
+    {
+        std::vector<double> w = sc.tenantWeights;
+        if (w.empty())
+            w.assign(sc.tenants, 1.0);
+        double total = 0.0;
+        for (double x : w)
+            total += x;
+        double cum = 0.0;
+        tenantCdf.reserve(w.size());
+        for (double x : w) {
+            cum += x;
+            tenantCdf.push_back(cum / total);
+        }
+    }
+
+    /** Map one uniform draw in [0, 1) to a tenant id. */
+    std::uint8_t
+    tenantFor(double u) const
+    {
+        std::size_t t = static_cast<std::size_t>(
+            std::upper_bound(tenantCdf.begin(), tenantCdf.end(), u)
+            - tenantCdf.begin());
+        return static_cast<std::uint8_t>(
+            std::min(t, tenantCdf.size() - 1));
+    }
+};
 
 NdpSystem::~NdpSystem() = default;
 
@@ -39,6 +88,15 @@ NdpSystem::NdpSystem(const SystemConfig &cfg_)
 
     failuresOn = faults.unitFailuresEnabled();
     acksOutstanding.assign(units.size(), 0);
+
+    if (cfg.serving.enabled()) {
+        // Construct the recorders here (not in serveRun) so the stats
+        // lambdas built below never see an unsized tenant vector.
+        auto slo = static_cast<Tick>(cfg.serving.sloNs * ticksPerNs);
+        servingLat = serve::LatencyRecorder(slo);
+        servingTenantLat.assign(cfg.serving.tenants,
+                                serve::LatencyRecorder(slo));
+    }
 
     if (cfg.checkInvariants) {
         checker = std::make_unique<check::MachineChecker>(*this);
@@ -141,6 +199,99 @@ NdpSystem::buildStats()
                      obs::StatKind::Counter, true);
     }
 
+    // Serving stats exist only when a request stream is configured, so
+    // batch stat dumps (and the batch golden suite) are unchanged.
+    // Percentiles select at dump time from the full latency log —
+    // O(n), observational only.
+    if (cfg.serving.enabled()) {
+        obs::StatNode &sv = root.child("serving");
+        sv.addValue("injected",
+                    [this]() {
+                        return static_cast<double>(servingInjected);
+                    },
+                    obs::StatKind::Counter, true);
+        sv.addValue("rejected",
+                    [this]() {
+                        return static_cast<double>(servingRejected);
+                    },
+                    obs::StatKind::Counter, true);
+        sv.addValue("completedDirect",
+                    [this]() {
+                        return static_cast<double>(servingCompletedDirect);
+                    },
+                    obs::StatKind::Counter, true);
+        sv.addValue("completedRecovered",
+                    [this]() {
+                        return static_cast<double>(
+                            servingCompletedRecovered);
+                    },
+                    obs::StatKind::Counter, true);
+        sv.addValue("sloMisses",
+                    [this]() {
+                        return static_cast<double>(
+                            servingLat.sloMisses());
+                    },
+                    obs::StatKind::Counter, true);
+        sv.addValue("windows",
+                    [this]() {
+                        return static_cast<double>(servingWindows);
+                    },
+                    obs::StatKind::Counter, true);
+        sv.addFormula("meanNs", [this]() {
+            return servingLat.meanTicks() / ticksPerNs;
+        });
+        sv.addFormula("p50Ns", [this]() {
+            return static_cast<double>(servingLat.percentile(0.50))
+                / ticksPerNs;
+        });
+        sv.addFormula("p95Ns", [this]() {
+            return static_cast<double>(servingLat.percentile(0.95))
+                / ticksPerNs;
+        });
+        sv.addFormula("p99Ns", [this]() {
+            return static_cast<double>(servingLat.percentile(0.99))
+                / ticksPerNs;
+        });
+        sv.addFormula("p999Ns", [this]() {
+            return static_cast<double>(servingLat.percentile(0.999))
+                / ticksPerNs;
+        });
+        sv.addFormula("goodputQps", [this]() {
+            // Completed-within-SLO requests per simulated second.
+            if (lastCompletionTick == 0)
+                return 0.0;
+            double ok = static_cast<double>(
+                servingLat.samples() - servingLat.sloMisses());
+            return ok / (static_cast<double>(lastCompletionTick) * 1e-12);
+        });
+        sv.addFormula("sloMissRate", [this]() {
+            // Rejections count as misses: open-loop load shed is load
+            // the tenant offered and the machine did not serve in time.
+            if (servingInjected == 0)
+                return 0.0;
+            return static_cast<double>(servingRejected
+                                       + servingLat.sloMisses())
+                / static_cast<double>(servingInjected);
+        });
+        std::vector<std::string> tenantNames;
+        tenantNames.reserve(cfg.serving.tenants);
+        for (std::uint32_t t = 0; t < cfg.serving.tenants; ++t)
+            tenantNames.push_back(std::to_string(t));
+        sv.addVector("tenantCompleted", tenantNames,
+                     [this](std::size_t t) {
+                         return static_cast<double>(
+                             servingTenantLat[t].samples());
+                     },
+                     obs::StatKind::Counter, true);
+        sv.addVector("tenantP99Ns", tenantNames,
+                     [this](std::size_t t) {
+                         return static_cast<double>(
+                                    servingTenantLat[t].percentile(0.99))
+                             / ticksPerNs;
+                     },
+                     obs::StatKind::Gauge, false);
+    }
+
     sched.regStats(root.child("sched"));
     mem.network().regStats(root.child("net"));
     mem.regStats(root.child("mem"));
@@ -180,6 +331,14 @@ void
 NdpSystem::enqueueTask(Task &&task)
 {
     abndp_assert(workload != nullptr, "enqueue outside a run");
+    // The serving driver injects every task itself (emitInitialTasks
+    // is never called), so any enqueue here is a child enqueue from
+    // executeTask — and query tasks must be independent: there is no
+    // next timestamp for a child to run in.
+    if (servingMode)
+        panic("serving mode forbids child enqueues: workload ",
+              workload->name(), " enqueued a task with func ",
+              task.func, " from inside a query execution");
     if (creatorCtx == invalidUnit) {
         abndp_assert(task.timestamp == curEpoch,
                      "initial tasks must carry the current timestamp");
@@ -381,11 +540,22 @@ NdpSystem::tryDispatch(UnitId u)
                           static_cast<std::uint16_t>(c), now, end - now,
                           task.func);
 
+        if (servingMode) {
+            // Stash the request identity on the core so the completion
+            // event below can record its latency without growing the
+            // capture (the task dies with this scope).
+            core.servingArrival = task.servingArrival;
+            core.servingTenant = task.tenant;
+            core.servingRecovered = task.recovered;
+        }
+
         eq.schedule(end, [this, u, c] {
             units[u].cores[c].busy = false;
             abndp_assert(activeRemaining > 0);
             --activeRemaining;
             lastCompletionTick = eq.now();
+            if (servingMode)
+                recordServedCompletion(u, c);
             tryDispatch(u);
         });
     }
@@ -882,7 +1052,14 @@ NdpSystem::dumpStallDiagnostics(const std::string &reason,
 RunMetrics
 NdpSystem::run(Workload &wl)
 {
-    abndp_assert(workload == nullptr, "NdpSystem::run() may be called once");
+    abndp_assert(workload == nullptr,
+                 "NdpSystem::run() may be called once");
+    return cfg.serving.enabled() ? serveRun(wl) : batchRun(wl);
+}
+
+RunMetrics
+NdpSystem::batchRun(Workload &wl)
+{
     // Host-side self-measurement (simulator throughput). Wall-clock is
     // reporting only and never feeds back into simulation state.
     const auto hostStart = std::chrono::steady_clock::now();
@@ -1065,6 +1242,239 @@ NdpSystem::run(Workload &wl)
     m.tasksRedispatched = tasksRedispatched;
     m.recoveryTrafficBytes = recoveryTrafficBytes;
     m.simEvents = eq.executed();
+
+    if (checker)
+        checker->onRunEnd(m);
+
+    if (!cfg.traceOut.empty()) {
+        std::ofstream tf(cfg.traceOut);
+        if (!tf)
+            fatal("cannot open trace output file: ", cfg.traceOut);
+        tracer.exportChromeJson(tf);
+    }
+
+    m.hostSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - hostStart).count();
+    return m;
+}
+
+void
+NdpSystem::injectServingTask(Task &&task)
+{
+    Addr main_addr = !task.hint.data.empty() ? task.hint.data[0]
+        : (!task.writes.empty() ? task.writes[0] : invalidAddr);
+    task.mainHome = main_addr != invalidAddr
+        ? alloc.map().homeOf(main_addr) : 0;
+    // No finalizeBlocks(): serving tasks outlive every epoch-arena
+    // generation, so blocks stays empty (the access path derives the
+    // block list from the hint) and only hintLines is memoized.
+    task.hintLines = task.hint.totalLines();
+    task.loadEstimate = sched.estimateLoad(task);
+    ++activeRemaining;
+
+    if (windowPolicy) {
+        // Figure-4 path, without the staging detour: arrivals have no
+        // creating unit, so they spread round-robin into live pending
+        // queues and the scheduling window places them from there.
+        auto creator =
+            static_cast<UnitId>(initialSpread++ % units.size());
+        if (failuresOn && !faults.isLive(creator))
+            creator = faults.rehomeOf(creator);
+        sched.onEnqueued(creator, task.loadEstimate, creator);
+        units[creator].pending.push_back(std::move(task));
+        pumpScheduler(creator);
+    } else {
+        UnitId dst = sched.choose(task, task.mainHome);
+        if (failuresOn && !faults.isLive(dst))
+            dst = faults.rehomeOf(dst);
+        sched.onEnqueued(dst, task.loadEstimate, task.mainHome);
+        units[dst].ready.push_back(std::move(task));
+        tryDispatch(dst);
+    }
+}
+
+void
+NdpSystem::serveArrival()
+{
+    const ServingConfig &sc = cfg.serving;
+    // Tenant and key are drawn for every arrival, admitted or not, so
+    // admission decisions can never shift the stream's draw sequence.
+    Rng &krng = srv->arrivals.keyRng();
+    std::uint8_t tenant = sc.tenants > 1 ? srv->tenantFor(krng.uniform())
+                                         : 0;
+    std::uint64_t key = srv->zipf(krng);
+    ++servingInjected;
+
+    if (sc.maxOutstanding == 0 || activeRemaining < sc.maxOutstanding) {
+        Task task = srv->svc->makeQueryTask(key, srv->admitted++);
+        task.servingArrival = eq.now();
+        task.tenant = tenant;
+        injectServingTask(std::move(task));
+    } else {
+        ++servingRejected;
+    }
+
+    if (servingInjected < sc.requests)
+        eq.schedule(srv->arrivals.nextArrival(eq.now()),
+                    [this] { serveArrival(); });
+}
+
+void
+NdpSystem::armServingWindow(Tick interval)
+{
+    // The serving analogue of the epoch boundary, minus the barrier:
+    // the watchdog budget re-arms, the schedulers refresh their
+    // exchange snapshot, and wholly-past meter pages are reclaimed
+    // (every future event books bandwidth at t >= now, so pages below
+    // now are unreachable — the same argument the batch barrier uses).
+    // Nothing drains, and no cache is invalidated: primary data is
+    // read-only under serving, so there is no timestamp boundary.
+    eq.scheduleIn(interval, [this, interval] {
+        ++servingWindows;
+        eq.armWatchdog();
+        if (windowPolicy || sched.stealingEnabled())
+            sched.exchangeSnapshot(eq.now());
+        mem.discardBefore(eq.now());
+        armServingWindow(interval);
+    });
+}
+
+void
+NdpSystem::recordServedCompletion(UnitId u, std::uint32_t c)
+{
+    const CoreState &core = units[u].cores[c];
+    Tick latency = eq.now() - core.servingArrival;
+    servingLat.record(latency);
+    servingTenantLat[core.servingTenant].record(latency);
+    if (core.servingRecovered)
+        ++servingCompletedRecovered;
+    else
+        ++servingCompletedDirect;
+}
+
+RunMetrics
+NdpSystem::serveRun(Workload &wl)
+{
+    const auto hostStart = std::chrono::steady_clock::now();
+    workload = &wl;
+    auto *svc = dynamic_cast<QueryService *>(&wl);
+    if (svc == nullptr)
+        fatal("workload ", wl.name(), " cannot be served: it does not "
+              "implement QueryService (point-query serving needs kv, "
+              "knn, sssp, or astar)");
+    servingMode = true;
+
+    wl.setup(alloc);
+    const ServingConfig &sc = cfg.serving;
+    abndp_assert(svc->keySpace() > 0, "empty key space after setup");
+    svc->beginServing(sc.requests);
+    srv = std::make_unique<ServeState>(sc, cfg.seed, svc->keySpace(),
+                                       svc);
+    servingLat.reserve(sc.requests);
+
+    curEpoch = 0;
+    eq.armWatchdog();
+    if (failuresOn)
+        armFailureTransitions();
+    if (windowPolicy || sched.stealingEnabled())
+        sched.exchangeSnapshot(eq.now());
+    armServingWindow(cfg.sched.exchangeIntervalCycles
+                     * cfg.ticksPerCycle());
+    eq.schedule(srv->arrivals.nextArrival(eq.now()),
+                [this] { serveArrival(); });
+
+    // Drive the open loop: run until the stream is exhausted and every
+    // admitted request completed. There is no drain barrier in between
+    // — new arrivals keep injecting while earlier requests execute.
+    while (activeRemaining > 0 || servingInjected < sc.requests) {
+        if (!eq.runOne())
+            dumpStallDiagnostics(
+                "deadlock: serving stream live but no events", true);
+        if (eq.watchdogTripped())
+            dumpStallDiagnostics(
+                logging_detail::concat(
+                    "watchdog: serving window exceeded its budget (",
+                    eq.watchdogEvents(), " events, ",
+                    eq.watchdogTicks() / 1000, " ns simulated; limits: "
+                    "maxEpochEvents=",
+                    cfg.fault.watchdog.maxEpochEvents,
+                    ", maxEpochTicks=",
+                    cfg.fault.watchdog.maxEpochTicks,
+                    "); the open-loop arrival rate may exceed what "
+                    "this design can sustain"),
+                false);
+    }
+    // Only bookkeeping chains remain (windows, steal backoffs).
+    eq.clearPending();
+
+    energy.finalizeStatic(lastCompletionTick);
+
+    RunMetrics m;
+    m.ticks = lastCompletionTick;
+    m.epochs = servingWindows;
+    m.tasks = totalTasks;
+    m.interHops = mem.network().totalInterHops();
+    m.intraTraversals = mem.network().totalIntraTraversals();
+    m.energy = energy.breakdown();
+    m.campHits = mem.campHits();
+    m.campMisses = mem.campMisses();
+    m.cacheInserts = mem.cacheInsertions();
+    m.readLatMeanNs = mem.readLatencyNs().mean();
+    m.readLatMaxNs = mem.readLatencyNs().max();
+    m.stealAttempts = stealAttempts;
+    m.stolenTasks = stolenTasks;
+    m.forwardedTasks = forwardedTasks;
+    m.schedDecisions = sched.decisions();
+    for (UnitId u = 0; u < units.size(); ++u) {
+        const auto &unit = units[u];
+        m.pbHits += unit.pb->hits();
+        m.pbLateHits += unit.pb->lateHits();
+        m.pbMisses += unit.pb->misses();
+        for (const auto &core : unit.cores) {
+            m.coreActiveTicks.push_back(core.activeTicks);
+            m.l1Hits += core.l1d->hits();
+            m.l1Misses += core.l1d->misses();
+        }
+        m.dramReads += mem.dram(u).reads();
+        m.dramWrites += mem.dram(u).writes();
+        m.dramRowMisses += mem.dram(u).rowMisses();
+        m.dramEccRetries += mem.dram(u).eccRetries();
+    }
+    m.netDropped = mem.network().totalDropped();
+    m.netRetries = mem.network().totalRetries();
+    m.unitsFailed = everFailed
+        ? static_cast<std::uint64_t>(faults.failedUnits().size())
+        : 0;
+    m.tasksRecovered = tasksRecovered;
+    m.tasksRedispatched = tasksRedispatched;
+    m.recoveryTrafficBytes = recoveryTrafficBytes;
+    m.simEvents = eq.executed();
+
+    m.servingInjected = servingInjected;
+    m.servingRejected = servingRejected;
+    m.servingCompletedDirect = servingCompletedDirect;
+    m.servingCompletedRecovered = servingCompletedRecovered;
+    m.servingSloMisses = servingLat.sloMisses();
+    m.servingWindows = servingWindows;
+    m.servingP50Ns =
+        static_cast<double>(servingLat.percentile(0.50)) / ticksPerNs;
+    m.servingP95Ns =
+        static_cast<double>(servingLat.percentile(0.95)) / ticksPerNs;
+    m.servingP99Ns =
+        static_cast<double>(servingLat.percentile(0.99)) / ticksPerNs;
+    m.servingP999Ns =
+        static_cast<double>(servingLat.percentile(0.999)) / ticksPerNs;
+    m.servingMeanNs = servingLat.meanTicks() / ticksPerNs;
+    if (lastCompletionTick > 0) {
+        double ok = static_cast<double>(servingLat.samples()
+                                        - servingLat.sloMisses());
+        m.servingGoodputQps =
+            ok / (static_cast<double>(lastCompletionTick) * 1e-12);
+    }
+    if (servingInjected > 0)
+        m.servingSloMissRate =
+            static_cast<double>(servingRejected + servingLat.sloMisses())
+            / static_cast<double>(servingInjected);
 
     if (checker)
         checker->onRunEnd(m);

@@ -41,6 +41,7 @@
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
 #include "sched/scheduler.hh"
+#include "serve/latency_recorder.hh"
 #include "sim/event_queue.hh"
 #include "tasking/task.hh"
 #include "workloads/workload.hh"
@@ -68,6 +69,9 @@ class NdpSystem : public TaskSink
     /**
      * Run a workload to completion (or cfg.maxEpochs) and return the
      * collected metrics. A system instance runs one workload once.
+     * With cfg.serving enabled this dispatches to the open-loop
+     * serving driver instead of the epoch engine; the workload must
+     * then implement QueryService.
      */
     RunMetrics run(Workload &wl);
 
@@ -105,6 +109,35 @@ class NdpSystem : public TaskSink
     const obs::Tracer &eventTracer() const { return tracer; }
 
   private:
+    /** The batch epoch engine (run() body when serving is off). */
+    RunMetrics batchRun(Workload &wl);
+
+    // ---- Online serving driver (docs/ARCHITECTURE.md) ----
+
+    /**
+     * The open-loop serving driver: injects cfg.serving.requests
+     * independent query tasks at seeded stochastic arrival times and
+     * drives the event loop without epoch drain barriers. Exchange
+     * snapshots, watchdog re-arms, and meter reclamation ride on a
+     * periodic *window* chain instead of the epoch barrier.
+     */
+    RunMetrics serveRun(Workload &wl);
+
+    /**
+     * One arrival: draw tenant and key, apply admission control, and
+     * inject the query task; then self-schedule the next arrival.
+     */
+    void serveArrival();
+
+    /** Place one admitted query task into the live queues. */
+    void injectServingTask(Task &&task);
+
+    /** Self-rescheduling serving window (exchange/watchdog/reclaim). */
+    void armServingWindow(Tick interval);
+
+    /** Completion-side latency/conservation accounting (serving). */
+    void recordServedCompletion(UnitId u, std::uint32_t c);
+
     /** Move staged tasks into the live queues and start everything. */
     void startEpoch(std::uint64_t ts);
 
@@ -273,6 +306,24 @@ class NdpSystem : public TaskSink
     std::uint64_t tasksRecovered = 0;
     std::uint64_t tasksRedispatched = 0;
     std::uint64_t recoveryTrafficBytes = 0;
+
+    // Online serving state. All of it stays untouched (and the
+    // serving branches in the shared dispatch path unreachable)
+    // unless servingMode, so batch runs remain bit-identical.
+    /** Serving driver active; gates the shared-path branches. */
+    bool servingMode = false;
+    /** Stream generator state (arrival process, sampler, service). */
+    struct ServeState;
+    std::unique_ptr<ServeState> srv;
+    /** Per-request latency log (exact percentiles at dump time). */
+    serve::LatencyRecorder servingLat;
+    /** Per-tenant latency logs (tenant id indexes the vector). */
+    std::vector<serve::LatencyRecorder> servingTenantLat;
+    std::uint64_t servingInjected = 0;
+    std::uint64_t servingRejected = 0;
+    std::uint64_t servingCompletedDirect = 0;
+    std::uint64_t servingCompletedRecovered = 0;
+    std::uint64_t servingWindows = 0;
 };
 
 } // namespace abndp

@@ -39,6 +39,16 @@ struct CoreState
     bool busy = false;
     Tick activeTicks = 0;
     std::uint64_t tasksRun = 0;
+    /**
+     * Serving mode only: arrival tick, tenant, and recovery mark of
+     * the request this core is executing, stashed at dispatch so the
+     * completion event can record its latency without carrying the
+     * task (the completion capture must stay [this, u, c] to keep
+     * batch runs byte-identical). Untouched in batch mode.
+     */
+    Tick servingArrival = 0;
+    std::uint8_t servingTenant = 0;
+    bool servingRecovered = false;
     std::unique_ptr<SetAssocCache> l1d;
     std::unique_ptr<SetAssocCache> l1i;
     /** Local TLB (Section 3.2); keys are page numbers. */

@@ -20,6 +20,10 @@ runExperiment(const SystemConfig &base, Design d, const WorkloadSpec &spec,
 
     RunMetrics metrics;
     if (d == Design::H) {
+        if (cfg.serving.enabled())
+            fatal("design H cannot run serving mode: the open-loop "
+                  "driver lives in NdpSystem (pick an NDP design: B, "
+                  "Sm, Sl, Sh, C or O)");
         HostSystem host(cfg);
         metrics = host.run(*wl);
     } else {

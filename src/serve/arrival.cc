@@ -1,0 +1,95 @@
+#include "serve/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+namespace serve
+{
+
+namespace
+{
+
+constexpr double ticksPerUs = 1000.0 * ticksPerNs;
+
+/** Two distinct streams inside the serving seed domain. */
+std::uint64_t
+servingSeed(std::uint64_t systemSeed, std::uint64_t stream)
+{
+    return mix64(systemSeed ^ arrivalSeedSalt ^ (stream * 0x9e37ULL));
+}
+
+} // namespace
+
+ArrivalProcess::ArrivalProcess(const ServingConfig &cfg_,
+                               std::uint64_t systemSeed)
+    : cfg(cfg_),
+      meanPerTick(cfg_.ratePerUs / ticksPerUs),
+      gaps(servingSeed(systemSeed, 1)),
+      keys(servingSeed(systemSeed, 2))
+{
+    switch (cfg.profile) {
+      case RateProfile::Constant:
+        peakPerTick = meanPerTick;
+        break;
+      case RateProfile::Bursty:
+        peakPerTick = meanPerTick * cfg.burstFactor;
+        break;
+      case RateProfile::Diurnal:
+        peakPerTick = meanPerTick * (1.0 + cfg.diurnalDepth);
+        break;
+      default:
+        panic("unknown rate profile");
+    }
+}
+
+double
+ArrivalProcess::rateAt(Tick t) const
+{
+    switch (cfg.profile) {
+      case RateProfile::Constant:
+        return meanPerTick;
+      case RateProfile::Bursty: {
+        // Square wave preserving the configured mean: the first
+        // burstFraction of every period runs at burstFactor x, the
+        // remainder at the (validated-positive) complement rate.
+        double period = cfg.burstPeriodUs * ticksPerUs;
+        double phase = std::fmod(static_cast<double>(t), period) / period;
+        if (phase < cfg.burstFraction)
+            return meanPerTick * cfg.burstFactor;
+        return meanPerTick
+            * (1.0 - cfg.burstFactor * cfg.burstFraction)
+            / (1.0 - cfg.burstFraction);
+      }
+      case RateProfile::Diurnal: {
+        double period = cfg.diurnalPeriodUs * ticksPerUs;
+        double angle = 2.0 * M_PI * static_cast<double>(t) / period;
+        return meanPerTick * (1.0 + cfg.diurnalDepth * std::sin(angle));
+      }
+    }
+    panic("unknown rate profile");
+}
+
+Tick
+ArrivalProcess::nextArrival(Tick now)
+{
+    // Lewis-Shedler thinning at the peak rate; for the constant
+    // profile every candidate is accepted (rate == peak), so this is
+    // plain exponential-gap sampling.
+    Tick t = now;
+    for (;;) {
+        double u = gaps.uniform();
+        double gap = -std::log1p(-u) / peakPerTick;
+        // Every arrival advances time: quantization to ticks must not
+        // produce two arrivals on one tick in zero-gap corner cases.
+        t += std::max<Tick>(1, static_cast<Tick>(gap));
+        if (gaps.uniform() * peakPerTick <= rateAt(t))
+            return t;
+    }
+}
+
+} // namespace serve
+} // namespace abndp

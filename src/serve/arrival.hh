@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic open-loop arrival process for the serving driver.
+ *
+ * Inter-arrival gaps are exponential (Poisson stream) at a
+ * time-varying rate given by the configured profile. Non-constant
+ * profiles use Lewis-Shedler thinning: candidate gaps are drawn at the
+ * profile's peak rate and accepted with probability rate(t)/peak, so
+ * the accepted stream follows the instantaneous rate exactly while
+ * staying a pure function of the seeded Rng stream.
+ *
+ * The process owns its Rng, constructed from its own seed domain
+ * (mix64 of the system seed and a serving-only salt): a batch run
+ * never draws from it, and a serving run never touches the batch
+ * streams, so enabling serving cannot perturb batch-mode goldens.
+ */
+
+#ifndef ABNDP_SERVE_ARRIVAL_HH
+#define ABNDP_SERVE_ARRIVAL_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "serve/serving_config.hh"
+
+namespace abndp
+{
+namespace serve
+{
+
+/** Seed-domain salt of the arrival/key stream (see file comment). */
+constexpr std::uint64_t arrivalSeedSalt = 0x5e21a11f00d5eedULL;
+
+/** Open-loop arrival-time generator (one instance per serving run). */
+class ArrivalProcess
+{
+  public:
+    /** @p systemSeed is SystemConfig::seed; the salt is mixed in. */
+    ArrivalProcess(const ServingConfig &cfg, std::uint64_t systemSeed);
+
+    /** Absolute tick of the next arrival strictly after @p now. */
+    Tick nextArrival(Tick now);
+
+    /** Instantaneous rate in requests per tick (tests/profiles). */
+    double rateAt(Tick t) const;
+
+    /**
+     * The request-key/tenant Rng stream, sharing the serving seed
+     * domain (distinct from the arrival-time draws only by use
+     * order; both live outside every batch stream).
+     */
+    Rng &keyRng() { return keys; }
+
+  private:
+    const ServingConfig cfg;
+    /** Peak instantaneous rate of the profile, requests per tick. */
+    double peakPerTick;
+    /** Mean rate in requests per tick. */
+    double meanPerTick;
+    Rng gaps;
+    Rng keys;
+};
+
+} // namespace serve
+} // namespace abndp
+
+#endif // ABNDP_SERVE_ARRIVAL_HH

@@ -1,0 +1,32 @@
+#include "serve/latency_recorder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+namespace serve
+{
+
+Tick
+LatencyRecorder::percentile(double q) const
+{
+    abndp_assert(q > 0.0 && q <= 1.0, "percentile rank out of (0, 1]: ",
+                 q);
+    if (lat.empty())
+        return 0;
+    // Nearest-rank definition: rank ceil(q * n), 1-based.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(lat.size())));
+    rank = std::max<std::uint64_t>(1, std::min<std::uint64_t>(
+        rank, lat.size()));
+    scratch = lat;
+    auto nth = scratch.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+    std::nth_element(scratch.begin(), nth, scratch.end());
+    return *nth;
+}
+
+} // namespace serve
+} // namespace abndp

@@ -1,0 +1,57 @@
+#include "serve/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+namespace serve
+{
+
+ZipfianSampler::ZipfianSampler(std::uint64_t n, double s)
+{
+    abndp_assert(n > 0, "Zipfian sampler needs a nonempty key space");
+    abndp_assert(s >= 0.0, "Zipfian exponent must be non-negative");
+    cdf.resize(n);
+    // Sequential accumulation in a fixed order keeps the table (and
+    // therefore every sampled key) bit-identical across hosts; the
+    // reference sampler rebuilds it the same way.
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        total += std::pow(static_cast<double>(k + 1), -s);
+        cdf[k] = total;
+    }
+    for (std::uint64_t k = 0; k < n; ++k)
+        cdf[k] /= total;
+    // Guard against rounding leaving the last bucket unreachable.
+    cdf[n - 1] = 1.0;
+}
+
+std::uint64_t
+ZipfianSampler::keyFor(double u) const
+{
+    // First key whose cumulative probability exceeds u — the same
+    // predicate a linear scan uses, so both agree on every draw.
+    auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        --it;
+    return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
+std::uint64_t
+ZipfianSampler::operator()(Rng &rng) const
+{
+    return keyFor(rng.uniform());
+}
+
+double
+ZipfianSampler::probabilityOf(std::uint64_t k) const
+{
+    abndp_assert(k < cdf.size());
+    return k == 0 ? cdf[0] : cdf[k] - cdf[k - 1];
+}
+
+} // namespace serve
+} // namespace abndp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Exact inverse-CDF Zipfian key sampler for the serving driver.
+ *
+ * Unlike the closed-form approximations common in YCSB-style load
+ * generators, this sampler precomputes the full cumulative
+ * distribution over the key space once (sequential accumulation, so
+ * the table is bit-identical on every host) and inverts one uniform
+ * draw by binary search. The contract is exactly reproducible by a
+ * linear scan over the same table, which is what the differential
+ * test (tests/test_differential.cc, check::RefZipfSampler) exploits:
+ * identical uniform draws must yield identical keys, bit for bit.
+ *
+ * s = 0 degenerates to a uniform sampler; larger s concentrates mass
+ * on low-numbered keys (P(k) proportional to 1 / (k+1)^s).
+ */
+
+#ifndef ABNDP_SERVE_ZIPF_HH
+#define ABNDP_SERVE_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace abndp
+{
+namespace serve
+{
+
+/** Seeded Zipfian sampler over keys [0, n) with exponent s. */
+class ZipfianSampler
+{
+  public:
+    /** Precompute the CDF table for @p n keys and exponent @p s. */
+    ZipfianSampler(std::uint64_t n, double s);
+
+    /** Draw one key using exactly one uniform draw from @p rng. */
+    std::uint64_t operator()(Rng &rng) const;
+
+    /** Invert one uniform value in [0, 1) (shared with the tests). */
+    std::uint64_t keyFor(double u) const;
+
+    /** Exact probability of key @p k (empirical-frequency tests). */
+    double probabilityOf(std::uint64_t k) const;
+
+    std::uint64_t numKeys() const { return cdf.size(); }
+
+  private:
+    /** cdf[k] = P(key <= k); cdf.back() == 1.0 by construction. */
+    std::vector<double> cdf;
+};
+
+} // namespace serve
+} // namespace abndp
+
+#endif // ABNDP_SERVE_ZIPF_HH

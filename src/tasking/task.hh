@@ -122,6 +122,13 @@ struct Task
     bool recovered = false;
     /** Delivery-ack redispatch attempts consumed (capped backoff). */
     std::uint8_t redispatchCount = 0;
+    /**
+     * Serving mode only: the tick this request arrived at the driver
+     * (latency = completion - arrival) and its tenant. Both stay zero
+     * in batch runs.
+     */
+    Tick servingArrival = 0;
+    std::uint8_t tenant = 0;
 
     // Move-only: every runtime path (staging, forwards, steals,
     // recovery transits) transfers ownership of the hint spans; an
@@ -151,6 +158,8 @@ struct Task
         t.forwardHops = forwardHops;
         t.recovered = recovered;
         t.redispatchCount = redispatchCount;
+        t.servingArrival = servingArrival;
+        t.tenant = tenant;
         return t;
     }
 

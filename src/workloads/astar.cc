@@ -155,9 +155,65 @@ AstarWorkload::emitInitialTasks(TaskSink &sink)
     }
 }
 
+Task
+AstarWorkload::makeQueryTask(std::uint64_t key, std::uint64_t seq)
+{
+    std::uint64_t slot = logQuery(key);
+    abndp_assert(slot == seq, "served-log slot out of step: ", slot,
+                 " vs ", seq);
+    auto v = static_cast<std::uint32_t>(key);
+    std::uint32_t goal = servedGoalOf(key);
+    Task t;
+    t.timestamp = 0;
+    t.func = 1;
+    t.arg = seq;
+    // Every landmark's entry for the vertex and for the goal; plain
+    // push_back only (serving tasks outlive the epoch arena). The
+    // goal-side entries are shared by all queries with that goal —
+    // hot, read-only lines.
+    for (std::uint32_t l = 0; l < numLandmarks; ++l) {
+        t.hint.data.push_back(lmAddr[l][v]);
+        t.hint.data.push_back(lmAddr[l][goal]);
+    }
+    t.computeInstrs = 4ull * numLandmarks;
+    return t;
+}
+
+bool
+AstarWorkload::verifyServed() const
+{
+    // Replay against the exact landmark tables (max-of-differences
+    // recomputed here rather than through heuristic(), so a corrupted
+    // log cannot hide behind shared code).
+    for (const auto &rec : servedRecords()) {
+        if (!rec.done)
+            return false;
+        auto v = static_cast<std::uint32_t>(rec.key);
+        std::uint32_t goal = servedGoalOf(rec.key);
+        std::uint32_t h = 0;
+        for (std::uint32_t l = 0; l < numLandmarks; ++l) {
+            std::uint32_t dc = landmarkDist[l][v];
+            std::uint32_t dg = landmarkDist[l][goal];
+            if (dc == inf || dg == inf)
+                continue;
+            h = std::max(h, dc > dg ? dc - dg : dg - dc);
+        }
+        if (rec.answer != h)
+            return false;
+    }
+    return true;
+}
+
 void
 AstarWorkload::executeTask(const Task &task, TaskSink &sink)
 {
+    if (servingActive()) {
+        std::uint64_t seq = task.arg;
+        const auto &rec = servedRecords()[seq];
+        auto v = static_cast<std::uint32_t>(rec.key);
+        recordAnswer(seq, heuristic(v, servedGoalOf(rec.key)));
+        return;
+    }
     auto qi = static_cast<std::uint32_t>(task.arg >> 32);
     auto v = static_cast<std::uint32_t>(task.arg & 0xffffffffu);
     Query &q = queries[qi];
@@ -199,6 +255,8 @@ AstarWorkload::endEpoch(std::uint64_t ts)
 bool
 AstarWorkload::verify() const
 {
+    if (servingActive())
+        return verifyServed();
     // Sequential replica of the same bulk-synchronous algorithm, per
     // query, with the same number of rounds; exact g-value comparison.
     for (const auto &query : queries) {

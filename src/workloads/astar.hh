@@ -12,6 +12,13 @@
  * A task reads its query's vertex records, the adjacency list, and the
  * shared landmark-distance tables for the ALT heuristic
  * h(n) = max_l |d(l, n) - d(l, goal)| — hot, read-only primary data.
+ *
+ * Serving mode (QueryService): an ALT heuristic oracle. Keys are
+ * vertex ids; the goal is drawn deterministically from the query pool
+ * (queries[key % numQueries].goal), and the task reads every
+ * landmark's table entry for the vertex and the goal — 2 x 8 hot
+ * table lines — and answers h(vertex, goal). verifyServed() replays
+ * the log against the exact landmarkDist tables.
  */
 
 #ifndef ABNDP_WORKLOADS_ASTAR_HH
@@ -21,13 +28,14 @@
 #include <vector>
 
 #include "workloads/graph.hh"
+#include "workloads/query_service.hh"
 #include "workloads/workload.hh"
 
 namespace abndp
 {
 
 /** Bulk-synchronous multi-query ALT-A* on a graph. */
-class AstarWorkload : public Workload
+class AstarWorkload : public Workload, public QueryService
 {
   public:
     /** Number of landmarks in the ALT heuristic. */
@@ -63,7 +71,22 @@ class AstarWorkload : public Workload
     std::uint32_t heuristic(std::uint32_t vertex,
                             std::uint32_t goal) const;
 
+    // QueryService: keys are vertex ids; answers are h(vertex, goal).
+    std::uint64_t keySpace() const override
+    {
+        return graph.numVertices();
+    }
+    Task makeQueryTask(std::uint64_t key, std::uint64_t seq) override;
+    bool verifyServed() const override;
+
   private:
+    /** The goal paired with serving key @p key (from the query pool). */
+    std::uint32_t
+    servedGoalOf(std::uint64_t key) const
+    {
+        return queries[key % queries.size()].goal;
+    }
+
     static constexpr std::uint32_t inf = ~0u;
 
     struct Query

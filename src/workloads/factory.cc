@@ -8,6 +8,7 @@
 #include "workloads/graph_io.hh"
 #include "workloads/kmeans.hh"
 #include "workloads/knn.hh"
+#include "workloads/kvstore.hh"
 #include "workloads/pagerank.hh"
 #include "workloads/spmv.hh"
 #include "workloads/sssp.hh"
@@ -28,6 +29,8 @@ WorkloadSpec::tiny(const std::string &name)
     s.knnPoints = 2048;
     s.knnQueries = 128;
     s.astarQueries = 4;
+    s.kvKeys = 2048;
+    s.kvLookups = 256;
     return s;
 }
 
@@ -77,6 +80,10 @@ makeWorkloadImpl(const WorkloadSpec &spec)
                                              spec.knnQueries, spec.knnK,
                                              spec.knnHotFraction,
                                              spec.seed, spec.knnLeafSize);
+    if (spec.name == "kv")
+        return std::make_unique<KvStoreWorkload>(spec.kvKeys,
+                                                 spec.kvLookups,
+                                                 spec.seed);
     if (spec.name == "spmv")
         return std::make_unique<SpmvWorkload>(specGraph(spec, false),
                                               spec.spmvIters, spec.seed);

@@ -20,7 +20,10 @@ namespace abndp
 /** Input sizes for every workload (defaults = benchmark scale). */
 struct WorkloadSpec
 {
-    /** Which application: pr, bfs, sssp, astar, gcn, kmeans, knn, spmv. */
+    /**
+     * Which application: pr, bfs, sssp, astar, gcn, kmeans, knn, spmv,
+     * or the extra serving microbenchmark kv.
+     */
     std::string name = "pr";
 
     std::uint64_t seed = 42;
@@ -56,6 +59,11 @@ struct WorkloadSpec
 
     // astar (ALT-A* over the R-MAT graph)
     std::uint32_t astarQueries = 16;
+
+    // kv (B+-tree point lookups; the serving-mode microbenchmark —
+    // not part of the paper's Figure-6 suite)
+    std::uint64_t kvKeys = 1ull << 16;
+    std::uint32_t kvLookups = 4096;
 
     /** Reduced sizes for unit/integration tests. */
     static WorkloadSpec tiny(const std::string &name);

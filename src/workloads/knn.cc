@@ -1,6 +1,7 @@
 #include "workloads/knn.hh"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "common/logging.hh"
@@ -138,9 +139,84 @@ KnnWorkload::emitInitialTasks(TaskSink &sink)
         sink.enqueueTask(makeTask(q, tree.root(), Dive, 0));
 }
 
+std::uint32_t
+KnnWorkload::diveLeafOf(std::uint32_t query,
+                        std::vector<std::uint32_t> *path) const
+{
+    const float *q = &queries[static_cast<std::size_t>(query) * dims];
+    std::uint32_t node = tree.root();
+    for (;;) {
+        if (path)
+            path->push_back(node);
+        const auto &nd = tree.nodes()[node];
+        if (nd.isLeaf())
+            return node;
+        node = q[nd.splitDim] - nd.splitVal <= 0.0f ? nd.left : nd.right;
+    }
+}
+
+std::uint64_t
+KnnWorkload::servedAnswerOf(std::uint32_t query) const
+{
+    std::uint32_t leaf = diveLeafOf(query, nullptr);
+    const auto &nd = tree.nodes()[leaf];
+    const auto &order = tree.pointOrder();
+    const float *q = &queries[static_cast<std::size_t>(query) * dims];
+    float best = infF;
+    std::uint32_t bestId = ~0u;
+    for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
+        std::uint32_t p = order[i];
+        float d2v = dist2(q, &points[static_cast<std::size_t>(p) * dims]);
+        if (d2v < best || (d2v == best && p < bestId)) {
+            best = d2v;
+            bestId = p;
+        }
+    }
+    return (static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(best))
+            << 32)
+        | bestId;
+}
+
+Task
+KnnWorkload::makeQueryTask(std::uint64_t key, std::uint64_t seq)
+{
+    std::uint64_t slot = logQuery(key);
+    abndp_assert(slot == seq, "served-log slot out of step: ", slot,
+                 " vs ", seq);
+    auto query = static_cast<std::uint32_t>(key);
+    std::vector<std::uint32_t> path;
+    std::uint32_t leaf = diveLeafOf(query, &path);
+    const auto &nd = tree.nodes()[leaf];
+
+    Task t;
+    t.timestamp = 0;
+    t.func = Serve;
+    t.arg = seq;
+    // Plain push_back only (inline/heap tiers): serving tasks outlive
+    // every epoch-arena generation, so the arena must not back them.
+    for (std::uint32_t n : path)
+        t.hint.data.push_back(nodeAddr[n]);
+    t.hint.ranges.push_back(
+        {leafBlockAddr[nodeLeafIdx[leaf]],
+         static_cast<std::uint32_t>(
+             static_cast<std::uint64_t>(nd.end - nd.begin) * dims
+             * sizeof(float))});
+    t.computeInstrs = 10ull * (path.size() - 1)
+        + 8ull * (nd.end - nd.begin);
+    return t;
+}
+
 void
 KnnWorkload::executeTask(const Task &task, TaskSink &sink)
 {
+    if (servingActive()) {
+        abndp_assert(static_cast<Phase>(task.func) == Serve);
+        std::uint64_t seq = task.arg;
+        auto key =
+            static_cast<std::uint32_t>(servedRecords()[seq].key);
+        recordAnswer(seq, servedAnswerOf(key));
+        return;
+    }
     auto query = static_cast<std::uint32_t>(task.arg >> 32);
     auto node = static_cast<std::uint32_t>(task.arg & 0xffffffffu);
     auto phase = static_cast<Phase>(task.func);
@@ -197,8 +273,27 @@ KnnWorkload::endEpoch(std::uint64_t ts)
 }
 
 bool
+KnnWorkload::verifyServed() const
+{
+    // Replays the log against the host-side leaf-dive answer; catches
+    // lost, duplicated, or cross-wired records (the simulator may
+    // reorder and recover tasks arbitrarily, but slot seq must hold
+    // exactly the answer of the key logged under seq).
+    for (const auto &rec : servedRecords()) {
+        if (!rec.done)
+            return false;
+        if (rec.answer
+            != servedAnswerOf(static_cast<std::uint32_t>(rec.key)))
+            return false;
+    }
+    return true;
+}
+
+bool
 KnnWorkload::verify() const
 {
+    if (servingActive())
+        return verifyServed();
     // Brute force reference; ties broken by (distance, id) so the answer
     // set is unique. Only meaningful for uncapped runs (the wavefront
     // reaches every unpruned leaf within tree.depth() + 1 epochs).

@@ -12,6 +12,14 @@
  * The query distribution is skewed (hot region), which concentrates
  * accesses on the corresponding subtree — the paper's hardest workload
  * for load balance.
+ *
+ * Serving mode (QueryService): a request key names one of the
+ * pre-generated query points; the query task performs the whole
+ * single-task *leaf-dive 1-NN* — it walks the near path from the root
+ * to the query's leaf and answers the nearest point within that leaf
+ * (exact under that stated semantic; the multi-epoch expand pass needs
+ * children, which serving forbids). Its hint is the path's node lines
+ * plus the leaf block, so skewed keys hammer the hot subtree's leaves.
  */
 
 #ifndef ABNDP_WORKLOADS_KNN_HH
@@ -21,13 +29,14 @@
 #include <vector>
 
 #include "workloads/kdtree.hh"
+#include "workloads/query_service.hh"
 #include "workloads/workload.hh"
 
 namespace abndp
 {
 
 /** Exact k-NN queries over a skewed synthetic point set. */
-class KnnWorkload : public Workload
+class KnnWorkload : public Workload, public QueryService
 {
   public:
     static constexpr std::uint32_t dims = KdTree::dims;
@@ -57,14 +66,33 @@ class KnnWorkload : public Workload
         return results[q];
     }
 
+    // QueryService: keys index the pre-generated query points.
+    std::uint64_t keySpace() const override { return numQueries; }
+    Task makeQueryTask(std::uint64_t key, std::uint64_t seq) override;
+    bool verifyServed() const override;
+
   private:
-    /** Task phases. */
-    enum Phase : std::uint32_t { Dive = 0, Expand = 1 };
+    /** Task phases (Serve = single-task leaf-dive 1-NN query). */
+    enum Phase : std::uint32_t { Dive = 0, Expand = 1, Serve = 2 };
 
     Task makeTask(std::uint32_t query, std::uint32_t node, Phase phase,
                   std::uint64_t ts) const;
     float dist2(const float *a, const float *b) const;
     void offerCandidate(std::uint32_t query, std::uint32_t point);
+
+    /**
+     * Leaf reached by @p query's near path; appends the visited nodes
+     * (root included) to @p path when non-null.
+     */
+    std::uint32_t diveLeafOf(std::uint32_t query,
+                             std::vector<std::uint32_t> *path) const;
+
+    /**
+     * Host-side served answer of @p query: nearest point within the
+     * dive leaf, ties by lowest id; packed as
+     * (float bits of squared distance << 32) | point id.
+     */
+    std::uint64_t servedAnswerOf(std::uint32_t query) const;
 
     std::uint32_t numPoints;
     std::uint32_t numQueries;

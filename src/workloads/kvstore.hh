@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Key-value point lookups over a static B+-tree — the serving-mode
+ * microbenchmark workload.
+ *
+ * The store holds a dense key space [0, numKeys) whose values are
+ * derived from the seed by a mix function, so every lookup answer is
+ * self-validating without materializing a reference table. The index
+ * is a static fanout-8 B+-tree: one 64-byte node (8 keys x 8 B, one
+ * cache line) per node, levels element-interleaved across NDP units.
+ * A lookup task walks the root-to-leaf path, so its hint is exactly
+ * the path's node lines — the shallowest, most uniform task shape in
+ * the suite, which makes kv the cleanest probe of per-request serving
+ * overhead and tail latency.
+ *
+ * Batch mode executes one bulk-synchronous epoch of independent
+ * lookups (keys drawn from a seeded Rng). Serving mode draws keys from
+ * the driver's Zipfian sampler over keySpace() == numKeys.
+ */
+
+#ifndef ABNDP_WORKLOADS_KVSTORE_HH
+#define ABNDP_WORKLOADS_KVSTORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/query_service.hh"
+#include "workloads/workload.hh"
+
+namespace abndp
+{
+
+/** Point lookups over a static fanout-8 B+-tree. */
+class KvStoreWorkload : public Workload, public QueryService
+{
+  public:
+    /** Children per inner node / records per leaf (8 x 8 B = 1 line). */
+    static constexpr std::uint32_t fanout = 8;
+
+    /**
+     * @param numKeys size of the dense key space
+     * @param numLookups batch-mode lookups (one epoch, independent)
+     */
+    KvStoreWorkload(std::uint64_t numKeys, std::uint32_t numLookups,
+                    std::uint64_t seed = 23);
+
+    std::string name() const override { return "kv"; }
+    void setup(SimAllocator &alloc) override;
+    void emitInitialTasks(TaskSink &sink) override;
+    void executeTask(const Task &task, TaskSink &sink) override;
+    void endEpoch(std::uint64_t ts) override;
+    bool verify() const override;
+
+    // QueryService
+    std::uint64_t keySpace() const override { return numKeys; }
+    Task makeQueryTask(std::uint64_t key, std::uint64_t seq) override;
+    bool verifyServed() const override;
+
+    /** Levels of the tree, root = level 0, leaves = depth() - 1. */
+    std::uint32_t depth() const
+    {
+        return static_cast<std::uint32_t>(levelSize.size());
+    }
+
+  private:
+    /** The stored value of @p key (pure function of key and seed). */
+    std::uint64_t valueOf(std::uint64_t key) const;
+
+    /** Build the path-walk task answering @p key, with @p arg. */
+    Task makeLookupTask(std::uint64_t key, std::uint64_t arg) const;
+
+    std::uint64_t numKeys;
+    std::uint32_t numLookups;
+    std::uint64_t seed;
+
+    /** Nodes per level, root first (levelSize[0] == 1). */
+    std::vector<std::uint64_t> levelSize;
+    /** Node addresses per level, root first. */
+    std::vector<std::vector<Addr>> levelAddr;
+
+    /** Batch-mode lookup keys and recorded answers. */
+    std::vector<std::uint64_t> lookupKeys;
+    std::vector<std::uint64_t> lookupAnswers;
+    std::vector<bool> lookupDone;
+    std::uint64_t epochsRun = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_KVSTORE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Query-service interface: the serving-mode face of a workload.
+ *
+ * A workload that additionally implements QueryService can be driven
+ * by the open-loop serving driver (NdpSystem::serve()): instead of
+ * emitting one bulk-synchronous batch, the driver draws keys from a
+ * Zipfian sampler over keySpace() and injects one *independent*
+ * point-query task per admitted request via makeQueryTask(). Query
+ * tasks must be read-only and must never enqueue children — there is
+ * no next timestamp to enqueue into (the serving engine panics on any
+ * child enqueue).
+ *
+ * Services record each executed query's answer into the served-log
+ * slot named by the task's sequence number; verifyServed() replays
+ * the log against an independent host-side reference. Slots are
+ * independent, so execution order (which varies across designs, not
+ * across runs) cannot affect the log contents.
+ */
+
+#ifndef ABNDP_WORKLOADS_QUERY_SERVICE_HH
+#define ABNDP_WORKLOADS_QUERY_SERVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tasking/task.hh"
+
+namespace abndp
+{
+
+/** Mixin interface for workloads that can serve point queries. */
+class QueryService
+{
+  public:
+    virtual ~QueryService() = default;
+
+    /** One admitted request's key and recorded answer. */
+    struct ServedRecord
+    {
+        std::uint64_t key = 0;
+        std::uint64_t answer = 0;
+        bool done = false;
+    };
+
+    /**
+     * Number of distinct keys the Zipfian sampler draws from. Only
+     * valid after Workload::setup().
+     */
+    virtual std::uint64_t keySpace() const = 0;
+
+    /**
+     * Build the independent read-only task answering @p key. @p seq
+     * is the dense admitted-request index; the service must log the
+     * key under it (task.arg carries it back to executeTask).
+     */
+    virtual Task makeQueryTask(std::uint64_t key, std::uint64_t seq) = 0;
+
+    /**
+     * Check every executed query's answer against an independent
+     * reference computed host-side. @retval true if all match.
+     */
+    virtual bool verifyServed() const = 0;
+
+    /**
+     * Serving-run prologue, called once by the driver after setup():
+     * sizes the served log and lets the service precompute reference
+     * state (onBeginServing()). @p expected is an upper bound on
+     * admitted requests.
+     */
+    void
+    beginServing(std::uint64_t expected)
+    {
+        servedLog.reserve(expected);
+        servingOn = true;
+        onBeginServing();
+    }
+
+    /** True once beginServing() ran (routes Workload::verify()). */
+    bool servingActive() const { return servingOn; }
+
+    const std::vector<ServedRecord> &servedRecords() const
+    {
+        return servedLog;
+    }
+
+  protected:
+    /** Service-specific precomputation hook (e.g. reference state). */
+    virtual void onBeginServing() {}
+
+    /** Append the served-log slot for one admitted request. */
+    std::uint64_t
+    logQuery(std::uint64_t key)
+    {
+        servedLog.push_back(ServedRecord{key, 0, false});
+        return servedLog.size() - 1;
+    }
+
+    /** Record the answer of slot @p seq (must not already be done). */
+    void
+    recordAnswer(std::uint64_t seq, std::uint64_t answer)
+    {
+        auto &rec = servedLog[seq];
+        rec.answer = answer;
+        rec.done = true;
+    }
+
+    std::vector<ServedRecord> servedLog;
+    bool servingOn = false;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_WORKLOADS_QUERY_SERVICE_HH

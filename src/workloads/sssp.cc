@@ -1,5 +1,6 @@
 #include "workloads/sssp.hh"
 
+#include <bit>
 #include <queue>
 
 #include "common/logging.hh"
@@ -59,8 +60,64 @@ SsspWorkload::emitInitialTasks(TaskSink &sink)
 }
 
 void
+SsspWorkload::onBeginServing()
+{
+    // Dijkstra over the directed relaxation edges (each undirected edge
+    // carries one deterministic weight per direction, exactly as the
+    // batch algorithm relaxes it).
+    refDist.assign(graph.numVertices(), inf);
+    using Item = std::pair<double, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    refDist[source] = 0.0;
+    pq.push({0.0, source});
+    while (!pq.empty()) {
+        auto [d, v] = pq.top();
+        pq.pop();
+        if (d > refDist[v])
+            continue;
+        auto nbrs = graph.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            double cand = d + weight(v, i);
+            if (cand < refDist[nbrs[i]]) {
+                refDist[nbrs[i]] = cand;
+                pq.push({cand, nbrs[i]});
+            }
+        }
+    }
+}
+
+Task
+SsspWorkload::makeQueryTask(std::uint64_t key, std::uint64_t seq)
+{
+    std::uint64_t slot = logQuery(key);
+    abndp_assert(slot == seq, "served-log slot out of step: ", slot,
+                 " vs ", seq);
+    auto v = static_cast<std::uint32_t>(key);
+    Task t;
+    t.timestamp = 0;
+    t.func = 1;
+    t.arg = seq;
+    // Same footprint as one batch relaxation of v, but built with
+    // plain push_back (inline/heap tiers): serving tasks outlive every
+    // epoch-arena generation, so the arena must not back them. No
+    // writes: the oracle is read-only.
+    t.hint.data.push_back(layout.vertexAddr(v));
+    layout.appendAdjacency(v, t.hint);
+    for (std::uint32_t n : graph.neighbors(v))
+        t.hint.data.push_back(layout.vertexAddr(n));
+    t.computeInstrs = 6 + 4ull * graph.degree(v);
+    return t;
+}
+
+void
 SsspWorkload::executeTask(const Task &task, TaskSink &sink)
 {
+    if (servingActive()) {
+        std::uint64_t seq = task.arg;
+        auto v = static_cast<std::uint32_t>(servedRecords()[seq].key);
+        recordAnswer(seq, std::bit_cast<std::uint64_t>(refDist[v]));
+        return;
+    }
     auto v = static_cast<std::uint32_t>(task.arg);
     double dv = dist[v];
     abndp_assert(dv != inf);
@@ -91,8 +148,46 @@ SsspWorkload::endEpoch(std::uint64_t ts)
 }
 
 bool
+SsspWorkload::verifyServed() const
+{
+    // Independent reference: Bellman-Ford run to fixpoint (vs the
+    // oracle's Dijkstra). Both accumulate each shortest path's dyadic
+    // weights left to right, so agreement is exact and the comparison
+    // can be bitwise.
+    std::uint32_t n = graph.numVertices();
+    std::vector<double> ref(n, inf);
+    ref[source] = 0.0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t v = 0; v < n; ++v) {
+            if (ref[v] == inf)
+                continue;
+            auto nbrs = graph.neighbors(v);
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                double cand = ref[v] + weight(v, i);
+                if (cand < ref[nbrs[i]]) {
+                    ref[nbrs[i]] = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+    for (const auto &rec : servedRecords()) {
+        if (!rec.done)
+            return false;
+        auto v = static_cast<std::uint32_t>(rec.key);
+        if (rec.answer != std::bit_cast<std::uint64_t>(ref[v]))
+            return false;
+    }
+    return true;
+}
+
+bool
 SsspWorkload::verify() const
 {
+    if (servingActive())
+        return verifyServed();
     // Reference: bulk-synchronous Bellman-Ford with the same number of
     // relaxation rounds (exact for uncapped runs, which terminate when
     // no distance improves).

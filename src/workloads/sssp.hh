@@ -3,6 +3,16 @@
  * Single-source shortest path as bulk-synchronous Bellman-Ford: each
  * timestamp relaxes the out-edges of the vertices whose distance
  * improved in the previous timestamp.
+ *
+ * Serving mode (QueryService): a distance oracle. Keys are vertex ids;
+ * a query task reads its vertex record, adjacency list, and neighbor
+ * records (the same footprint as one batch relaxation, so load scales
+ * with degree) and answers the exact source distance, precomputed
+ * host-side by Dijkstra in onBeginServing(). verifyServed() replays
+ * the log against an independent Bellman-Ford fixpoint — a genuinely
+ * different algorithm, made bit-comparable because the synthesized
+ * weights are dyadic rationals (k/64), so path sums are exact in
+ * double arithmetic.
  */
 
 #ifndef ABNDP_WORKLOADS_SSSP_HH
@@ -14,13 +24,14 @@
 
 #include "workloads/graph.hh"
 #include "workloads/graph_layout.hh"
+#include "workloads/query_service.hh"
 #include "workloads/workload.hh"
 
 namespace abndp
 {
 
 /** Frontier-based SSSP with non-negative edge weights. */
-class SsspWorkload : public Workload
+class SsspWorkload : public Workload, public QueryService
 {
   public:
     /** Edge weights are synthesized deterministically from @p seed. */
@@ -35,6 +46,18 @@ class SsspWorkload : public Workload
     bool verify() const override;
 
     const std::vector<double> &distances() const { return dist; }
+
+    // QueryService: keys are vertex ids; answers are distance bits.
+    std::uint64_t keySpace() const override
+    {
+        return graph.numVertices();
+    }
+    Task makeQueryTask(std::uint64_t key, std::uint64_t seq) override;
+    bool verifyServed() const override;
+
+  protected:
+    /** Precompute the oracle distances (Dijkstra from the source). */
+    void onBeginServing() override;
 
   private:
     Task makeTask(std::uint32_t v, std::uint64_t ts) const;
@@ -52,6 +75,9 @@ class SsspWorkload : public Workload
     std::vector<bool> enqueuedNext;
     std::vector<std::uint32_t> enqueuedList;
     std::uint64_t epochsRun = 0;
+
+    /** Oracle distances for serving mode (set by onBeginServing()). */
+    std::vector<double> refDist;
 };
 
 } // namespace abndp

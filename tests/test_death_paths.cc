@@ -14,6 +14,7 @@
 
 #include "common/config.hh"
 #include "core/ndp_system.hh"
+#include "driver/experiment.hh"
 #include "workloads/factory.hh"
 
 namespace abndp
@@ -274,6 +275,143 @@ TEST(ConfigValidateDeath, RejectsZeroMaxRedispatch)
     cfg.fault.unitFailure.count = 1;
     cfg.fault.unitFailure.maxRedispatch = 0;
     EXPECT_DEATH(cfg.validate(), "maxRedispatch must be nonzero");
+}
+
+// ---- validate(): online serving ---------------------------------------
+
+namespace
+{
+
+/** Valid baseline with a serving stream enabled. */
+SystemConfig
+servingConfig()
+{
+    auto cfg = plainConfig();
+    cfg.serving.requests = 100;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ConfigValidateDeath, RejectsNonPositiveServingRate)
+{
+    auto cfg = servingConfig();
+    cfg.serving.ratePerUs = 0.0;
+    EXPECT_DEATH(cfg.validate(), "ratePerUs must be positive");
+}
+
+TEST(ConfigValidateDeath, RejectsSubUnityBurstFactor)
+{
+    auto cfg = servingConfig();
+    cfg.serving.burstFactor = 0.5;
+    EXPECT_DEATH(cfg.validate(), "burstFactor must be >= 1");
+}
+
+TEST(ConfigValidateDeath, RejectsOutOfRangeBurstFraction)
+{
+    auto cfg = servingConfig();
+    cfg.serving.burstFraction = 1.0;
+    EXPECT_DEATH(cfg.validate(), "burstFraction must be within");
+    auto cfg2 = servingConfig();
+    cfg2.serving.burstFraction = -0.1;
+    EXPECT_DEATH(cfg2.validate(), "burstFraction must be within");
+}
+
+TEST(ConfigValidateDeath, RejectsMeanDestroyingBurst)
+{
+    // factor x fraction >= 1 leaves no positive off-phase rate that
+    // preserves the configured mean.
+    auto cfg = servingConfig();
+    cfg.serving.profile = RateProfile::Bursty;
+    cfg.serving.burstFactor = 4.0;
+    cfg.serving.burstFraction = 0.25;
+    EXPECT_DEATH(cfg.validate(), "must stay below 1");
+}
+
+TEST(ConfigValidateDeath, RejectsNonPositiveServingPeriods)
+{
+    auto cfg = servingConfig();
+    cfg.serving.burstPeriodUs = 0.0;
+    EXPECT_DEATH(cfg.validate(), "burstPeriodUs must be positive");
+    auto cfg2 = servingConfig();
+    cfg2.serving.diurnalPeriodUs = -1.0;
+    EXPECT_DEATH(cfg2.validate(), "diurnalPeriodUs must be positive");
+}
+
+TEST(ConfigValidateDeath, RejectsOutOfRangeDiurnalDepth)
+{
+    auto cfg = servingConfig();
+    cfg.serving.diurnalDepth = 1.0;
+    EXPECT_DEATH(cfg.validate(), "diurnalDepth must be within");
+}
+
+TEST(ConfigValidateDeath, RejectsNegativeZipfExponent)
+{
+    auto cfg = servingConfig();
+    cfg.serving.zipfS = -0.1;
+    EXPECT_DEATH(cfg.validate(), "zipfS must be non-negative");
+}
+
+TEST(ConfigValidateDeath, RejectsBadTenantCounts)
+{
+    auto cfg = servingConfig();
+    cfg.serving.tenants = 0;
+    EXPECT_DEATH(cfg.validate(), "tenants must be nonzero");
+    auto cfg2 = servingConfig();
+    cfg2.serving.tenants = 65;
+    EXPECT_DEATH(cfg2.validate(), "tenants must be at most 64");
+}
+
+TEST(ConfigValidateDeath, RejectsBadTenantWeights)
+{
+    auto cfg = servingConfig();
+    cfg.serving.tenants = 2;
+    cfg.serving.tenantWeights = {1.0, 2.0, 3.0};
+    EXPECT_DEATH(cfg.validate(), "tenantWeights has 3 entries");
+    auto cfg2 = servingConfig();
+    cfg2.serving.tenants = 2;
+    cfg2.serving.tenantWeights = {1.0, 0.0};
+    EXPECT_DEATH(cfg2.validate(), "tenant weights must be positive");
+}
+
+TEST(ConfigValidateDeath, RejectsNonPositiveSlo)
+{
+    auto cfg = servingConfig();
+    cfg.serving.sloNs = 0.0;
+    EXPECT_DEATH(cfg.validate(), "sloNs must be positive");
+}
+
+// ---- serving driver fatal paths ---------------------------------------
+
+TEST(ServingDeath, HostDesignCannotServe)
+{
+    auto cfg = servingConfig();
+    EXPECT_DEATH(runExperiment(cfg, Design::H,
+                               WorkloadSpec::tiny("kv"), {}),
+                 "design H cannot run serving mode");
+}
+
+TEST(ServingDeath, NonQueryServiceWorkloadCannotServe)
+{
+    auto cfg = servingConfig();
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    EXPECT_DEATH(sys.run(*wl), "cannot be served");
+}
+
+TEST(ServingDeath, UnsustainableRateTripsWatchdog)
+{
+    // Overdriving a tiny machine with an unbounded admission window:
+    // the watchdog converts the silent queue explosion into a fatal
+    // diagnostic pointing at the arrival rate.
+    auto cfg = servingConfig();
+    cfg.serving.requests = 200000;
+    cfg.serving.ratePerUs = 10000.0;
+    cfg.serving.maxOutstanding = 0;
+    cfg.fault.watchdog.maxEpochEvents = 200000;
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("kv"));
+    EXPECT_DEATH(sys.run(*wl), "arrival rate");
 }
 
 // ---- design helpers ---------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "check/ref_models.hh"
 #include "common/config.hh"
 #include "common/rng.hh"
+#include "serve/latency_recorder.hh"
+#include "serve/zipf.hh"
 #include "sim/bandwidth_meter.hh"
 #include "sim/event_queue.hh"
 
@@ -299,6 +302,114 @@ TEST(EventQueueDifferential, ExecutionOrderMatchesReference)
     EXPECT_EQ(opt.executed(), ref.executed());
     EXPECT_EQ(optLog, refLog);
     EXPECT_GT(optLog.size(), 1000u);
+}
+
+// ---- serve::LatencyRecorder vs RefLatencyRecorder ---------------------
+
+TEST(LatencyRecorderDifferential, QuantilesMatchFullSortReference)
+{
+    // Same stream into both sides; after every batch the nth_element
+    // selection must agree bit-exactly with the full-sort reference at
+    // every reported rank, including heavy-duplicate and adversarial
+    // already-sorted regimes.
+    constexpr Tick slo = 5000 * ticksPerNs;
+    serve::LatencyRecorder opt(slo);
+    check::RefLatencyRecorder ref(slo);
+
+    const double qs[] = {0.5, 0.9, 0.95, 0.99, 0.999, 1.0};
+    Rng gen(0x1a7e9cu);
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+        Tick v;
+        switch (gen.below(4)) {
+          case 0:
+            // Heavy-tail draw: most mass small, occasional huge spike.
+            v = gen.below(64) == 0 ? gen.below(1u << 24) : gen.below(4096);
+            break;
+          case 1:
+            v = i; // monotonically increasing (sorted input)
+            break;
+          case 2:
+            v = 1000; // heavy duplicates around one value
+            break;
+          default:
+            v = gen.below(1u << 20);
+            break;
+        }
+        opt.record(v);
+        ref.record(v);
+        if (i % 997 == 0 || i + 1 == kOps) {
+            for (double q : qs)
+                ASSERT_EQ(opt.percentile(q), ref.percentile(q))
+                    << "op " << i << " q " << q;
+            ASSERT_EQ(opt.meanTicks(), ref.meanTicks()) << "op " << i;
+        }
+    }
+    EXPECT_EQ(opt.samples(), ref.samples());
+    EXPECT_EQ(opt.sloMisses(), ref.sloMisses());
+}
+
+TEST(LatencyRecorderDifferential, EmptyAndSingleSample)
+{
+    serve::LatencyRecorder opt(100);
+    check::RefLatencyRecorder ref(100);
+    EXPECT_EQ(opt.percentile(0.99), 0u);
+    EXPECT_EQ(opt.percentile(0.99), ref.percentile(0.99));
+    opt.record(42);
+    ref.record(42);
+    for (double q : {0.001, 0.5, 0.999, 1.0})
+        EXPECT_EQ(opt.percentile(q), ref.percentile(q)) << q;
+}
+
+// ---- serve::ZipfianSampler vs RefZipfSampler --------------------------
+
+TEST(ZipfSamplerDifferential, KeysMatchLinearScanReference)
+{
+    // Binary-search inversion vs linear scan over identically-built
+    // CDF tables: the same uniform draw stream must yield the same key
+    // sequence bit for bit, at several skews including the uniform
+    // degenerate case.
+    for (double s : {0.0, 0.5, 0.99, 1.2}) {
+        SCOPED_TRACE(s);
+        constexpr std::uint64_t keys = 2311; // non-power-of-two
+        serve::ZipfianSampler opt(keys, s);
+        check::RefZipfSampler ref(keys, s);
+
+        Rng optRng(0x21bfu), refRng(0x21bfu);
+        for (std::uint64_t i = 0; i < kOps; ++i)
+            ASSERT_EQ(opt(optRng), ref(refRng)) << "draw " << i;
+        // Boundary inversions, exactly representable in double.
+        for (double u : {0.0, 0.25, 0.5, 0.999999, 1.0 - 1e-16})
+            ASSERT_EQ(opt.keyFor(u), ref.keyFor(u)) << u;
+    }
+}
+
+TEST(ZipfSamplerDifferential, EmpiricalFrequencyTracksExactPmf)
+{
+    // Statistical leg: with s = 0.99 over a small key space, observed
+    // frequencies over 200k draws must track the exact per-key
+    // probabilities within a loose relative band for the head keys
+    // (the tail is too thin for tight per-key bounds).
+    constexpr std::uint64_t keys = 64;
+    constexpr std::uint64_t draws = 200000;
+    serve::ZipfianSampler zipf(keys, 0.99);
+
+    std::vector<std::uint64_t> count(keys, 0);
+    Rng rng(0x5eedu);
+    for (std::uint64_t i = 0; i < draws; ++i)
+        ++count[zipf(rng)];
+
+    double mass = 0.0;
+    for (std::uint64_t k = 0; k < 8; ++k) {
+        double expect = zipf.probabilityOf(k) * draws;
+        EXPECT_NEAR(static_cast<double>(count[k]), expect,
+                    0.1 * expect + 3.0 * std::sqrt(expect))
+            << "key " << k;
+        mass += zipf.probabilityOf(k);
+    }
+    // s ~ 1 concentrates a large share of all draws on the head.
+    EXPECT_GT(mass, 0.5);
+    // Skew sanity: the head key dominates the median key.
+    EXPECT_GT(count[0], 8 * count[keys / 2]);
 }
 
 } // namespace abndp

@@ -56,6 +56,31 @@ goldenPath(Design d)
            + ".stats";
 }
 
+std::string
+servingGoldenPath(Design d)
+{
+    return std::string(ABNDP_GOLDEN_DIR) + "/serving_"
+           + designName(d) + ".stats";
+}
+
+/**
+ * The golden geometry with a short kv serving stream on top: 1000
+ * Zipf-skewed open-loop arrivals across two tenants, so the locked
+ * dump covers the full serving stats tree (counters, exact
+ * percentiles, per-tenant vectors) on every design.
+ */
+SystemConfig
+servingGoldenConfig(Design d)
+{
+    SystemConfig cfg = goldenConfig(d);
+    cfg.serving.requests = 1000;
+    cfg.serving.ratePerUs = 4.0;
+    cfg.serving.zipfS = 0.99;
+    cfg.serving.tenants = 2;
+    cfg.serving.tenantWeights = {3.0, 1.0};
+    return cfg;
+}
+
 /** Run pr-tiny under @p d and return the full registry dump. */
 std::string
 runAndDump(Design d)
@@ -63,6 +88,20 @@ runAndDump(Design d)
     auto cfg = goldenConfig(d);
     NdpSystem sys(cfg);
     auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    sys.run(*wl);
+    EXPECT_TRUE(wl->verify()) << designName(d);
+    std::ostringstream oss;
+    sys.statsRegistry().dump(oss);
+    return oss.str();
+}
+
+/** Serve kv-tiny under @p d and return the full registry dump. */
+std::string
+runAndDumpServing(Design d)
+{
+    auto cfg = servingGoldenConfig(d);
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("kv"));
     sys.run(*wl);
     EXPECT_TRUE(wl->verify()) << designName(d);
     std::ostringstream oss;
@@ -105,11 +144,9 @@ firstDiff(const std::string &a, const std::string &b)
 }
 
 void
-checkDesign(Design d)
+checkAgainstGolden(const std::string &dump, const std::string &path,
+                   const std::string &label)
 {
-    const std::string dump = runAndDump(d);
-    const std::string path = goldenPath(d);
-
     if (std::getenv("ABNDP_UPDATE_GOLDEN")) {
         std::ofstream out(path, std::ios::binary);
         ASSERT_TRUE(out) << "cannot write " << path;
@@ -123,9 +160,22 @@ checkDesign(Design d)
         << "missing golden file " << path
         << "; regenerate with ABNDP_UPDATE_GOLDEN=1 (see CLAUDE.md)";
     EXPECT_EQ(golden, dump)
-        << "stats dump for design " << designName(d)
-        << " diverged from " << path << "\nfirst "
-        << firstDiff(golden, dump);
+        << "stats dump for " << label << " diverged from " << path
+        << "\nfirst " << firstDiff(golden, dump);
+}
+
+void
+checkDesign(Design d)
+{
+    checkAgainstGolden(runAndDump(d), goldenPath(d),
+                       std::string("design ") + designName(d));
+}
+
+void
+checkServingDesign(Design d)
+{
+    checkAgainstGolden(runAndDumpServing(d), servingGoldenPath(d),
+                       std::string("serving design ") + designName(d));
 }
 
 } // namespace
@@ -162,6 +212,46 @@ TEST(GoldenMetrics, CatchesOneCounterPerturbation)
 
     EXPECT_NE(perturbed, golden);
     EXPECT_NE(perturbed, runAndDump(Design::B));
+}
+
+/**
+ * Serving golden lock: the same geometry under a 1000-request Zipfian
+ * kv stream, one dump per NDP design (H has no serving driver). Locks
+ * the exact tail percentiles, goodput, SLO-miss counters, and
+ * per-tenant vectors bit-for-bit — any change to the arrival process,
+ * sampler, admission control, or completion accounting lands here as
+ * a reviewable one-line diff.
+ */
+TEST(GoldenMetrics, ServingB) { checkServingDesign(Design::B); }
+TEST(GoldenMetrics, ServingSm) { checkServingDesign(Design::Sm); }
+TEST(GoldenMetrics, ServingSl) { checkServingDesign(Design::Sl); }
+TEST(GoldenMetrics, ServingSh) { checkServingDesign(Design::Sh); }
+TEST(GoldenMetrics, ServingC) { checkServingDesign(Design::C); }
+TEST(GoldenMetrics, ServingO) { checkServingDesign(Design::O); }
+
+/** Negative control for the serving goldens, same recipe as above. */
+TEST(GoldenMetrics, ServingCatchesOneCounterPerturbation)
+{
+    if (std::getenv("ABNDP_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "regenerating goldens";
+
+    const std::string golden = readFile(servingGoldenPath(Design::O));
+    ASSERT_FALSE(golden.empty());
+
+    // Perturb the last digit of the serving.injected counter line —
+    // the canonical off-by-one a lost or double-counted request would
+    // produce.
+    auto pos = golden.find("serving.injected");
+    ASSERT_NE(pos, std::string::npos);
+    auto nl = golden.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    std::string perturbed = golden;
+    char &digit = perturbed[nl - 1];
+    ASSERT_TRUE(digit >= '0' && digit <= '9') << "unexpected format";
+    digit = digit == '9' ? '0' : static_cast<char>(digit + 1);
+
+    EXPECT_NE(perturbed, golden);
+    EXPECT_NE(perturbed, runAndDumpServing(Design::O));
 }
 
 } // namespace abndp

@@ -84,6 +84,10 @@ TEST_P(RandomSeedGrid, VerifiesUnderFuzzerDrawnConfigs)
 
     for (int draw = 0; draw < 3; ++draw) {
         check::FuzzCase c = check::sampleFuzzCase(rng);
+        // The grid substitutes its own workload per cell, so drop any
+        // serving axis the sampler drew: serving is only meaningful
+        // for the QueryService workloads the sampler pairs it with.
+        c.cfg.serving.requests = 0;
         SystemConfig cfg = applyDesign(c.cfg, design);
         WorkloadSpec spec = WorkloadSpec::tiny(wlname);
         auto wl = makeWorkload(spec);

@@ -112,4 +112,96 @@ TEST(ScaleDeterminism, Scale16CellRunnerThreadCountInvariant)
     }
 }
 
+namespace
+{
+
+/** Default-size kv store (64k keys) as the served workload. */
+WorkloadSpec
+kvSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "kv";
+    return spec;
+}
+
+/** Default geometry plus a 20k-request Zipfian kv serving stream. */
+SystemConfig
+servingScaleConfig(Design d)
+{
+    SystemConfig cfg;
+    cfg = applyDesign(cfg, d);
+    cfg.serving.requests = 20000;
+    cfg.serving.ratePerUs = 8.0;
+    cfg.serving.zipfS = 0.99;
+    cfg.serving.tenants = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ScaleDeterminism, ServingRunTwiceBitExact)
+{
+    // The serving determinism lock at stream scale: 20k open-loop
+    // arrivals (default-size kv store) through two independent
+    // instances must dump byte-identical stats — every latency
+    // percentile, every per-tenant counter, every arrival draw.
+    auto dump = [] {
+        auto cfg = servingScaleConfig(Design::O);
+        NdpSystem sys(cfg);
+        auto wl = makeWorkload(kvSpec());
+        sys.run(*wl);
+        EXPECT_TRUE(wl->verify());
+        std::ostringstream oss;
+        sys.statsRegistry().dump(oss);
+        return oss.str();
+    };
+    std::string a = dump(), b = dump();
+    EXPECT_FALSE(a.empty());
+    EXPECT_NE(a.find("serving"), std::string::npos);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ScaleDeterminism, ServingCellRunnerThreadCountInvariant)
+{
+    // Serving cells through cell_runner inline vs on a 4-thread pool:
+    // the arrival stream is seeded purely by each cell's config, so
+    // per-cell serving metrics (counts AND exact percentiles) must be
+    // bit-identical regardless of host thread count.
+    SystemConfig base;
+    base.serving.requests = 8000;
+    base.serving.ratePerUs = 8.0;
+    std::vector<CellSpec> cells;
+    for (Design d : {Design::B, Design::Sl, Design::O}) {
+        CellSpec cell;
+        cell.design = d;
+        cell.workload = kvSpec();
+        cells.push_back(cell);
+    }
+
+    std::vector<RunMetrics> seq = runCells(base, cells, 1);
+    std::vector<RunMetrics> par = runCells(base, cells, 4);
+    ASSERT_EQ(seq.size(), cells.size());
+    ASSERT_EQ(par.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE(designName(cells[i].design));
+        EXPECT_EQ(seq[i].ticks, par[i].ticks);
+        EXPECT_EQ(seq[i].tasks, par[i].tasks);
+        EXPECT_EQ(seq[i].servingInjected, par[i].servingInjected);
+        EXPECT_EQ(seq[i].servingRejected, par[i].servingRejected);
+        EXPECT_EQ(seq[i].servingCompletedDirect,
+                  par[i].servingCompletedDirect);
+        EXPECT_EQ(seq[i].servingCompletedRecovered,
+                  par[i].servingCompletedRecovered);
+        EXPECT_EQ(seq[i].servingSloMisses, par[i].servingSloMisses);
+        EXPECT_EQ(seq[i].servingWindows, par[i].servingWindows);
+        EXPECT_EQ(seq[i].servingP50Ns, par[i].servingP50Ns);
+        EXPECT_EQ(seq[i].servingP95Ns, par[i].servingP95Ns);
+        EXPECT_EQ(seq[i].servingP99Ns, par[i].servingP99Ns);
+        EXPECT_EQ(seq[i].servingP999Ns, par[i].servingP999Ns);
+        EXPECT_EQ(seq[i].servingMeanNs, par[i].servingMeanNs);
+        EXPECT_EQ(seq[i].servingGoodputQps, par[i].servingGoodputQps);
+        EXPECT_EQ(seq[i].servingSloMissRate, par[i].servingSloMissRate);
+    }
+}
+
 } // namespace abndp
