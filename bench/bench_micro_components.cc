@@ -17,7 +17,7 @@
 #include "common/rng.hh"
 #include "energy/energy.hh"
 #include "mem/address_map.hh"
-#include "mem/dram.hh"
+#include "mem/meter_backend.hh"
 #include "net/network.hh"
 #include "net/topology.hh"
 #include "sched/scheduler.hh"
@@ -137,7 +137,7 @@ BM_DramAccess(benchmark::State &state)
 {
     SystemConfig cfg;
     EnergyAccount energy(cfg);
-    DramChannel dram(cfg, energy);
+    MeterBackend dram(cfg, energy);
     Tick t = 0;
     Addr a = 0;
     for (auto _ : state) {

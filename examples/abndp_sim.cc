@@ -54,7 +54,8 @@ printUsage()
         "            --stats-interval=N (dump deltas every N epochs)\n"
         "            --stats-out=FILE (interval dump target)\n"
         "            --trace-out=FILE (Chrome/Perfetto trace JSON)\n"
-        "            --trace-buffer-events=N (tracer ring capacity)\n";
+        "            --trace-buffer-events=N (tracer ring capacity)\n"
+        "Memory:     --mem-backend=meter|ddr (timing backend)\n";
 }
 
 } // namespace

@@ -7,7 +7,7 @@
  * Usage: design_matrix [--workload=pr] [--scale=13] [--verify=true]
  *                      [--design=H|B|Sm|Sl|Sh|C|O]
  *                      [--trace-out=trace.json] [--stats-interval=N]
- *                      [--stats-out=stats.txt]
+ *                      [--stats-out=stats.txt] [--mem-backend=meter|ddr]
  *
  * --design restricts the matrix to one Table-2 row (quick iteration on
  * a single design); the speedup column needs the B baseline and prints

@@ -10,7 +10,7 @@
  *   sweep --workloads=pr,bfs,gcn --designs=B,Sl,O --scale=13 \
  *         --threads=8 [--verify] [--out=results.jsonl] \
  *         [--trace-out=trace.json] [--stats-interval=N] \
- *         [--stats-out=stats.txt]
+ *         [--stats-out=stats.txt] [--mem-backend=meter|ddr]
  *
  * With --trace-out / --stats-out every cell writes its own file, the
  * workload and design tags inserted before the extension

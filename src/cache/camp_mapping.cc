@@ -22,7 +22,9 @@ groupSalt(GroupId g)
 CampMapping::CampMapping(const SystemConfig &cfg, const Topology &topo,
                          const AddressMap &amap)
     : topo(topo), amap(amap), nSets(cfg.travellerSets()),
-      assoc(cfg.traveller.assoc), useSkew(cfg.traveller.skewedMapping)
+      assoc(cfg.traveller.assoc), useSkew(cfg.traveller.skewedMapping),
+      setSplit(cfg.travellerSets()), assocSplit(cfg.traveller.assoc),
+      hashedIdx(cfg.traveller.hashedIndex)
 {
     abndp_assert(topo.numGroups() <= CandidateList::maxGroups,
                  "too many camp groups for CandidateList");
@@ -43,8 +45,7 @@ CampMapping::CampMapping(const SystemConfig &cfg, const Topology &topo,
     // loops below; power-of-two group sizes index with a mask instead
     // of a 64-bit modulo.
     upg = topo.unitsPerGroup();
-    upgPow2 = upg > 0 && (upg & (upg - 1)) == 0;
-    upgMask = upg - 1;
+    groupSplit = Pow2Split(upg);
     const GroupId ngroups = topo.numGroups();
     groupUnitsFlat.resize(static_cast<std::size_t>(ngroups) * upg);
     salts.resize(ngroups);
@@ -60,8 +61,7 @@ UnitId
 CampMapping::campOf(std::uint64_t block, GroupId g) const
 {
     std::uint64_t h = useSkew ? mix64(block ^ salts[g]) : mix64(block);
-    auto idx = static_cast<std::uint32_t>(
-        upgPow2 ? (h & upgMask) : (h % upg));
+    auto idx = static_cast<std::uint32_t>(groupSplit.mod(h));
     return groupUnitsFlat[static_cast<std::size_t>(g) * upg + idx];
 }
 

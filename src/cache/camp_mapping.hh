@@ -66,11 +66,17 @@ class CampMapping
      */
     UnitId nearestCandidate(Addr addr, UnitId from) const;
 
-    /** Cache set index of a block (low bits, paper Section 4.2). */
+    /**
+     * Cache set index of a block: low bits by default (paper Section
+     * 4.2 — keeps a set's ways row-adjacent in the cache region), or a
+     * hashed index when traveller.hashedIndex is set (the comparison
+     * knob for the row-locality claim; see EXPERIMENTS.md).
+     */
     std::uint64_t
     setIndex(Addr addr) const
     {
-        return blockNumber(addr) % nSets;
+        std::uint64_t block = blockNumber(addr);
+        return setSplit.mod(hashedIdx ? mix64(block) : block);
     }
 
     /**
@@ -81,7 +87,7 @@ class CampMapping
     Addr
     cacheSlotAddr(Addr addr) const
     {
-        std::uint64_t way = mix64(blockNumber(addr)) % assoc;
+        std::uint64_t way = assocSplit.mod(mix64(blockNumber(addr)));
         return (setIndex(addr) * assoc + way) * cachelineBytes;
     }
 
@@ -114,10 +120,14 @@ class CampMapping
     bool useSkew;
 
     // Hot-path precomputation (all derived from the topology, which is
-    // immutable after construction).
+    // immutable after construction). Division/modulo goes through the
+    // shared Pow2Split decoder (src/mem/address_map.hh) — the same
+    // shift/mask arithmetic the memory backends use.
     std::uint32_t upg = 0;       // units per group
-    std::uint32_t upgMask = 0;   // upg - 1 (used iff upgPow2)
-    bool upgPow2 = false;
+    Pow2Split groupSplit;        // mod units-per-group
+    Pow2Split setSplit;          // mod nSets
+    Pow2Split assocSplit;        // mod assoc
+    bool hashedIdx = false;
     /** groupUnits flattened to [g * upg + idx] (one indirection). */
     std::vector<UnitId> groupUnitsFlat;
     /** Per-group mapping salts (groupSalt(g)). */

@@ -26,6 +26,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/address_map.hh"
 #include "obs/stats_registry.hh"
 
 namespace abndp
@@ -37,6 +38,8 @@ class TravellerCache
   public:
     TravellerCache(const SystemConfig &cfg, std::uint64_t seed)
         : nSets(cfg.travellerSets()),
+          setSplit(cfg.travellerSets()),
+          hashedIdx(cfg.traveller.hashedIndex),
           assoc(cfg.traveller.assoc),
           repl(cfg.traveller.repl),
           rng(mix64(seed ^ 0x7261764c6c657243ULL)),
@@ -223,17 +226,23 @@ class TravellerCache
 
   private:
     /**
-     * Low-bit set index (paper Section 4.2: "the cache set mapping
-     * follows traditional caches, using the lower bits in the address").
-     * Consecutive blocks therefore occupy consecutive sets, which keeps
-     * DRAM row locality inside the cache data region.
+     * Low-bit set index by default (paper Section 4.2: "the cache set
+     * mapping follows traditional caches, using the lower bits in the
+     * address"). Consecutive blocks therefore occupy consecutive sets,
+     * which keeps DRAM row locality inside the cache data region.
+     * traveller.hashedIndex switches to a mixed index — the knob that
+     * measures the row-locality claim under the DDR backend; it must
+     * agree with CampMapping::setIndex, which lays out the slots.
      */
     std::uint64_t setOf(Addr blockAddr) const
     {
-        return blockNumber(blockAddr) % nSets;
+        std::uint64_t block = blockNumber(blockAddr);
+        return setSplit.mod(hashedIdx ? mix64(block) : block);
     }
 
     std::uint64_t nSets;
+    Pow2Split setSplit;
+    bool hashedIdx;
     std::uint32_t assoc;
     ReplPolicy repl;
     Rng rng;

@@ -209,6 +209,32 @@ knobTable()
         ABNDP_DOUBLE_KNOB("dram.tRcdNs", dram.tRcdNs),
         ABNDP_DOUBLE_KNOB("dram.tRpNs", dram.tRpNs),
         ABNDP_BOOL_KNOB("dram.refreshEnabled", dram.refreshEnabled),
+        { "dram.backend",
+          [](const SystemConfig &c) {
+              return std::string(memBackendName(c.dram.backend));
+          },
+          [](SystemConfig &c, const std::string &v) {
+              c.dram.backend = memBackendFromName(v);
+          } },
+        { "dram.pagePolicy",
+          [](const SystemConfig &c) {
+              return std::string(pagePolicyName(c.dram.pagePolicy));
+          },
+          [](SystemConfig &c, const std::string &v) {
+              c.dram.pagePolicy = pagePolicyFromName(v);
+          } },
+        { "dram.addrMap",
+          [](const SystemConfig &c) {
+              return std::string(dramAddrMapName(c.dram.addrMap));
+          },
+          [](SystemConfig &c, const std::string &v) {
+              c.dram.addrMap = dramAddrMapFromName(v);
+          } },
+        ABNDP_UINT_KNOB("dram.bankGroups", dram.bankGroups),
+        ABNDP_UINT_KNOB("dram.burstBytes", dram.burstBytes),
+        ABNDP_DOUBLE_KNOB("dram.tRasNs", dram.tRasNs),
+        ABNDP_DOUBLE_KNOB("dram.tWrNs", dram.tWrNs),
+        ABNDP_DOUBLE_KNOB("dram.tFawNs", dram.tFawNs),
         { "net.intraTopology",
           [](const SystemConfig &c) {
               return std::string(topoName(c.net.intraTopology));
@@ -334,6 +360,39 @@ sampleFuzzCase(Rng &rng)
     cfg.tlb.enabled = rng.below(4) != 0;
 
     cfg.dram = rng.below(2) ? DramConfig::hmc() : DramConfig::hbm();
+
+    // Memory-backend axis (~1 case in 3): the bank-state DDR model
+    // with randomized page policy, address map, bank grouping, and
+    // the DDR-only timings. Validity is by construction: bankGroups
+    // is drawn from the divisors of the organization's bank count,
+    // burstBytes (32..128) divides every sampled rowBytes, tRAS
+    // always covers tRCD, and the brc divisibility constraint holds
+    // because both bank counts are powers of two dividing the
+    // power-of-two memBytesPerUnit.
+    if (rng.below(3) == 0) {
+        auto &d = cfg.dram;
+        d.backend = MemBackendKind::Ddr;
+        switch (rng.below(3)) {
+          case 0: d.pagePolicy = PagePolicy::Open; break;
+          case 1: d.pagePolicy = PagePolicy::Close; break;
+          default: d.pagePolicy = PagePolicy::Adaptive; break;
+        }
+        switch (rng.below(3)) {
+          case 0: d.addrMap = DramAddrMapKind::RowBankColumn; break;
+          case 1: d.addrMap = DramAddrMapKind::RowColumnBank; break;
+          default: d.addrMap = DramAddrMapKind::BankRowColumn; break;
+        }
+        std::vector<std::uint32_t> groupDivisors;
+        for (std::uint32_t g = 1; g <= d.banks; ++g)
+            if (d.banks % g == 0)
+                groupDivisors.push_back(g);
+        d.bankGroups = groupDivisors[rng.below(groupDivisors.size())];
+        d.burstBytes = 32u << rng.below(3);
+        d.tRasNs = d.tRcdNs + 7.0 * static_cast<double>(rng.below(4));
+        d.tWrNs = 5.0 * static_cast<double>(rng.below(4));
+        d.tFawNs = 10.0 * static_cast<double>(rng.below(5)); // 0 = off
+    }
+
     cfg.net.intraTopology = rng.below(2) ? IntraTopology::Ring
                                          : IntraTopology::Crossbar;
 
@@ -443,6 +502,29 @@ fuzzConfigValid(const SystemConfig &cfg)
     if (cfg.dram.busBits == 0 || cfg.dram.banks == 0 ||
         cfg.dram.rowBytes == 0 || cfg.dram.busGHz <= 0.0)
         return false;
+    if (cfg.dram.tCasNs < 0.0 || cfg.dram.tRcdNs < 0.0 ||
+        cfg.dram.tRpNs < 0.0)
+        return false;
+    if (cfg.dram.refreshEnabled &&
+        (cfg.dram.tRefiNs <= 0.0 || cfg.dram.tRfcNs < 0.0 ||
+         cfg.dram.refreshCatchupMax == 0))
+        return false;
+    if (cfg.dram.backend == MemBackendKind::Ddr) {
+        // Mirror of the DDR-only section of SystemConfig::validate().
+        if (!isPow2(cfg.dram.burstBytes) ||
+            cfg.dram.rowBytes % cfg.dram.burstBytes != 0)
+            return false;
+        if (cfg.dram.bankGroups == 0 ||
+            cfg.dram.banks % cfg.dram.bankGroups != 0)
+            return false;
+        if (cfg.dram.tRasNs < cfg.dram.tRcdNs)
+            return false;
+        if (cfg.dram.tWrNs < 0.0 || cfg.dram.tFawNs < 0.0)
+            return false;
+        if (cfg.dram.addrMap == DramAddrMapKind::BankRowColumn &&
+            cfg.memBytesPerUnit % cfg.dram.banks != 0)
+            return false;
+    }
     if (!isPow2(cfg.traveller.ratioDenom) || cfg.traveller.assoc == 0 ||
         cfg.travellerSets() == 0)
         return false;
@@ -550,6 +632,8 @@ metricsFingerprint(const RunMetrics &m)
     field(m.dramReads);
     field(m.dramWrites);
     field(m.dramRowMisses);
+    field(m.dramRowHits);
+    field(m.dramActStalls);
     field(m.netDropped);
     field(m.netRetries);
     field(m.dramEccRetries);

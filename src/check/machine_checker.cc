@@ -182,8 +182,12 @@ MachineChecker::onRunEnd(const RunMetrics &m)
     // Bandwidth conservation: no meter bucket anywhere in the machine
     // may have admitted more than capacity x window.
     mem.network().auditBandwidth(ctx);
-    for (UnitId u = 0; u < sys.numUnits(); ++u)
+    for (UnitId u = 0; u < sys.numUnits(); ++u) {
         mem.dram(u).auditBandwidth(ctx);
+        // Backend-specific timing invariants (the DDR backend checks
+        // its tFAW ACT-window bound; the meter backend has none).
+        mem.dram(u).auditTiming(ctx);
+    }
 
     ctx.raiseIfAny("run end");
 }

@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
@@ -361,6 +362,216 @@ class RefBandwidthMeter
   private:
     Tick width;
     std::map<std::uint64_t, Tick> fill;
+};
+
+/**
+ * Reference DDR backend: re-implements DdrBackend's bank-state timing
+ * (src/mem/ddr_backend.hh) with the most transparent machinery
+ * available — plain %/ / address decode instead of Pow2Split,
+ * RefBandwidthMeter (std::map buckets) for both the per-bank meters
+ * and the channel ACT-window meter, and straight-line state updates.
+ * Fault injection is out of scope (drive the production side with
+ * faults == nullptr); everything else — refresh catch-up, page
+ * policies, tRAS/tWR recovery with the out-of-order cap, and the
+ * quarter-window tFAW accounting — must match latency-for-latency.
+ */
+class RefDdrBackend
+{
+  public:
+    explicit RefDdrBackend(const SystemConfig &cfg)
+        : dram(cfg.dram), bytesPerUnit(cfg.memBytesPerUnit),
+          tCas(static_cast<Tick>(dram.tCasNs * ticksPerNs)),
+          tRcd(static_cast<Tick>(dram.tRcdNs * ticksPerNs)),
+          tRp(static_cast<Tick>(dram.tRpNs * ticksPerNs)),
+          tRas(static_cast<Tick>(dram.tRasNs * ticksPerNs)),
+          tWr(static_cast<Tick>(dram.tWrNs * ticksPerNs)),
+          tRefi(static_cast<Tick>(dram.tRefiNs * ticksPerNs)),
+          tRfc(static_cast<Tick>(dram.tRfcNs * ticksPerNs)),
+          ticksPerByte(8.0 * 1000.0
+                       / (dram.busBits * 2.0 * dram.busGHz)),
+          actQuarter(
+              (static_cast<Tick>(dram.tFawNs * ticksPerNs) + 3) / 4),
+          actMeter(std::max<Tick>(4 * actQuarter, 1)),
+          banks(dram.banks)
+    {
+        for (std::size_t b = 0; b < banks.size(); ++b)
+            banks[b].nextRefresh = tRefi * (b + 1) / banks.size();
+    }
+
+    Tick
+    access(Addr addr, std::uint32_t bytes, bool isWrite, Tick start)
+    {
+        auto [row, bankIdx] = decode(addr);
+        Bank &bank = banks[bankIdx];
+
+        if (dram.refreshEnabled && bank.nextRefresh <= start) {
+            std::uint32_t catchup = 0;
+            while (bank.nextRefresh <= start
+                   && catchup < dram.refreshCatchupMax) {
+                bank.meter.reserve(bank.nextRefresh, tRfc);
+                bank.nextRefresh += tRefi;
+                ++nRefreshes;
+                ++catchup;
+            }
+            if (bank.nextRefresh <= start)
+                bank.nextRefresh = start + tRefi;
+            bank.rowOpen = false;
+            bank.openRow = ~0ull;
+        }
+
+        Tick core;
+        Tick extra = 0;
+        std::uint32_t keepScore;
+        bool row_miss = !(bank.rowOpen && bank.openRow == row);
+        if (row_miss) {
+            ++nRowMisses;
+            Tick pre;
+            Tick recovery;
+            keepScore = bank.openScore; // pre-miss score decides
+            if (bank.rowOpen) {
+                pre = tRp;
+                Tick r1 = bank.lastActAt + tRas;
+                Tick r2 = bank.writeEnd + tWr;
+                recovery = std::max(r1 > start ? r1 - start : 0,
+                                    r2 > start ? r2 - start : 0);
+                if (bank.openScore > 0)
+                    --bank.openScore;
+            } else {
+                pre = 0;
+                recovery = bank.bankReadyAt > start
+                    ? bank.bankReadyAt - start : 0;
+                if (row == bank.lastClosedRow) {
+                    if (bank.openScore < 3)
+                        ++bank.openScore; // wasted close: credit
+                } else if (bank.openScore > 0) {
+                    --bank.openScore;
+                }
+            }
+            recovery = std::min(recovery, tRas + tWr + tRp);
+
+            Tick actReady = start + recovery + pre;
+            Tick actAt = actReady;
+            if (actQuarter > 0)
+                actAt = actMeter.reserve(actReady, actQuarter);
+            if (actAt > actReady)
+                ++nActStalls;
+            extra = recovery + (actAt - actReady);
+            bank.lastActAt = std::max(bank.lastActAt, actAt);
+            bank.openRow = row;
+            bank.rowOpen = true;
+            core = pre + tRcd + tCas;
+        } else {
+            core = tCas;
+            if (bank.openScore < 3)
+                ++bank.openScore; // post-hit score decides
+            keepScore = bank.openScore;
+        }
+
+        auto burst = static_cast<Tick>(ticksPerByte * bytes);
+        Tick begin = bank.meter.reserve(start, core + burst);
+        Tick queue = begin - start;
+        Tick end = begin + core + burst + extra;
+
+        if (isWrite) {
+            ++nWrites;
+            bank.writeEnd = std::max(bank.writeEnd, end);
+        } else {
+            ++nReads;
+        }
+
+        bool leave_open = dram.pagePolicy == PagePolicy::Open
+            || (dram.pagePolicy == PagePolicy::Adaptive
+                && keepScore >= 2);
+        if (!leave_open) {
+            bank.lastClosedRow = bank.openRow;
+            bank.rowOpen = false;
+            bank.openRow = ~0ull;
+            bank.bankReadyAt = std::max(
+                bank.bankReadyAt, end + (isWrite ? tWr : 0) + tRp);
+        }
+        return queue + core + burst + extra;
+    }
+
+    std::uint64_t reads() const { return nReads; }
+    std::uint64_t writes() const { return nWrites; }
+    std::uint64_t rowMisses() const { return nRowMisses; }
+    std::uint64_t refreshes() const { return nRefreshes; }
+    std::uint64_t actStalls() const { return nActStalls; }
+
+    std::uint64_t
+    rowHits() const
+    {
+        return nReads + nWrites - nRowMisses;
+    }
+
+    /** Largest ACT-window bucket fill (tFAW audit cross-check). */
+    Tick actWindowPeak() const { return actMeter.maxBucketFill(); }
+    Tick actWindowWidth() const { return actMeter.bucketWidth(); }
+
+  private:
+    struct Bank
+    {
+        RefBandwidthMeter meter;
+        std::uint64_t openRow = ~0ull;
+        bool rowOpen = false;
+        Tick nextRefresh = 0;
+        Tick lastActAt = 0;
+        Tick writeEnd = 0;
+        Tick bankReadyAt = 0;
+        std::uint32_t openScore = 2;
+        std::uint64_t lastClosedRow = ~0ull;
+    };
+
+    /** Naive {row, bank} decode; mirrors DramAddrMap::decode. */
+    std::pair<std::uint64_t, std::uint32_t>
+    decode(Addr addr) const
+    {
+        std::uint64_t row;
+        std::uint64_t bank;
+        switch (dram.addrMap) {
+          case DramAddrMapKind::RowColumnBank: {
+            std::uint64_t x = addr / dram.burstBytes;
+            bank = x % dram.banks;
+            row = (x / dram.banks)
+                / (dram.rowBytes / dram.burstBytes);
+            break;
+          }
+          case DramAddrMapKind::BankRowColumn: {
+            std::uint64_t off = addr % bytesPerUnit;
+            std::uint64_t slice = bytesPerUnit / dram.banks;
+            bank = off / slice;
+            row = (off % slice) / dram.rowBytes;
+            break;
+          }
+          case DramAddrMapKind::RowBankColumn:
+          default: {
+            std::uint64_t x = addr / dram.rowBytes;
+            bank = x % dram.banks;
+            row = x / dram.banks;
+            break;
+          }
+        }
+        return {row, static_cast<std::uint32_t>(bank)};
+    }
+
+    DramConfig dram;
+    std::uint64_t bytesPerUnit;
+    Tick tCas;
+    Tick tRcd;
+    Tick tRp;
+    Tick tRas;
+    Tick tWr;
+    Tick tRefi;
+    Tick tRfc;
+    double ticksPerByte;
+    Tick actQuarter;
+    RefBandwidthMeter actMeter;
+    std::vector<Bank> banks;
+    std::uint64_t nReads = 0;
+    std::uint64_t nWrites = 0;
+    std::uint64_t nRowMisses = 0;
+    std::uint64_t nRefreshes = 0;
+    std::uint64_t nActStalls = 0;
 };
 
 /**

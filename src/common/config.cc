@@ -42,6 +42,73 @@ validateCacheGeometry(const CacheGeometry &geom, const char *name)
 
 } // namespace
 
+const char *
+memBackendName(MemBackendKind k)
+{
+    switch (k) {
+      case MemBackendKind::Meter: return "meter";
+      case MemBackendKind::Ddr: return "ddr";
+    }
+    panic("unknown memory backend kind");
+}
+
+MemBackendKind
+memBackendFromName(const std::string &name)
+{
+    if (name == "meter")
+        return MemBackendKind::Meter;
+    if (name == "ddr")
+        return MemBackendKind::Ddr;
+    fatal("unknown memory backend '", name, "' (valid: meter, ddr)");
+}
+
+const char *
+pagePolicyName(PagePolicy p)
+{
+    switch (p) {
+      case PagePolicy::Open: return "open";
+      case PagePolicy::Close: return "close";
+      case PagePolicy::Adaptive: return "adaptive";
+    }
+    panic("unknown page policy");
+}
+
+PagePolicy
+pagePolicyFromName(const std::string &name)
+{
+    if (name == "open")
+        return PagePolicy::Open;
+    if (name == "close")
+        return PagePolicy::Close;
+    if (name == "adaptive")
+        return PagePolicy::Adaptive;
+    fatal("unknown page policy '", name,
+          "' (valid: open, close, adaptive)");
+}
+
+const char *
+dramAddrMapName(DramAddrMapKind k)
+{
+    switch (k) {
+      case DramAddrMapKind::RowBankColumn: return "rbc";
+      case DramAddrMapKind::RowColumnBank: return "rcb";
+      case DramAddrMapKind::BankRowColumn: return "brc";
+    }
+    panic("unknown dram address map");
+}
+
+DramAddrMapKind
+dramAddrMapFromName(const std::string &name)
+{
+    if (name == "rbc")
+        return DramAddrMapKind::RowBankColumn;
+    if (name == "rcb")
+        return DramAddrMapKind::RowColumnBank;
+    if (name == "brc")
+        return DramAddrMapKind::BankRowColumn;
+    fatal("unknown dram address map '", name, "' (valid: rbc, rcb, brc)");
+}
+
 void
 SystemConfig::validate() const
 {
@@ -139,6 +206,51 @@ SystemConfig::validate() const
     if (lf.enabled() && lf.dropProb > 0.0 && lf.maxRetries == 0)
         fatal("link maxRetries must be nonzero when dropProb > 0 "
               "(a dropped packet needs at least one retry to arrive)");
+
+    // ---- Memory backend (src/mem) ----
+    if (dram.banks == 0)
+        fatal("dram banks must be nonzero");
+    if (dram.rowBytes == 0)
+        fatal("dram rowBytes must be nonzero");
+    if (dram.busBits == 0)
+        fatal("dram busBits must be nonzero");
+    if (dram.busGHz <= 0.0)
+        fatal("dram busGHz must be positive, got ", dram.busGHz);
+    if (dram.tCasNs < 0.0 || dram.tRcdNs < 0.0 || dram.tRpNs < 0.0)
+        fatal("dram tCAS/tRCD/tRP must be non-negative");
+    if (dram.refreshEnabled) {
+        if (dram.tRefiNs <= 0.0)
+            fatal("dram tREFI must be positive when refresh is enabled, "
+                  "got ", dram.tRefiNs);
+        if (dram.tRfcNs < 0.0)
+            fatal("dram tRFC must be non-negative, got ", dram.tRfcNs);
+        if (dram.refreshCatchupMax == 0)
+            fatal("dram refreshCatchupMax must be nonzero (a zero bound "
+                  "never charges a lagging bank any refresh at all)");
+    }
+    if (dram.backend == MemBackendKind::Ddr) {
+        if (!isPow2(dram.burstBytes))
+            fatal("dram burstBytes must be a nonzero power of two, got ",
+                  dram.burstBytes);
+        if (dram.rowBytes % dram.burstBytes != 0)
+            fatal("dram rowBytes (", dram.rowBytes, ") must be a "
+                  "multiple of burstBytes (", dram.burstBytes, ")");
+        if (dram.bankGroups == 0 || dram.banks % dram.bankGroups != 0)
+            fatal("dram banks (", dram.banks, ") must be a nonzero "
+                  "multiple of bankGroups (", dram.bankGroups, ")");
+        if (dram.tRasNs < dram.tRcdNs)
+            fatal("dram tRAS (", dram.tRasNs, "ns) must cover at least "
+                  "tRCD (", dram.tRcdNs, "ns): the row must stay open "
+                  "through its own column access");
+        if (dram.tWrNs < 0.0 || dram.tFawNs < 0.0)
+            fatal("dram tWR and tFAW must be non-negative");
+        if (dram.addrMap == DramAddrMapKind::BankRowColumn
+            && memBytesPerUnit % dram.banks != 0)
+            fatal("the brc address map slices each unit's region evenly "
+                  "across banks: memBytesPerUnit (", memBytesPerUnit,
+                  ") must be a multiple of dram banks (", dram.banks,
+                  ")");
+    }
 
     if (!traceOut.empty() && traceBufferEvents == 0)
         fatal("traceBufferEvents must be nonzero when event tracing is "
@@ -264,6 +376,14 @@ SystemConfig::print(std::ostream &os) const
     os << "DRAM channel    : " << dram.busBits << " bits; tCAS=tRCD=tRP="
        << dram.tCasNs << "ns; " << dram.pjPerBitRw << "pJ/bit RD/WR, "
        << dram.pjActPre << "pJ ACT/PRE\n";
+    os << "Memory backend  : " << memBackendName(dram.backend);
+    if (dram.backend == MemBackendKind::Ddr)
+        os << " (" << pagePolicyName(dram.pagePolicy) << " page, "
+           << dramAddrMapName(dram.addrMap) << " map, " << dram.banks
+           << " banks / " << dram.bankGroups << " groups; tRAS="
+           << dram.tRasNs << "ns, tWR=" << dram.tWrNs << "ns, tFAW="
+           << dram.tFawNs << "ns)";
+    os << "\n";
     os << "Intra-stack net : " << net.intraLinkBits << "-bit link; "
        << net.intraHopNs << "ns/hop; " << net.intraPjPerBit << "pJ/bit\n";
     os << "Inter-stack net : " << net.interGBs << "GB/s per direction; "

@@ -81,9 +81,65 @@ struct TlbConfig
     bool enabled = true;
 };
 
+/**
+ * Memory timing backends behind the MemBackend seam (src/mem).
+ * Meter is the fast bucketed-backfill default (bit-identical to the
+ * historical DramChannel); Ddr adds a per-bank state machine with
+ * page-policy, tRAS/tWR recovery and tFAW ACT-window tracking.
+ */
+enum class MemBackendKind
+{
+    Meter,
+    Ddr,
+};
+
+/** DDR page-management policies (DdrBackend only). */
+enum class PagePolicy
+{
+    /** Leave the row open after every access (row-hit friendly). */
+    Open,
+    /** Auto-precharge after every access (conflict friendly). */
+    Close,
+    /** Per-bank saturating hit history picks open vs close. */
+    Adaptive,
+};
+
+/**
+ * Channel address-interleave orders (DdrBackend only), low bits first.
+ * The names list the fields from most- to least-significant, in the
+ * style of M2NDP's memory_decode split.
+ */
+enum class DramAddrMapKind
+{
+    /** row : bank : column — consecutive rows rotate across banks
+     *  (matches the historical meter decode; preserves row locality). */
+    RowBankColumn,
+    /** row : column : bank — consecutive bursts rotate across banks
+     *  (maximum bank parallelism, minimum row locality). */
+    RowColumnBank,
+    /** bank : row : column — each bank owns one contiguous slice of
+     *  the unit's region (bank conflicts follow the data layout). */
+    BankRowColumn,
+};
+
+/** Display name of a backend kind ("meter" / "ddr"). */
+const char *memBackendName(MemBackendKind k);
+/** Parse a backend name; fatal() on anything unknown. */
+MemBackendKind memBackendFromName(const std::string &name);
+/** Display name of a page policy ("open" / "close" / "adaptive"). */
+const char *pagePolicyName(PagePolicy p);
+/** Parse a page-policy name; fatal() on anything unknown. */
+PagePolicy pagePolicyFromName(const std::string &name);
+/** Display name of an address-map order ("rbc" / "rcb" / "brc"). */
+const char *dramAddrMapName(DramAddrMapKind k);
+/** Parse an address-map name; fatal() on anything unknown. */
+DramAddrMapKind dramAddrMapFromName(const std::string &name);
+
 /** DRAM channel timing/energy parameters (Table 1, HBM-like). */
 struct DramConfig
 {
+    /** Timing backend every access of this channel flows through. */
+    MemBackendKind backend = MemBackendKind::Meter;
     /** Channel data-bus width in bits. */
     std::uint32_t busBits = 128;
     /** Number of independent banks per channel. */
@@ -108,6 +164,29 @@ struct DramConfig
     double tRfcNs = 260.0;
     /** Model refresh interference. */
     bool refreshEnabled = true;
+    /**
+     * Refreshes accounted per access when a bank's schedule lags the
+     * access tick (lazy catch-up bound; the rest hides in idle time).
+     */
+    std::uint32_t refreshCatchupMax = 4;
+
+    // ---- DdrBackend-only knobs (ignored by the meter backend) ----
+    /** Page-management policy. */
+    PagePolicy pagePolicy = PagePolicy::Open;
+    /** Address-interleave order across banks/rows/columns. */
+    DramAddrMapKind addrMap = DramAddrMapKind::RowBankColumn;
+    /** Bank groups per channel (banks are dealt round-robin across
+     *  groups; must divide @ref banks). */
+    std::uint32_t bankGroups = 4;
+    /** Burst (minimum transfer) granularity in bytes; the
+     *  RowColumnBank order interleaves banks at this stride. */
+    std::uint32_t burstBytes = 64;
+    /** Minimum ACT-to-PRE interval (row must stay open this long). */
+    double tRasNs = 34.0;
+    /** Write recovery: burst end to PRE on the same bank. */
+    double tWrNs = 15.0;
+    /** Four-activate window: at most 4 ACTs per channel per tFAW. */
+    double tFawNs = 30.0;
 
     /** HBM-like channel (Table 1 default). */
     static DramConfig hbm() { return {}; }
@@ -127,6 +206,10 @@ struct DramConfig
         cfg.tRcdNs = 13.75;
         cfg.tRpNs = 13.75;
         cfg.banks = 16;
+        cfg.bankGroups = 4;
+        cfg.tRasNs = 27.5;
+        cfg.tWrNs = 11.0;
+        cfg.tFawNs = 20.0;
         return cfg;
     }
 };
@@ -180,6 +263,14 @@ struct TravellerConfig
     double tagCheckNs = 1.0;
     /** Pure-SRAM data cache access latency (Figure 13 variant). */
     double sramDataNs = 2.0;
+    /**
+     * Hash the camp-cache set index instead of the paper's low-bit
+     * index. Low-bit is the default because it keeps a set's ways in
+     * one DRAM row of the cache region (ROADMAP item 4); the hashed
+     * variant exists to measure that claim under the DDR backend
+     * (EXPERIMENTS.md).
+     */
+    bool hashedIndex = false;
 };
 
 /** Scheduler configuration (paper Section 5, Table 1). */

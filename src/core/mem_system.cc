@@ -21,8 +21,7 @@ MemSystem::MemSystem(const SystemConfig &cfg, const Topology &topo,
 {
     drams.reserve(cfg.numUnits());
     for (UnitId u = 0; u < cfg.numUnits(); ++u)
-        drams.push_back(
-            std::make_unique<DramChannel>(cfg, energy, u, faults));
+        drams.push_back(makeMemBackend(cfg, energy, u, faults));
 
     traceReads = std::getenv("ABNDP_READ_HIST") != nullptr;
 

@@ -1,8 +1,11 @@
 /**
  * @file
- * The NDP memory system: per-unit DRAM channels, the distributed
+ * The NDP memory system: per-unit DRAM channels (each a pluggable
+ * MemBackend — meter or bank-state DDR timing), the distributed
  * Traveller Cache (or its Figure-13 alternatives), and the interconnect,
  * glued together by the end-to-end access flow of paper Section 4.4.
+ * The access flow and servedLevel semantics are backend-independent;
+ * only the per-access latency model changes with cfg.dram.backend.
  */
 
 #ifndef ABNDP_CORE_MEM_SYSTEM_HH
@@ -21,7 +24,7 @@
 #include "energy/energy.hh"
 #include "fault/fault_model.hh"
 #include "mem/address_map.hh"
-#include "mem/dram.hh"
+#include "mem/mem_backend.hh"
 #include "net/network.hh"
 #include "net/topology.hh"
 #include "obs/stats_registry.hh"
@@ -98,7 +101,7 @@ class MemSystem
     Network &network() { return net; }
     const Network &network() const { return net; }
     const CampMapping &campMapping() const { return camps; }
-    DramChannel &dram(UnitId u) { return *drams[u]; }
+    MemBackend &dram(UnitId u) { return *drams[u]; }
     TravellerCache &traveller(UnitId u) { return *campCaches[u]; }
     bool cachingEnabled() const { return style != CacheStyle::None; }
 
@@ -158,7 +161,7 @@ class MemSystem
     CacheStyle style;
     obs::Tracer *tracer;
 
-    std::vector<std::unique_ptr<DramChannel>> drams;
+    std::vector<std::unique_ptr<MemBackend>> drams;
     std::vector<std::unique_ptr<TravellerCache>> campCaches;
 
     /** SRAM tag-check latency at a camp location. */

@@ -60,6 +60,10 @@ struct RunMetrics
     std::uint64_t dramReads = 0;
     std::uint64_t dramWrites = 0;
     std::uint64_t dramRowMisses = 0;
+    /** Accesses served out of an already-open row. */
+    std::uint64_t dramRowHits = 0;
+    /** ACTs delayed by the channel tFAW window (DdrBackend only). */
+    std::uint64_t dramActStalls = 0;
 
     // Fault injection (all zero when no faults are configured).
     /** Transmission attempts lost on injected faulty mesh links. */

@@ -1231,6 +1231,8 @@ NdpSystem::batchRun(Workload &wl)
         m.dramReads += mem.dram(u).reads();
         m.dramWrites += mem.dram(u).writes();
         m.dramRowMisses += mem.dram(u).rowMisses();
+        m.dramRowHits += mem.dram(u).rowHits();
+        m.dramActStalls += mem.dram(u).actStalls();
         m.dramEccRetries += mem.dram(u).eccRetries();
     }
     m.netDropped = mem.network().totalDropped();
@@ -1438,6 +1440,8 @@ NdpSystem::serveRun(Workload &wl)
         m.dramReads += mem.dram(u).reads();
         m.dramWrites += mem.dram(u).writes();
         m.dramRowMisses += mem.dram(u).rowMisses();
+        m.dramRowHits += mem.dram(u).rowHits();
+        m.dramActStalls += mem.dram(u).actStalls();
         m.dramEccRetries += mem.dram(u).eccRetries();
     }
     m.netDropped = mem.network().totalDropped();

@@ -88,6 +88,8 @@ dumpStats(std::ostream &os, NdpSystem &sys, const RunMetrics &m)
     line(os, "dram.reads", m.dramReads);
     line(os, "dram.writes", m.dramWrites);
     line(os, "dram.rowMisses", m.dramRowMisses);
+    line(os, "dram.rowHits", m.dramRowHits);
+    line(os, "dram.actStalls", m.dramActStalls);
     line(os, "dram.refreshes", refreshes);
     line(os, "mem.readLatencyAvgNs", m.readLatMeanNs);
     line(os, "mem.readLatencyMaxNs", m.readLatMaxNs);

@@ -16,6 +16,7 @@ parseRunFlags(const CliFlags &flags, std::uint32_t threadsDefault)
     rf.traceOut = flags.getString("trace-out", "");
     rf.statsOut = flags.getString("stats-out", "");
     rf.statsInterval = flags.getUint("stats-interval", 0);
+    rf.memBackend = flags.getString("mem-backend", "");
     return rf;
 }
 
@@ -30,6 +31,8 @@ applyRunFlags(const RunFlags &rf, SystemConfig &cfg,
         cfg.statsOut =
             tag.empty() ? rf.statsOut : tagPath(rf.statsOut, tag);
     cfg.statsInterval = rf.statsInterval;
+    if (!rf.memBackend.empty())
+        cfg.dram.backend = memBackendFromName(rf.memBackend);
     if (multiCell && rf.statsInterval > 0 && rf.statsOut.empty())
         fatal("--stats-interval under a parallel grid requires "
               "--stats-out (per-cell interval dumps cannot share "

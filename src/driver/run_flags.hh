@@ -1,9 +1,9 @@
 /**
  * @file
- * Shared run-output command-line flags. Every front end (examples,
- * benches, tools) understands the same quartet — --threads,
- * --trace-out, --stats-out, --stats-interval — and applies them to a
- * SystemConfig the same way; this helper is the single copy of that
+ * Shared run command-line flags. Every front end (examples, benches,
+ * tools) understands the same set — --threads, --trace-out,
+ * --stats-out, --stats-interval, --mem-backend — and applies them to
+ * a SystemConfig the same way; this helper is the single copy of that
  * parsing and wiring (it used to be duplicated per driver).
  */
 
@@ -30,6 +30,12 @@ struct RunFlags
     std::string statsOut;
     /** Interval-stats period in epochs (0 = off; --stats-interval). */
     std::uint64_t statsInterval = 0;
+    /**
+     * Memory timing backend ("" = keep the config's default;
+     * --mem-backend=meter|ddr). Parsed through memBackendFromName, so
+     * an unknown name fatal()s with the valid set.
+     */
+    std::string memBackend;
 
     /** True if any observability output was requested. */
     bool

@@ -1,0 +1,59 @@
+#include "mem/mem_backend.hh"
+
+#include "check/check_context.hh"
+#include "mem/ddr_backend.hh"
+#include "mem/meter_backend.hh"
+
+namespace abndp
+{
+
+MemBackend::MemBackend(const SystemConfig &cfg, EnergyAccount &energy,
+                       UnitId unit, const FaultModel *faults)
+    : energy(energy),
+      faults(faults),
+      unit(unit),
+      faultRng(mix64(cfg.seed ^ (0x7000ull + unit))),
+      faultsActive(faults && faults->anyInjector()),
+      tCas(static_cast<Tick>(cfg.dram.tCasNs * ticksPerNs)),
+      tRcd(static_cast<Tick>(cfg.dram.tRcdNs * ticksPerNs)),
+      tRp(static_cast<Tick>(cfg.dram.tRpNs * ticksPerNs)),
+      tRefi(static_cast<Tick>(cfg.dram.tRefiNs * ticksPerNs)),
+      tRfc(static_cast<Tick>(cfg.dram.tRfcNs * ticksPerNs)),
+      refreshOn(cfg.dram.refreshEnabled),
+      refreshCatchupMax(cfg.dram.refreshCatchupMax),
+      // DDR signaling: busBits wide, two transfers per bus clock.
+      ticksPerByte(8.0 * 1000.0
+                   / (cfg.dram.busBits * 2.0 * cfg.dram.busGHz))
+{
+}
+
+void
+MemBackend::auditTiming(check::CheckContext &) const
+{
+}
+
+void
+MemBackend::regStats(obs::StatNode &node) const
+{
+    node.addCounter("reads", &nReads);
+    node.addCounter("writes", &nWrites);
+    node.addCounter("rowMisses", &nRowMisses);
+    node.addCounter("refreshes", &nRefreshes);
+    node.addCounter("eccRetries", &nEccRetries);
+    node.addDistribution("queueWaitNs", &waitNs);
+}
+
+std::unique_ptr<MemBackend>
+makeMemBackend(const SystemConfig &cfg, EnergyAccount &energy,
+               UnitId unit, const FaultModel *faults)
+{
+    switch (cfg.dram.backend) {
+      case MemBackendKind::Meter:
+        return std::make_unique<MeterBackend>(cfg, energy, unit, faults);
+      case MemBackendKind::Ddr:
+        return std::make_unique<DdrBackend>(cfg, energy, unit, faults);
+    }
+    panic("unknown memory backend kind");
+}
+
+} // namespace abndp

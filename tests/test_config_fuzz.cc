@@ -165,6 +165,45 @@ TEST(ConfigFuzz, PrunedScoringOnTinyMachineRegression)
     EXPECT_TRUE(rep.ok) << rep.message;
 }
 
+TEST(ConfigFuzz, SamplerExercisesBothMemBackends)
+{
+    // The mem-backend axis fires for ~1 draw in 3; over 200 draws both
+    // backends must appear, and every DDR draw must carry knobs that
+    // survive validate() (checked in SamplerProducesValidVariedConfigs
+    // via the shared loop — here we only pin the axis coverage).
+    Rng rng(0xddc0u);
+    int nDdr = 0, nMeter = 0;
+    for (int i = 0; i < 200; ++i) {
+        check::FuzzCase c = check::sampleFuzzCase(rng);
+        if (c.cfg.dram.backend == MemBackendKind::Ddr) {
+            ++nDdr;
+            EXPECT_EQ(c.cfg.dram.banks % c.cfg.dram.bankGroups, 0u);
+            EXPECT_EQ(c.cfg.dram.rowBytes % c.cfg.dram.burstBytes, 0u);
+            EXPECT_GE(c.cfg.dram.tRasNs, c.cfg.dram.tRcdNs);
+        } else {
+            ++nMeter;
+        }
+    }
+    EXPECT_GT(nDdr, 30);
+    EXPECT_GT(nMeter, 60);
+}
+
+TEST(ConfigFuzz, RunFuzzCaseDdrSmoke)
+{
+    // One end-to-end DDR case through all six designs with checkers
+    // armed: exercises the bank state machines, the tFAW ACT-window
+    // audit, and the differential-visible counters under the full
+    // metamorphic harness (determinism + thread invariance).
+    check::FuzzCase c;
+    c.cfg = check::minimalFuzzBaseline();
+    c.cfg.dram.backend = MemBackendKind::Ddr;
+    c.cfg.dram.pagePolicy = PagePolicy::Adaptive;
+    c.cfg.dram.addrMap = DramAddrMapKind::RowColumnBank;
+    c.workload = "pr";
+    check::FuzzReport rep = check::runFuzzCase(c, 2);
+    EXPECT_TRUE(rep.ok) << rep.message;
+}
+
 TEST(ConfigFuzz, RunFuzzCaseSmoke)
 {
     // One real end-to-end case through all six NDP designs, twice

@@ -414,6 +414,132 @@ TEST(ServingDeath, UnsustainableRateTripsWatchdog)
     EXPECT_DEATH(sys.run(*wl), "arrival rate");
 }
 
+// ---- validate(): memory backend (src/mem) -----------------------------
+
+namespace
+{
+
+/** Valid baseline on the bank-state DDR backend. */
+SystemConfig
+ddrConfig()
+{
+    auto cfg = plainConfig();
+    cfg.dram.backend = MemBackendKind::Ddr;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ConfigValidateDeath, RejectsZeroDramGeometry)
+{
+    auto cfg = plainConfig();
+    cfg.dram.banks = 0;
+    EXPECT_DEATH(cfg.validate(), "dram banks must be nonzero");
+    auto cfg2 = plainConfig();
+    cfg2.dram.rowBytes = 0;
+    EXPECT_DEATH(cfg2.validate(), "dram rowBytes must be nonzero");
+    auto cfg3 = plainConfig();
+    cfg3.dram.busBits = 0;
+    EXPECT_DEATH(cfg3.validate(), "dram busBits must be nonzero");
+}
+
+TEST(ConfigValidateDeath, RejectsNonPositiveDramBus)
+{
+    auto cfg = plainConfig();
+    cfg.dram.busGHz = 0.0;
+    EXPECT_DEATH(cfg.validate(), "dram busGHz must be positive");
+}
+
+TEST(ConfigValidateDeath, RejectsNegativeDramCoreTimings)
+{
+    auto cfg = plainConfig();
+    cfg.dram.tRcdNs = -1.0;
+    EXPECT_DEATH(cfg.validate(),
+                 "dram tCAS/tRCD/tRP must be non-negative");
+}
+
+TEST(ConfigValidateDeath, RejectsBadRefreshParameters)
+{
+    auto cfg = plainConfig();
+    cfg.dram.tRefiNs = 0.0;
+    EXPECT_DEATH(cfg.validate(), "dram tREFI must be positive");
+    auto cfg2 = plainConfig();
+    cfg2.dram.tRfcNs = -1.0;
+    EXPECT_DEATH(cfg2.validate(), "dram tRFC must be non-negative");
+    auto cfg3 = plainConfig();
+    cfg3.dram.refreshCatchupMax = 0;
+    EXPECT_DEATH(cfg3.validate(),
+                 "dram refreshCatchupMax must be nonzero");
+    // With refresh off the same knobs are dormant and tolerated.
+    auto cfg4 = plainConfig();
+    cfg4.dram.refreshEnabled = false;
+    cfg4.dram.tRefiNs = 0.0;
+    cfg4.dram.refreshCatchupMax = 0;
+    cfg4.validate();
+}
+
+TEST(ConfigValidateDeath, RejectsBadDdrBurstBytes)
+{
+    auto cfg = ddrConfig();
+    cfg.dram.burstBytes = 48; // not a power of two
+    EXPECT_DEATH(cfg.validate(),
+                 "dram burstBytes must be a nonzero power of two");
+    auto cfg2 = ddrConfig();
+    cfg2.dram.rowBytes = 2048 + 32;
+    cfg2.dram.burstBytes = 64;
+    EXPECT_DEATH(cfg2.validate(), "multiple of burstBytes");
+}
+
+TEST(ConfigValidateDeath, RejectsBadBankGroups)
+{
+    auto cfg = ddrConfig();
+    cfg.dram.banks = 8;
+    cfg.dram.bankGroups = 3; // does not divide the bank count
+    EXPECT_DEATH(cfg.validate(), "multiple of bankGroups");
+    auto cfg2 = ddrConfig();
+    cfg2.dram.bankGroups = 0;
+    EXPECT_DEATH(cfg2.validate(), "multiple of bankGroups");
+}
+
+TEST(ConfigValidateDeath, RejectsRasShorterThanRcd)
+{
+    auto cfg = ddrConfig();
+    cfg.dram.tRasNs = cfg.dram.tRcdNs - 1.0;
+    EXPECT_DEATH(cfg.validate(), "must cover at least");
+}
+
+TEST(ConfigValidateDeath, RejectsNegativeWrOrFaw)
+{
+    auto cfg = ddrConfig();
+    cfg.dram.tWrNs = -1.0;
+    EXPECT_DEATH(cfg.validate(),
+                 "dram tWR and tFAW must be non-negative");
+    auto cfg2 = ddrConfig();
+    cfg2.dram.tFawNs = -1.0;
+    EXPECT_DEATH(cfg2.validate(),
+                 "dram tWR and tFAW must be non-negative");
+}
+
+TEST(ConfigValidateDeath, RejectsUnevenBrcSlices)
+{
+    auto cfg = ddrConfig();
+    cfg.dram.addrMap = DramAddrMapKind::BankRowColumn;
+    cfg.dram.banks = 24; // memBytesPerUnit is pow2: cannot divide
+    cfg.dram.bankGroups = 4;
+    EXPECT_DEATH(cfg.validate(), "slices each unit's region evenly");
+    // The meter backend ignores the map and accepts the same count.
+    auto cfg2 = plainConfig();
+    cfg2.dram.banks = 24;
+    cfg2.validate();
+}
+
+TEST(ConfigValidateDeath, RejectsUnknownBackendNames)
+{
+    EXPECT_DEATH(memBackendFromName("hbm3"), "unknown memory backend");
+    EXPECT_DEATH(pagePolicyFromName("lazy"), "unknown page policy");
+    EXPECT_DEATH(dramAddrMapFromName("rbx"), "unknown dram address map");
+}
+
 // ---- design helpers ---------------------------------------------------
 
 TEST(ConfigValidateDeath, UnknownDesignPanics)

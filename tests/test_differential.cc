@@ -19,6 +19,8 @@
 #include "check/ref_models.hh"
 #include "common/config.hh"
 #include "common/rng.hh"
+#include "energy/energy.hh"
+#include "mem/ddr_backend.hh"
 #include "serve/latency_recorder.hh"
 #include "serve/zipf.hh"
 #include "sim/bandwidth_meter.hh"
@@ -206,6 +208,74 @@ TEST(BandwidthMeterDifferential, LockStepAgainstReference)
     EXPECT_EQ(opt.maxBucketFill(), ref.maxBucketFill());
     EXPECT_LE(opt.maxBucketFill(), width);
 }
+
+// ---- DdrBackend vs RefDdrBackend --------------------------------------
+
+struct DdrDiffCase
+{
+    const char *name;
+    PagePolicy policy;
+    DramAddrMapKind addrMap;
+    bool refresh;
+};
+
+class DdrBackendDifferential
+    : public ::testing::TestWithParam<DdrDiffCase>
+{
+};
+
+TEST_P(DdrBackendDifferential, LockStepAgainstReference)
+{
+    const DdrDiffCase &g = GetParam();
+    SystemConfig cfg;
+    cfg.memBytesPerUnit = 1ull << 22; // few rows/bank: conflicts happen
+    cfg.dram.backend = MemBackendKind::Ddr;
+    cfg.dram.pagePolicy = g.policy;
+    cfg.dram.addrMap = g.addrMap;
+    cfg.dram.refreshEnabled = g.refresh;
+    cfg.validate();
+    EnergyAccount energy(cfg);
+    DdrBackend opt(cfg, energy); // faults == nullptr: no Rng draws
+    check::RefDdrBackend ref(cfg);
+
+    // Drifting, backwards-jittering start ticks: the task-granularity
+    // regime every bank-state anchor must stay bounded under.
+    Rng gen(0xdd12u);
+    Tick base = 0;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+        base += gen.below(300);
+        Tick t = base >= 20000 ? base - gen.below(20000) : base;
+        Addr a = gen.below(cfg.memBytesPerUnit / cachelineBytes)
+            * cachelineBytes;
+        bool wr = gen.below(4) == 0;
+        ASSERT_EQ(opt.access(a, cachelineBytes, wr, false, t),
+                  ref.access(a, cachelineBytes, wr, t))
+            << "op " << i;
+    }
+    EXPECT_EQ(opt.reads(), ref.reads());
+    EXPECT_EQ(opt.writes(), ref.writes());
+    EXPECT_EQ(opt.rowMisses(), ref.rowMisses());
+    EXPECT_EQ(opt.rowHits(), ref.rowHits());
+    EXPECT_EQ(opt.refreshes(), ref.refreshes());
+    EXPECT_EQ(opt.actStalls(), ref.actStalls());
+    // Four-activate invariant, cross-checked on the naive meter too.
+    EXPECT_LE(ref.actWindowPeak(), ref.actWindowWidth());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, DdrBackendDifferential,
+    ::testing::Values(
+        DdrDiffCase{"open_rbc", PagePolicy::Open,
+                    DramAddrMapKind::RowBankColumn, true},
+        DdrDiffCase{"close_rcb", PagePolicy::Close,
+                    DramAddrMapKind::RowColumnBank, true},
+        DdrDiffCase{"adaptive_brc", PagePolicy::Adaptive,
+                    DramAddrMapKind::BankRowColumn, true},
+        DdrDiffCase{"open_rcb_norefresh", PagePolicy::Open,
+                    DramAddrMapKind::RowColumnBank, false},
+        DdrDiffCase{"adaptive_rbc", PagePolicy::Adaptive,
+                    DramAddrMapKind::RowBankColumn, true}),
+    [](const auto &info) { return std::string(info.param.name); });
 
 // ---- PrefetchBuffer vs RefPrefetchBuffer ------------------------------
 

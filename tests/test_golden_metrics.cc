@@ -110,6 +110,44 @@ runAndDumpServing(Design d)
 }
 
 std::string
+ddrGoldenPath(Design d)
+{
+    return std::string(ABNDP_GOLDEN_DIR) + "/ddr_" + designName(d)
+           + ".stats";
+}
+
+/**
+ * The golden geometry on the bank-state DDR backend with every
+ * DdrBackend-only mechanism lit up: adaptive page policy, burst-level
+ * bank interleave, bank groups, and the tRAS/tWR/tFAW constraints.
+ * Locks the per-bank vectors, rowHits/actStalls counters, and every
+ * latency shift the state machine introduces.
+ */
+SystemConfig
+ddrGoldenConfig(Design d)
+{
+    SystemConfig cfg = goldenConfig(d);
+    cfg.dram.backend = MemBackendKind::Ddr;
+    cfg.dram.pagePolicy = PagePolicy::Adaptive;
+    cfg.dram.addrMap = DramAddrMapKind::RowColumnBank;
+    return cfg;
+}
+
+/** Run pr-tiny under @p d on the DDR backend and dump the registry. */
+std::string
+runAndDumpDdr(Design d)
+{
+    auto cfg = ddrGoldenConfig(d);
+    NdpSystem sys(cfg);
+    auto wl = makeWorkload(WorkloadSpec::tiny("pr"));
+    sys.run(*wl);
+    EXPECT_TRUE(wl->verify()) << designName(d);
+    std::ostringstream oss;
+    sys.statsRegistry().dump(oss);
+    return oss.str();
+}
+
+std::string
 readFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
@@ -178,6 +216,13 @@ checkServingDesign(Design d)
                        std::string("serving design ") + designName(d));
 }
 
+void
+checkDdrDesign(Design d)
+{
+    checkAgainstGolden(runAndDumpDdr(d), ddrGoldenPath(d),
+                       std::string("ddr design ") + designName(d));
+}
+
 } // namespace
 
 TEST(GoldenMetrics, DesignB) { checkDesign(Design::B); }
@@ -228,6 +273,45 @@ TEST(GoldenMetrics, ServingSl) { checkServingDesign(Design::Sl); }
 TEST(GoldenMetrics, ServingSh) { checkServingDesign(Design::Sh); }
 TEST(GoldenMetrics, ServingC) { checkServingDesign(Design::C); }
 TEST(GoldenMetrics, ServingO) { checkServingDesign(Design::O); }
+
+/**
+ * DDR golden lock: the same geometry and workload, every design, on
+ * the bank-state backend (adaptive page policy, rcb interleave). The
+ * MeterBackend goldens above prove the seam extraction is
+ * bit-neutral; these lock the DDR state machine itself — page-policy
+ * decisions, tFAW stalls, per-bank vectors — against silent drift.
+ */
+TEST(GoldenMetrics, DdrB) { checkDdrDesign(Design::B); }
+TEST(GoldenMetrics, DdrSm) { checkDdrDesign(Design::Sm); }
+TEST(GoldenMetrics, DdrSl) { checkDdrDesign(Design::Sl); }
+TEST(GoldenMetrics, DdrSh) { checkDdrDesign(Design::Sh); }
+TEST(GoldenMetrics, DdrC) { checkDdrDesign(Design::C); }
+TEST(GoldenMetrics, DdrO) { checkDdrDesign(Design::O); }
+
+/** Negative control for the DDR goldens: one flipped digit in a
+ *  backend-only counter must fail the bit-exact comparison. */
+TEST(GoldenMetrics, DdrCatchesOneCounterPerturbation)
+{
+    if (std::getenv("ABNDP_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "regenerating goldens";
+
+    const std::string golden = readFile(ddrGoldenPath(Design::O));
+    ASSERT_FALSE(golden.empty());
+
+    // Perturb the last digit of the first rowHits line — a counter
+    // that only the bank-state backend produces.
+    auto pos = golden.find("rowHits");
+    ASSERT_NE(pos, std::string::npos);
+    auto nl = golden.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    std::string perturbed = golden;
+    char &digit = perturbed[nl - 1];
+    ASSERT_TRUE(digit >= '0' && digit <= '9') << "unexpected format";
+    digit = digit == '9' ? '0' : static_cast<char>(digit + 1);
+
+    EXPECT_NE(perturbed, golden);
+    EXPECT_NE(perturbed, runAndDumpDdr(Design::O));
+}
 
 /** Negative control for the serving goldens, same recipe as above. */
 TEST(GoldenMetrics, ServingCatchesOneCounterPerturbation)

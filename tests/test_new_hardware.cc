@@ -9,7 +9,7 @@
 #include "core/ndp_system.hh"
 #include "driver/experiment.hh"
 #include "energy/energy.hh"
-#include "mem/dram.hh"
+#include "mem/meter_backend.hh"
 #include "workloads/factory.hh"
 #include "workloads/graph_gen.hh"
 #include "workloads/pagerank.hh"
@@ -21,7 +21,7 @@ TEST(DramRefresh, ChargesRefreshesOverTime)
 {
     SystemConfig cfg;
     EnergyAccount energy(cfg);
-    DramChannel dram(cfg, energy);
+    MeterBackend dram(cfg, energy);
     // Access the same bank twice, 10 tREFI apart: refreshes are due.
     dram.access(0, 64, false, false, 0);
     Tick later = static_cast<Tick>(10 * cfg.dram.tRefiNs * ticksPerNs);
@@ -33,7 +33,7 @@ TEST(DramRefresh, BoundedCatchupAfterLongIdle)
 {
     SystemConfig cfg;
     EnergyAccount energy(cfg);
-    DramChannel dram(cfg, energy);
+    MeterBackend dram(cfg, energy);
     // A bank idle for a simulated hour must not charge millions of
     // refreshes to the next access.
     dram.access(0, 64, false, false, 0);
@@ -47,7 +47,7 @@ TEST(DramRefresh, CanBeDisabled)
     SystemConfig cfg;
     cfg.dram.refreshEnabled = false;
     EnergyAccount energy(cfg);
-    DramChannel dram(cfg, energy);
+    MeterBackend dram(cfg, energy);
     dram.access(0, 64, false, false, 0);
     dram.access(0, 64, false, false, 1'000'000'000'000ull);
     EXPECT_EQ(dram.refreshes(), 0u);
@@ -57,7 +57,7 @@ TEST(DramRefresh, ClosesTheRowBuffer)
 {
     SystemConfig cfg;
     EnergyAccount energy(cfg);
-    DramChannel dram(cfg, energy);
+    MeterBackend dram(cfg, energy);
     dram.access(0, 64, false, false, 0);
     // Same row much later: the refresh in between forces a row miss.
     Tick later = static_cast<Tick>(10 * cfg.dram.tRefiNs * ticksPerNs);

@@ -94,6 +94,39 @@ TEST(RunFlags, ApplyLeavesUnsetFieldsAlone)
     EXPECT_EQ(cfg.statsInterval, 0u);
 }
 
+TEST(RunFlags, MemBackendParsesAndApplies)
+{
+    CliFlags flags = makeFlags({"--mem-backend=ddr"});
+    RunFlags rf = parseRunFlags(flags);
+    EXPECT_EQ(rf.memBackend, "ddr");
+    SystemConfig cfg;
+    applyRunFlags(rf, cfg);
+    EXPECT_EQ(cfg.dram.backend, MemBackendKind::Ddr);
+
+    // Unset leaves the config's choice alone (including a non-default
+    // one baked into a preset).
+    RunFlags quiet;
+    SystemConfig preset;
+    preset.dram.backend = MemBackendKind::Ddr;
+    applyRunFlags(quiet, preset);
+    EXPECT_EQ(preset.dram.backend, MemBackendKind::Ddr);
+
+    // Explicit meter overrides a DDR preset.
+    CliFlags meterFlags = makeFlags({"--mem-backend=meter"});
+    SystemConfig back;
+    back.dram.backend = MemBackendKind::Ddr;
+    applyRunFlags(parseRunFlags(meterFlags), back);
+    EXPECT_EQ(back.dram.backend, MemBackendKind::Meter);
+}
+
+TEST(RunFlagsDeath, UnknownMemBackendNameIsFatal)
+{
+    RunFlags rf;
+    rf.memBackend = "hbm3";
+    SystemConfig cfg;
+    EXPECT_DEATH(applyRunFlags(rf, cfg), "unknown memory backend");
+}
+
 TEST(RunFlagsDeath, MultiCellIntervalStatsRequireFile)
 {
     RunFlags rf;

@@ -115,6 +115,79 @@ TEST(ScaleDeterminism, Scale16CellRunnerThreadCountInvariant)
 namespace
 {
 
+/** Scale-16 config on the bank-state DDR backend (adaptive/rcb). */
+SystemConfig
+ddrScaleConfig(Design d)
+{
+    SystemConfig cfg;
+    cfg = applyDesign(cfg, d);
+    cfg.dram.backend = MemBackendKind::Ddr;
+    cfg.dram.pagePolicy = PagePolicy::Adaptive;
+    cfg.dram.addrMap = DramAddrMapKind::RowColumnBank;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ScaleDeterminism, DdrScale16RunTwiceBitExact)
+{
+    // The DDR backend's extra state (bank machines, ACT-window meter,
+    // adaptive scores) must be just as bit-deterministic as the meter
+    // path at steady-state scale: two independent instances, one
+    // byte-identical dump.
+    auto dump = [] {
+        auto cfg = ddrScaleConfig(Design::O);
+        NdpSystem sys(cfg);
+        auto wl = makeWorkload(scale16Spec("pr"));
+        sys.run(*wl);
+        EXPECT_TRUE(wl->verify());
+        std::ostringstream oss;
+        sys.statsRegistry().dump(oss);
+        return oss.str();
+    };
+    std::string a = dump(), b = dump();
+    EXPECT_FALSE(a.empty());
+    EXPECT_NE(a.find("actStalls"), std::string::npos);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ScaleDeterminism, DdrCellRunnerThreadCountInvariant)
+{
+    // DDR cells inline vs on a 4-thread pool: every backend instance
+    // is owned by one simulator instance, so per-cell metrics —
+    // including the DDR-only rowHits/actStalls — must be identical
+    // regardless of host thread count.
+    SystemConfig base;
+    base.dram.backend = MemBackendKind::Ddr;
+    base.dram.pagePolicy = PagePolicy::Adaptive;
+    std::vector<CellSpec> cells;
+    for (Design d : {Design::B, Design::O}) {
+        CellSpec cell;
+        cell.design = d;
+        cell.workload = scale16Spec("pr");
+        cells.push_back(cell);
+    }
+
+    std::vector<RunMetrics> seq = runCells(base, cells, 1);
+    std::vector<RunMetrics> par = runCells(base, cells, 4);
+    ASSERT_EQ(seq.size(), cells.size());
+    ASSERT_EQ(par.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE(designName(cells[i].design));
+        EXPECT_EQ(seq[i].ticks, par[i].ticks);
+        EXPECT_EQ(seq[i].tasks, par[i].tasks);
+        EXPECT_EQ(seq[i].dramReads, par[i].dramReads);
+        EXPECT_EQ(seq[i].dramWrites, par[i].dramWrites);
+        EXPECT_EQ(seq[i].dramRowMisses, par[i].dramRowMisses);
+        EXPECT_EQ(seq[i].dramRowHits, par[i].dramRowHits);
+        EXPECT_EQ(seq[i].dramActStalls, par[i].dramActStalls);
+        EXPECT_GT(seq[i].dramRowHits, 0u);
+    }
+}
+
+namespace
+{
+
 /** Default-size kv store (64k keys) as the served workload. */
 WorkloadSpec
 kvSpec()
