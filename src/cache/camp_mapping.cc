@@ -68,7 +68,7 @@ CampMapping::campOf(std::uint64_t block, GroupId g) const
 UnitId
 CampMapping::locationInGroup(Addr addr, GroupId g) const
 {
-    UnitId home = amap.homeOf(addr);
+    UnitId home = homeOf(addr);
     if (topo.groupOf(home) == g)
         return home;
     return campOf(blockNumber(addr), g);
@@ -77,7 +77,7 @@ CampMapping::locationInGroup(Addr addr, GroupId g) const
 void
 CampMapping::candidates(Addr addr, CandidateList &out) const
 {
-    const UnitId home = amap.homeOf(addr);
+    const UnitId home = homeOf(addr);
     const GroupId hg = topo.groupOf(home);
     const std::uint64_t block = blockNumber(addr);
     out.n = topo.numGroups();
@@ -88,7 +88,7 @@ CampMapping::candidates(Addr addr, CandidateList &out) const
 UnitId
 CampMapping::nearestCandidate(Addr addr, UnitId from) const
 {
-    const UnitId home = amap.homeOf(addr);
+    const UnitId home = homeOf(addr);
     const GroupId hg = topo.groupOf(home);
     const std::uint64_t block = blockNumber(addr);
     const double *row = topo.distanceRow(from);

@@ -29,6 +29,7 @@
 #include "common/types.hh"
 #include "mem/address_map.hh"
 #include "net/topology.hh"
+#include "sched/lb/home_indirection.hh"
 
 namespace abndp
 {
@@ -48,8 +49,23 @@ class CampMapping
     CampMapping(const SystemConfig &cfg, const Topology &topo,
                 const AddressMap &amap);
 
-    /** Home unit of an address. */
-    UnitId homeOf(Addr addr) const { return amap.homeOf(addr); }
+    /**
+     * Home unit of an address: the static range partition, overlaid
+     * by the re-homing indirection when migration has moved the
+     * block. With no indirection attached (every classic design) or
+     * an empty table, this is exactly the static map plus one branch.
+     */
+    UnitId
+    homeOf(Addr addr) const
+    {
+        UnitId h = amap.homeOf(addr);
+        if (indir && indir->active()) [[unlikely]]
+            h = indir->resolve(blockAlign(addr), h);
+        return h;
+    }
+
+    /** Attach the migration indirection table (MemSystem owns it). */
+    void setHomeIndirection(const HomeIndirection *p) { indir = p; }
 
     /**
      * Candidate location of @p addr in group @p g: the home unit if the
@@ -113,6 +129,8 @@ class CampMapping
 
     const Topology &topo;
     const AddressMap &amap;
+    /** Re-homing overlay; null unless migration is configured. */
+    const HomeIndirection *indir = nullptr;
     std::uint64_t nSets;
     std::uint32_t assoc;
     std::uint32_t nTagBits;

@@ -259,6 +259,31 @@ knobTable()
                         sched.exchangeIntervalCycles),
         ABNDP_BOOL_KNOB("sched.exhaustiveScoring",
                         sched.exhaustiveScoring),
+        { "lb.intraTier",
+          [](const SystemConfig &c) {
+              return std::string(lbTierName(c.lb.intraTier));
+          },
+          [](SystemConfig &c, const std::string &v) {
+              c.lb.intraTier = lbTierFromName(v);
+          } },
+        { "lb.interTier",
+          [](const SystemConfig &c) {
+              return std::string(lbTierName(c.lb.interTier));
+          },
+          [](SystemConfig &c, const std::string &v) {
+              c.lb.interTier = lbTierFromName(v);
+          } },
+        ABNDP_UINT_KNOB("lb.hotK", lb.hotK),
+        ABNDP_UINT_KNOB("lb.decayShift", lb.decayShift),
+        ABNDP_UINT_KNOB("lb.idleThreshold", lb.idleThreshold),
+        ABNDP_UINT_KNOB("lb.chunkSize", lb.chunkSize),
+        ABNDP_DOUBLE_KNOB("lb.reserveFrac", lb.reserveFrac),
+        ABNDP_UINT_KNOB("lb.migration.threshold",
+                        lb.migration.threshold),
+        ABNDP_UINT_KNOB("lb.migration.cooldownWindows",
+                        lb.migration.cooldownWindows),
+        ABNDP_UINT_KNOB("lb.migration.maxPerExchange",
+                        lb.migration.maxPerExchange),
         ABNDP_UINT_KNOB("fault.unitFailure.count",
                         fault.unitFailure.count),
         ABNDP_DOUBLE_KNOB("fault.unitFailure.failAtNs",
@@ -419,6 +444,39 @@ sampleFuzzCase(Rng &rng)
     cfg.sched.exchangeIntervalCycles = 50000ull << rng.below(3);
     cfg.sched.exhaustiveScoring = rng.below(2) != 0;
 
+    // Hierarchical-lb axis (~1 case in 3): diversify the balancer
+    // composition and re-homing knobs. The enabled flags stay
+    // design-controlled (runFuzzCase applies the HLB designs over
+    // every case, which switches the balancer on regardless of the
+    // sampled base), so this axis varies *which* machine the HLB
+    // designs build, not *whether* one is built. At most one tier may
+    // be none; every other combination is valid by construction
+    // (mirrored in fuzzConfigValid below).
+    if (rng.below(3) == 0) {
+        auto &lb = cfg.lb;
+        auto draw_tier = [&rng](bool allow_none) {
+            switch (rng.below(allow_none ? 4 : 3)) {
+              case 0: return LbTierKind::Stealing;
+              case 1: return LbTierKind::Average;
+              case 2: return LbTierKind::Reserve;
+              default: return LbTierKind::None;
+            }
+        };
+        lb.intraTier = draw_tier(true);
+        lb.interTier = draw_tier(lb.intraTier != LbTierKind::None);
+        lb.hotK = 4u << rng.below(4); // 4..32
+        lb.decayShift = static_cast<std::uint32_t>(rng.below(4));
+        lb.idleThreshold = static_cast<std::uint32_t>(rng.below(4));
+        lb.chunkSize = 1 + static_cast<std::uint32_t>(rng.below(8));
+        lb.reserveFrac = 0.25 * static_cast<double>(rng.below(5));
+        lb.migration.threshold =
+            1 + static_cast<std::uint32_t>(rng.below(16));
+        lb.migration.cooldownWindows =
+            static_cast<std::uint32_t>(rng.below(8));
+        lb.migration.maxPerExchange =
+            1 + static_cast<std::uint32_t>(rng.below(16));
+    }
+
     // Unit-failure axis (~1 case in 3): kill a strict minority of
     // units at a seeded time, half the time with a transient recovery
     // window. Leg 3 (design invariance) keeps holding because the
@@ -540,6 +598,27 @@ fuzzConfigValid(const SystemConfig &cfg)
     if (cfg.sched.missPipelineDepth == 0 ||
         cfg.sched.missPipelineDepth > 64)
         return false;
+    // Hierarchical-lb knobs are mirrored *unconditionally* (validate()
+    // only checks them under lb.enabled): runFuzzCase applies every
+    // NDP design over the case, and the HLB designs enable the
+    // balancer whatever the sampled base says, so a knob combination
+    // validate() would reject under HLB must not survive minimization.
+    if (cfg.lb.intraTier == LbTierKind::None
+        && cfg.lb.interTier == LbTierKind::None)
+        return false;
+    if (cfg.lb.hotK == 0 || cfg.lb.decayShift > 63)
+        return false;
+    if (cfg.lb.chunkSize == 0
+        && (cfg.lb.intraTier == LbTierKind::Stealing
+            || cfg.lb.interTier == LbTierKind::Stealing))
+        return false;
+    if ((cfg.lb.reserveFrac < 0.0 || cfg.lb.reserveFrac > 1.0)
+        && (cfg.lb.intraTier == LbTierKind::Reserve
+            || cfg.lb.interTier == LbTierKind::Reserve))
+        return false;
+    if (cfg.lb.migration.threshold == 0
+        || cfg.lb.migration.maxPerExchange == 0)
+        return false;
     const auto &uf = cfg.fault.unitFailure;
     for (std::uint32_t u : uf.units)
         if (u >= cfg.numUnits())
@@ -654,6 +733,11 @@ metricsFingerprint(const RunMetrics &m)
     field(m.servingMeanNs);
     field(m.servingGoodputQps);
     field(m.servingSloMissRate);
+    field(m.tasksShedIntra);
+    field(m.tasksShedInter);
+    field(m.blocksMigrated);
+    field(m.migrationInvalidations);
+    field(m.migrationTrafficBytes);
     field(m.readLatMeanNs);
     field(m.readLatMaxNs);
     field(m.simEvents);

@@ -166,6 +166,10 @@ MachineChecker::onRunEnd(const RunMetrics &m)
                              m.servingCompletedDirect,
                              m.servingCompletedRecovered);
 
+    checkMigrationConservation(ctx, m.blocksMigrated,
+                               m.migrationInvalidations,
+                               mem.cachingEnabled());
+
     // The reported breakdown is additive and identical to the live
     // account (RunMetrics copies, it must not recompute).
     checkEnergyAdditivity(ctx, m.energy);

@@ -32,6 +32,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "sched/lb/data_hotness.hh"
 
 namespace abndp
 {
@@ -845,6 +846,151 @@ class RefZipfSampler
 
   private:
     std::vector<double> cdf;
+};
+
+/**
+ * Reference hot-block tracker: one std::map of live entries per home
+ * unit instead of DataHotness's flat slot banks. Exploits the bank
+ * invariant that zero-count slots never carry a block, so "live
+ * entries, at most K per home" is the whole state; lossy-counting
+ * charges the minimum by an explicit full scan with the same
+ * (count, block) tie-break, and topK() sorts a copy with std::sort
+ * instead of insertion into a running vector.
+ */
+class RefDataHotness
+{
+  public:
+    RefDataHotness(std::uint32_t num_units, std::uint32_t k,
+                   std::uint32_t decay_shift)
+        : k(k), decayShift(decay_shift), banks(num_units)
+    {
+        abndp_assert(k > 0);
+    }
+
+    void
+    record(UnitId home, Addr block, UnitId requester)
+    {
+        auto &bank = banks[home];
+        auto it = bank.find(block);
+        if (it != bank.end()) {
+            ++it->second.cnt;
+            vote(it->second, requester);
+            return;
+        }
+        if (bank.size() < k) {
+            bank.emplace(block, Entry{1, requester, 1});
+            return;
+        }
+        // Lossy counting: charge the miss to the (count, block)-minimal
+        // live entry; its slot turns over once it drains to zero.
+        auto min_it = bank.begin();
+        for (auto e = std::next(bank.begin()); e != bank.end(); ++e) {
+            if (e->second.cnt < min_it->second.cnt
+                || (e->second.cnt == min_it->second.cnt
+                    && e->first < min_it->first))
+                min_it = e;
+        }
+        if (--min_it->second.cnt == 0) {
+            bank.erase(min_it);
+            bank.emplace(block, Entry{1, requester, 1});
+        }
+    }
+
+    void
+    decayAll()
+    {
+        for (auto &bank : banks) {
+            for (auto it = bank.begin(); it != bank.end();) {
+                it->second.cnt >>= decayShift;
+                it = it->second.cnt == 0 ? bank.erase(it)
+                                         : std::next(it);
+            }
+        }
+    }
+
+    std::vector<HotEntry>
+    topK(UnitId home) const
+    {
+        std::vector<HotEntry> out;
+        for (const auto &[block, e] : banks[home])
+            out.push_back(HotEntry{block, e.cnt, e.reqId, e.reqCnt});
+        std::sort(out.begin(), out.end(),
+                  [](const HotEntry &a, const HotEntry &b) {
+                      return a.cnt != b.cnt ? a.cnt > b.cnt
+                                            : a.block < b.block;
+                  });
+        return out;
+    }
+
+    std::uint64_t
+    totalCount(UnitId home) const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &[block, e] : banks[home])
+            sum += e.cnt;
+        return sum;
+    }
+
+    void erase(UnitId home, Addr block) { banks[home].erase(block); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t cnt;
+        UnitId reqId;
+        std::uint64_t reqCnt;
+    };
+
+    static void
+    vote(Entry &e, UnitId requester)
+    {
+        if (e.reqCnt == 0) {
+            e.reqId = requester;
+            e.reqCnt = 1;
+        } else if (e.reqId == requester) {
+            ++e.reqCnt;
+        } else {
+            --e.reqCnt;
+        }
+    }
+
+    std::uint32_t k;
+    std::uint32_t decayShift;
+    std::vector<std::map<Addr, Entry>> banks;
+};
+
+/**
+ * Reference re-homing overlay: an ordered std::map instead of the
+ * production unordered_map — same point-query contract, so every
+ * resolve()/set()/entries() answer must match exactly.
+ */
+class RefHomeIndirection
+{
+  public:
+    bool active() const { return !map.empty(); }
+
+    UnitId
+    resolve(Addr block, UnitId base_home) const
+    {
+        auto it = map.find(block);
+        return it == map.end() ? base_home : it->second;
+    }
+
+    void
+    set(Addr block, UnitId home, UnitId base_home)
+    {
+        if (home == base_home)
+            map.erase(block);
+        else
+            map[block] = home;
+    }
+
+    std::size_t entries() const { return map.size(); }
+
+    void clear() { map.clear(); }
+
+  private:
+    std::map<Addr, UnitId> map;
 };
 
 } // namespace check

@@ -317,6 +317,43 @@ SystemConfig::validate() const
             fatal("serving sloNs must be positive, got ", serving.sloNs);
     }
 
+    // ---- Hierarchical load balancing (src/sched/lb) ----
+    if (lb.enabled) {
+        if (lb.intraTier == LbTierKind::None
+            && lb.interTier == LbTierKind::None)
+            fatal("lb enabled with both tiers set to none balances "
+                  "nothing; disable it or pick a tier balancer");
+        if (lb.hotK == 0)
+            fatal("lb hotK must be nonzero (the hotness tracker needs "
+                  "at least one counter slot per unit)");
+        if (lb.decayShift > 63)
+            fatal("lb decayShift must be at most 63, got ", lb.decayShift,
+                  " (counters are 64-bit; larger shifts are undefined)");
+        if (lb.chunkSize == 0
+            && (lb.intraTier == LbTierKind::Stealing
+                || lb.interTier == LbTierKind::Stealing))
+            fatal("lb chunkSize must be nonzero when a stealing tier is "
+                  "configured (a zero chunk sheds no tasks)");
+        if ((lb.reserveFrac < 0.0 || lb.reserveFrac > 1.0)
+            && (lb.intraTier == LbTierKind::Reserve
+                || lb.interTier == LbTierKind::Reserve))
+            fatal("lb reserveFrac must be within [0, 1], got ",
+                  lb.reserveFrac);
+    }
+    if (lb.migration.enabled) {
+        if (!lb.enabled)
+            fatal("lb migration requires the load balancer itself: "
+                  "re-homing decisions ride the exchange windows");
+        if (lb.migration.threshold == 0)
+            fatal("lb migration threshold must be nonzero (a zero "
+                  "threshold re-homes every tracked block every "
+                  "window)");
+        if (lb.migration.maxPerExchange == 0)
+            fatal("lb migration maxPerExchange must be nonzero (a zero "
+                  "cap silently disables migration; disable it "
+                  "explicitly instead)");
+    }
+
     const auto &uf = fault.unitFailure;
     for (std::uint32_t u : uf.units)
         if (u >= numUnits())
@@ -401,6 +438,17 @@ SystemConfig::print(std::ostream &os) const
     os << "Scheduler       : " << sched.exchangeIntervalCycles
        << "-cycle workload exchange interval; hybrid scheduling weight B="
        << sched.hybridAlpha << "*Dinter\n";
+    if (lb.enabled) {
+        os << "Hierarchical LB : intra=" << lbTierName(lb.intraTier)
+           << ", inter=" << lbTierName(lb.interTier) << "; hotK="
+           << lb.hotK << ", decay>>" << lb.decayShift;
+        if (lb.migration.enabled)
+            os << "; migration (threshold=" << lb.migration.threshold
+               << ", cooldown=" << lb.migration.cooldownWindows
+               << " windows, max " << lb.migration.maxPerExchange
+               << "/exchange)";
+        os << "\n";
+    }
     if (fault.anyInjector()) {
         os << "Fault injection :";
         if (fault.straggler.enabled())
@@ -452,6 +500,8 @@ designName(Design d)
       case Design::Sh: return "Sh";
       case Design::C: return "C";
       case Design::O: return "O";
+      case Design::Hlb: return "HLB";
+      case Design::HlbM: return "HLB-mig";
     }
     panic("unknown design");
 }
@@ -460,9 +510,10 @@ namespace
 {
 
 /**
- * Declarative Table-2 composition: each design is a (scheduling policy,
- * work stealing, cache layer) triple. H keeps the defaults; the NDP
- * fields are ignored by the host model anyway.
+ * Declarative Table-2 composition (extended): each design is a
+ * (scheduling policy, work stealing, cache layer, hierarchical lb,
+ * migration) tuple. H keeps the defaults; the NDP fields are ignored
+ * by the host model anyway.
  */
 struct DesignComposition
 {
@@ -470,18 +521,29 @@ struct DesignComposition
     SchedPolicy policy;
     bool workStealing;
     CacheStyle cache;
+    bool lb;
+    bool migrate;
 };
 
 constexpr DesignComposition designTable[] = {
-    {Design::H, SchedPolicy::Colocate, false, CacheStyle::None},
-    {Design::B, SchedPolicy::Colocate, false, CacheStyle::None},
-    {Design::Sm, SchedPolicy::LowestDistance, false, CacheStyle::None},
-    {Design::Sl, SchedPolicy::LowestDistance, true, CacheStyle::None},
-    {Design::Sh, SchedPolicy::Hybrid, false, CacheStyle::None},
+    {Design::H, SchedPolicy::Colocate, false, CacheStyle::None,
+     false, false},
+    {Design::B, SchedPolicy::Colocate, false, CacheStyle::None,
+     false, false},
+    {Design::Sm, SchedPolicy::LowestDistance, false, CacheStyle::None,
+     false, false},
+    {Design::Sl, SchedPolicy::LowestDistance, true, CacheStyle::None,
+     false, false},
+    {Design::Sh, SchedPolicy::Hybrid, false, CacheStyle::None,
+     false, false},
     {Design::C, SchedPolicy::LowestDistance, false,
-     CacheStyle::TravellerSramTags},
+     CacheStyle::TravellerSramTags, false, false},
     {Design::O, SchedPolicy::Hybrid, false,
-     CacheStyle::TravellerSramTags},
+     CacheStyle::TravellerSramTags, false, false},
+    {Design::Hlb, SchedPolicy::Hybrid, false,
+     CacheStyle::TravellerSramTags, true, false},
+    {Design::HlbM, SchedPolicy::Hybrid, false,
+     CacheStyle::TravellerSramTags, true, true},
 };
 
 } // namespace
@@ -496,6 +558,8 @@ applyDesign(SystemConfig base, Design d)
         base.sched.policyName.clear();
         base.sched.workStealing = row.workStealing;
         base.traveller.style = row.cache;
+        base.lb.enabled = row.lb;
+        base.lb.migration.enabled = row.lb && row.migrate;
         if (base.sched.autoAlpha)
             base.sched.hybridAlpha = base.meshDiameter() / 2.0;
         return base;

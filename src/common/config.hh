@@ -14,6 +14,7 @@
 
 #include "common/types.hh"
 #include "fault/fault_config.hh"
+#include "sched/lb/lb_config.hh"
 #include "serve/serving_config.hh"
 
 namespace abndp
@@ -409,6 +410,14 @@ struct SystemConfig
      */
     ServingConfig serving;
 
+    /**
+     * Hierarchical load balancing + hotness-driven re-homing
+     * (src/sched/lb). Off by default (enabled == false); the `HLB`
+     * family of design points turns it on, and classic designs never
+     * read these knobs.
+     */
+    LbConfig lb;
+
     // ---- Simulation ----
     std::uint64_t seed = 1;
     /** Cap on bulk-synchronous epochs (0 = run to completion). */
@@ -492,6 +501,8 @@ enum class Design
     Sh, ///< hybrid scheduling, no cache
     C,  ///< lowest-distance + Traveller Cache
     O,  ///< hybrid scheduling + Traveller Cache (full ABNDP)
+    Hlb,  ///< O + hierarchical two-tier load balancing (extension)
+    HlbM, ///< Hlb + hotness-driven data re-homing (extension)
 };
 
 /** Short display name of a design ("B", "Sm", ...). */

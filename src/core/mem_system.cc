@@ -25,6 +25,11 @@ MemSystem::MemSystem(const SystemConfig &cfg, const Topology &topo,
 
     traceReads = std::getenv("ABNDP_READ_HIST") != nullptr;
 
+    // Classic designs keep a null indirection pointer in the mapping,
+    // so their homeOf() stays the bare static partition.
+    if (cfg.lb.migration.enabled)
+        camps.setHomeIndirection(&indirection);
+
     if (style != CacheStyle::None) {
         campCaches.reserve(cfg.numUnits());
         for (UnitId u = 0; u < cfg.numUnits(); ++u)
@@ -79,6 +84,12 @@ MemSystem::readBlockImpl(UnitId u, Addr addr, Tick start,
     // failure active.
     UnitId home = liveHomeOf(addr);
     served = AccessLevel::HomeDram;
+
+    // Hotness evidence for the lb migration engine: only remote
+    // demand argues for re-homing. Recording is observational — it
+    // feeds no timing and no Rng stream.
+    if (hotness && u != home) [[unlikely]]
+        hotness->record(home, addr, u);
 
     if (style == CacheStyle::None)
         return homeRead(u, home, addr, start);
@@ -186,9 +197,36 @@ MemSystem::invalidateHomedOn(UnitId dead)
     std::uint64_t dropped = 0;
     for (auto &cc : campCaches)
         dropped += cc->invalidateMatching([this, dead](Addr block) {
-            return amap.homeOf(block) == dead;
+            return camps.homeOf(block) == dead;
         });
     return dropped;
+}
+
+void
+MemSystem::migrateBlock(Addr block, UnitId to, Tick now)
+{
+    block = blockAlign(block);
+    UnitId from = camps.homeOf(block);
+    if (from == to)
+        return;
+    // Ship the block: read at the old home, one data packet across
+    // the NoC, write at the new home.
+    drams[from]->access(block, cachelineBytes, false, false, now);
+    net.transfer(from, to, PacketSizes::data, now);
+    drams[to]->access(block, cachelineBytes, true, false, now);
+    nMigrationTraffic += PacketSizes::data;
+    // The camp locations of a block derive from its home unit, so
+    // every cached copy placed under the old home is stale: sweep all
+    // camps. Dropped blocks count as evictions inside the Traveller,
+    // preserving the occupancy conservation law.
+    if (cachingEnabled()) {
+        for (auto &cc : campCaches)
+            cc->invalidateMatching(
+                [block](Addr b) { return b == block; });
+        ++nMigrationInvalidations;
+    }
+    indirection.set(block, to, amap.homeOf(block));
+    ++nMigrated;
 }
 
 void
@@ -205,6 +243,14 @@ MemSystem::regStats(obs::StatNode &node) const
             + static_cast<double>(nCampMisses.value());
         return total > 0.0 ? nCampHits.value() / total : 0.0;
     });
+}
+
+void
+MemSystem::regLbStats(obs::StatNode &node) const
+{
+    node.addCounter("blocksMigrated", &nMigrated);
+    node.addCounter("migrationInvalidations", &nMigrationInvalidations);
+    node.addCounter("migrationTrafficBytes", &nMigrationTraffic);
 }
 
 void

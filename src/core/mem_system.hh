@@ -29,6 +29,8 @@
 #include "net/topology.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
+#include "sched/lb/data_hotness.hh"
+#include "sched/lb/home_indirection.hh"
 
 namespace abndp
 {
@@ -75,6 +77,19 @@ class MemSystem
     void bulkInvalidate();
 
     /**
+     * Hotness-driven re-homing (src/sched/lb): move ownership of
+     * @p block to unit @p to. Ships one data packet from the current
+     * home, pays a DRAM read there and a write at the new home,
+     * sweeps every camp cache for stale copies of the block (the
+     * Traveller's camp locations are derived from the home), and
+     * records the move in the indirection overlay consulted by
+     * CampMapping::homeOf(). Traffic and energy are charged to the
+     * meters; no task blocks on the move (re-homing rides the
+     * exchange window).
+     */
+    void migrateBlock(Addr block, UnitId to, Tick now);
+
+    /**
      * Barrier-time storage reclamation: retire bandwidth-meter pages
      * that no reservation can reach anymore. Called with the barrier
      * tick (every post-barrier access starts at or after it); forwards
@@ -110,6 +125,25 @@ class MemSystem
     std::uint64_t homeDirectReads() const { return nHomeDirect.value(); }
     std::uint64_t cacheInsertions() const { return nInserts.value(); }
 
+    // Migration accounting (all zero when lb is unconfigured).
+    std::uint64_t blocksMigrated() const { return nMigrated.value(); }
+    std::uint64_t migrationInvalidations() const
+    {
+        return nMigrationInvalidations.value();
+    }
+    std::uint64_t migrationTrafficBytes() const
+    {
+        return nMigrationTraffic.value();
+    }
+    const HomeIndirection &homeIndirection() const { return indirection; }
+
+    /**
+     * Attach the lb engine's hot-block tracker: remote reads start
+     * recording (home, block, requester) evidence. Null (the default)
+     * keeps the read path free of any hotness work.
+     */
+    void setHotnessTracker(DataHotness *h) { hotness = h; }
+
     /** Distribution of end-to-end block read latencies (ns). */
     const stats::Distribution &readLatencyNs() const { return latencyNs; }
 
@@ -118,6 +152,14 @@ class MemSystem
 
     /** Register memory-system-level stats under @p node. */
     void regStats(obs::StatNode &node) const;
+
+    /**
+     * Register migration stats under @p node. Separate from
+     * regStats() so NdpSystem only adds these lines under designs
+     * that configure the lb — classic stats dumps stay byte-
+     * identical.
+     */
+    void regLbStats(obs::StatNode &node) const;
 
     /** Debug: per-block read counts (populated when ABNDP_READ_HIST=1). */
     const std::unordered_map<Addr, std::uint64_t> &readHist() const
@@ -144,7 +186,7 @@ class MemSystem
     UnitId
     liveHomeOf(Addr addr) const
     {
-        UnitId home = amap.homeOf(addr);
+        UnitId home = camps.homeOf(addr);
         if (faults && faults->anyUnitDown() && !faults->isLive(home))
             return faults->rehomeOf(home);
         return home;
@@ -161,6 +203,11 @@ class MemSystem
     CacheStyle style;
     obs::Tracer *tracer;
 
+    /** Re-homing overlay (migration); empty unless blocks moved. */
+    HomeIndirection indirection;
+    /** Hot-block tracker owned by the lb engine; null without lb. */
+    DataHotness *hotness = nullptr;
+
     std::vector<std::unique_ptr<MemBackend>> drams;
     std::vector<std::unique_ptr<TravellerCache>> campCaches;
 
@@ -173,6 +220,9 @@ class MemSystem
     stats::Counter nCampMisses;
     stats::Counter nHomeDirect;
     stats::Counter nInserts;
+    stats::Counter nMigrated;
+    stats::Counter nMigrationInvalidations;
+    stats::Counter nMigrationTraffic;
     stats::Distribution latencyNs;
     stats::Histogram latencyHist;
     bool traceReads = false;

@@ -108,6 +108,19 @@ struct RunMetrics
     /** (rejected + SLO misses) / injected. */
     double servingSloMissRate = 0.0;
 
+    // Hierarchical load balancing + migration (all zero when lb is
+    // unconfigured; see docs/ARCHITECTURE.md).
+    /** Tasks shed by the intra-stack (crossbar) balancer tier. */
+    std::uint64_t tasksShedIntra = 0;
+    /** Tasks shed by the inter-stack (mesh) balancer tier. */
+    std::uint64_t tasksShedInter = 0;
+    /** Blocks re-homed by the migration engine. */
+    std::uint64_t blocksMigrated = 0;
+    /** Stale-location Traveller sweeps issued by migrations. */
+    std::uint64_t migrationInvalidations = 0;
+    /** Bytes shipped moving re-homed blocks between units. */
+    std::uint64_t migrationTrafficBytes = 0;
+
     /** End-to-end block read latency (ns) seen below the L1/buffers. */
     double readLatMeanNs = 0.0;
     double readLatMaxNs = 0.0;

@@ -9,6 +9,7 @@
 
 #include "check/machine_checker.hh"
 #include "common/logging.hh"
+#include "sched/lb/lb_engine.hh"
 #include "serve/arrival.hh"
 #include "serve/zipf.hh"
 #include "workloads/query_service.hh"
@@ -96,6 +97,13 @@ NdpSystem::NdpSystem(const SystemConfig &cfg_)
         servingLat = serve::LatencyRecorder(slo);
         servingTenantLat.assign(cfg.serving.tenants,
                                 serve::LatencyRecorder(slo));
+    }
+
+    lbOn = cfg.lb.enabled;
+    if (lbOn) {
+        lbEngine = std::make_unique<LbEngine>(cfg.lb, topo);
+        mem.setHotnessTracker(&lbEngine->hotness());
+        lbQlen.assign(units.size(), 0);
     }
 
     if (cfg.checkInvariants) {
@@ -292,6 +300,24 @@ NdpSystem::buildStats()
                      obs::StatKind::Gauge, false);
     }
 
+    // Lb stats exist only when the hierarchical balancer is
+    // configured, so classic stat dumps (and every pre-existing
+    // golden family) are unchanged.
+    if (cfg.lb.enabled) {
+        obs::StatNode &lb = root.child("lb");
+        lb.addValue("tasksShedIntra",
+                    [this]() {
+                        return static_cast<double>(tasksShedIntra);
+                    },
+                    obs::StatKind::Counter, true);
+        lb.addValue("tasksShedInter",
+                    [this]() {
+                        return static_cast<double>(tasksShedInter);
+                    },
+                    obs::StatKind::Counter, true);
+        mem.regLbStats(lb);
+    }
+
     sched.regStats(root.child("sched"));
     mem.network().regStats(root.child("net"));
     mem.regStats(root.child("mem"));
@@ -349,7 +375,10 @@ NdpSystem::enqueueTask(Task &&task)
 
     Addr main_addr = !task.hint.data.empty() ? task.hint.data[0]
         : (!task.writes.empty() ? task.writes[0] : invalidAddr);
-    task.mainHome = main_addr != invalidAddr ? alloc.map().homeOf(main_addr)
+    // Affinity follows the migration-aware mapping (identical to the
+    // static map for every design without re-homing).
+    task.mainHome = main_addr != invalidAddr
+        ? mem.campMapping().homeOf(main_addr)
         : (creatorCtx != invalidUnit ? creatorCtx : 0);
     task.finalizeBlocks(workload->taskArena());
     task.loadEstimate = sched.estimateLoad(task);
@@ -740,7 +769,7 @@ NdpSystem::applyUnitFailures()
             mem.invalidateHomedOn(dead);
     for (auto &unit : units)
         unit.pb->invalidateMatching([this](Addr block) {
-            return !faults.isLive(alloc.map().homeOf(block));
+            return !faults.isLive(mem.campMapping().homeOf(block));
         });
     // Drain every dead unit's queues and re-inject the tasks so no
     // work is lost (task conservation under failure).
@@ -950,6 +979,8 @@ NdpSystem::scheduleExchange()
         {
             sys.eq.scheduleIn(interval, [&sys, interval] {
                 sys.sched.exchangeSnapshot(sys.eq.now());
+                if (sys.lbOn)
+                    sys.runLbExchange();
                 if (sys.activeRemaining > 0) {
                     arm(sys, interval);
                 } else {
@@ -959,6 +990,88 @@ NdpSystem::scheduleExchange()
         }
     };
     Chain::arm(*this, interval);
+}
+
+void
+NdpSystem::runLbExchange()
+{
+    // Snapshot the ready-queue depths — the same information the
+    // exchange protocol broadcasts, so consulting it here adds no
+    // extra communication beyond the shed commands themselves.
+    for (UnitId u = 0; u < units.size(); ++u)
+        lbQlen[u] = failuresOn && !faults.isLive(u)
+            ? 0
+            : static_cast<std::uint32_t>(units[u].ready.size());
+    for (const ShedCmd &cmd : lbEngine->planSheds(lbQlen))
+        executeShed(cmd);
+
+    // Re-homing rides the same window. Skipped while units are down:
+    // a dead home's range is buddy-served, and migrating out of it
+    // would race the recovery re-homing (documented simplification).
+    if (cfg.lb.migration.enabled && !(failuresOn && unitsDown)) {
+        for (const MigrationCmd &m :
+                 lbEngine->planMigrations(mem.campMapping()))
+            mem.migrateBlock(m.block, m.to, eq.now());
+    }
+    lbEngine->onWindow();
+}
+
+void
+NdpSystem::executeShed(const ShedCmd &cmd)
+{
+    // Mirrors the steal transfer (attemptSteal): pop from the back of
+    // the victim's ready queue, one request packet out, descriptors
+    // back, pooled batch slot in flight.
+    if (failuresOn
+        && (!faults.isLive(cmd.victim) || !faults.isLive(cmd.thief)))
+        return;
+    auto &vic = units[cmd.victim];
+    auto count = std::min<std::uint32_t>(
+        cmd.count, static_cast<std::uint32_t>(vic.ready.size()));
+    if (count == 0)
+        return;
+
+    const std::uint32_t slotIdx = grabBatchSlot();
+    std::vector<Task> &shed = batchPool[slotIdx];
+    double load = 0.0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Task t = std::move(vic.ready.back());
+        vic.ready.pop_back();
+        t.prefetched = false;
+        load += t.loadEstimate;
+        shed.push_back(std::move(t));
+    }
+    vic.prefetchedCount = std::min<std::uint32_t>(
+        vic.prefetchedCount,
+        static_cast<std::uint32_t>(vic.ready.size()));
+    sched.onStolen(cmd.victim, cmd.thief, load);
+    (cmd.inter ? tasksShedInter : tasksShedIntra) += count;
+    if (tracer.enabled())
+        tracer.record(obs::TraceEvent::TaskSteal, cmd.thief,
+                      obs::Tracer::laneSched, eq.now(), 0,
+                      (static_cast<std::uint64_t>(cmd.victim) << 32)
+                          | count);
+
+    Tick t = eq.now();
+    t += mem.network().transfer(cmd.thief, cmd.victim,
+                                PacketSizes::request, t).latency;
+    auto desc_bytes = static_cast<std::uint32_t>(16 + 32 * count);
+    t += mem.network().transfer(cmd.victim, cmd.thief, desc_bytes,
+                                t).latency;
+
+    const UnitId dst = cmd.thief;
+    eq.schedule(t, [this, dst, slotIdx] {
+        // The thief may have died with the batch in flight; its live
+        // buddy takes the work (same fallback deliverDirect applies).
+        UnitId target = failuresOn && !faults.isLive(dst)
+            ? faults.rehomeOf(dst) : dst;
+        auto &delivered = batchPool[slotIdx];
+        for (auto &task : delivered)
+            units[target].ready.push_back(std::move(task));
+        delivered.clear();
+        batchPoolFree.push_back(slotIdx);
+        tryDispatch(target);
+    });
 }
 
 void
@@ -979,11 +1092,13 @@ NdpSystem::startEpoch(std::uint64_t ts)
     if (failuresOn)
         armFailureTransitions();
 
-    if (windowPolicy || sched.stealingEnabled()) {
+    if (windowPolicy || sched.stealingEnabled() || lbOn) {
         // The barrier is already a global synchronization point, so the
         // workload information exchange piggybacks on it; further
         // exchanges follow every interval within the epoch.
         sched.exchangeSnapshot(eq.now());
+        if (lbOn)
+            runLbExchange();
         scheduleExchange();
     }
 
@@ -1243,6 +1358,11 @@ NdpSystem::batchRun(Workload &wl)
     m.tasksRecovered = tasksRecovered;
     m.tasksRedispatched = tasksRedispatched;
     m.recoveryTrafficBytes = recoveryTrafficBytes;
+    m.tasksShedIntra = tasksShedIntra;
+    m.tasksShedInter = tasksShedInter;
+    m.blocksMigrated = mem.blocksMigrated();
+    m.migrationInvalidations = mem.migrationInvalidations();
+    m.migrationTrafficBytes = mem.migrationTrafficBytes();
     m.simEvents = eq.executed();
 
     if (checker)
@@ -1266,7 +1386,7 @@ NdpSystem::injectServingTask(Task &&task)
     Addr main_addr = !task.hint.data.empty() ? task.hint.data[0]
         : (!task.writes.empty() ? task.writes[0] : invalidAddr);
     task.mainHome = main_addr != invalidAddr
-        ? alloc.map().homeOf(main_addr) : 0;
+        ? mem.campMapping().homeOf(main_addr) : 0;
     // No finalizeBlocks(): serving tasks outlive every epoch-arena
     // generation, so blocks stays empty (the access path derives the
     // block list from the hint) and only hintLines is memoized.
@@ -1336,6 +1456,8 @@ NdpSystem::armServingWindow(Tick interval)
         eq.armWatchdog();
         if (windowPolicy || sched.stealingEnabled())
             sched.exchangeSnapshot(eq.now());
+        if (lbOn)
+            runLbExchange();
         mem.discardBefore(eq.now());
         armServingWindow(interval);
     });
@@ -1380,6 +1502,8 @@ NdpSystem::serveRun(Workload &wl)
         armFailureTransitions();
     if (windowPolicy || sched.stealingEnabled())
         sched.exchangeSnapshot(eq.now());
+    // No lb exchange here: the queues are empty until the first
+    // arrival, so the first useful window is the armed one below.
     armServingWindow(cfg.sched.exchangeIntervalCycles
                      * cfg.ticksPerCycle());
     eq.schedule(srv->arrivals.nextArrival(eq.now()),
@@ -1452,6 +1576,11 @@ NdpSystem::serveRun(Workload &wl)
     m.tasksRecovered = tasksRecovered;
     m.tasksRedispatched = tasksRedispatched;
     m.recoveryTrafficBytes = recoveryTrafficBytes;
+    m.tasksShedIntra = tasksShedIntra;
+    m.tasksShedInter = tasksShedInter;
+    m.blocksMigrated = mem.blocksMigrated();
+    m.migrationInvalidations = mem.migrationInvalidations();
+    m.migrationTrafficBytes = mem.migrationTrafficBytes();
     m.simEvents = eq.executed();
 
     m.servingInjected = servingInjected;

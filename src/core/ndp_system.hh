@@ -54,6 +54,9 @@ namespace check
 class MachineChecker;
 } // namespace check
 
+class LbEngine;
+struct ShedCmd;
+
 /** A complete simulated ABNDP machine. */
 class NdpSystem : public TaskSink
 {
@@ -155,6 +158,21 @@ class NdpSystem : public TaskSink
 
     /** Periodic workload information exchange chain. */
     void scheduleExchange();
+
+    // ---- Hierarchical load balancing (src/sched/lb) ----
+
+    /**
+     * One lb exchange window: snapshot ready-queue depths, execute
+     * the tier balancers' shed commands, run the migration planner
+     * (batch of MemSystem::migrateBlock calls), and close the
+     * engine's window (hotness decay). Rides every exchange-snapshot
+     * site — epoch start, the in-epoch exchange chain, and the
+     * serving window.
+     */
+    void runLbExchange();
+
+    /** Execute one shed command through the steal transfer path. */
+    void executeShed(const ShedCmd &cmd);
 
     /**
      * Abort with a diagnostic dump — simulated tick, epoch, and
@@ -324,6 +342,20 @@ class NdpSystem : public TaskSink
     std::uint64_t servingCompletedDirect = 0;
     std::uint64_t servingCompletedRecovered = 0;
     std::uint64_t servingWindows = 0;
+
+    // Hierarchical load-balancing state. All of it stays untouched
+    // (and runLbExchange unreachable) unless lbOn, so runs without a
+    // configured balancer remain bit-identical.
+    /** Hierarchical lb configured; gates the exchange-window hook. */
+    bool lbOn = false;
+    /** Tier balancers + hotness tracker + migration planner. */
+    std::unique_ptr<LbEngine> lbEngine;
+    /** Scratch queue-depth snapshot, reused every lb exchange. */
+    std::vector<std::uint32_t> lbQlen;
+    /** Tasks shed by the intra-stack (crossbar) tier. */
+    std::uint64_t tasksShedIntra = 0;
+    /** Tasks shed by the inter-stack (mesh) tier. */
+    std::uint64_t tasksShedInter = 0;
 };
 
 } // namespace abndp

@@ -48,7 +48,17 @@ designFromName(const std::string &name)
         if (name == designName(d))
             return d;
     fatal("unknown design '", name,
-          "' (expected H, B, Sm, Sl, Sh, C or O)");
+          "' (expected H, B, Sm, Sl, Sh, C, O, HLB or HLB-mig)");
+}
+
+std::string
+designToken(Design d)
+{
+    std::string tok = designName(d);
+    for (char &c : tok)
+        if (c == '-')
+            c = '_';
+    return tok;
 }
 
 const std::vector<Design> &
@@ -56,7 +66,7 @@ allDesigns()
 {
     static const std::vector<Design> designs{
         Design::H, Design::B, Design::Sm, Design::Sl,
-        Design::Sh, Design::C, Design::O};
+        Design::Sh, Design::C, Design::O, Design::Hlb, Design::HlbM};
     return designs;
 }
 
@@ -65,7 +75,7 @@ ndpDesigns()
 {
     static const std::vector<Design> designs{
         Design::B, Design::Sm, Design::Sl, Design::Sh,
-        Design::C, Design::O};
+        Design::C, Design::O, Design::Hlb, Design::HlbM};
     return designs;
 }
 

@@ -50,16 +50,24 @@ RunMetrics runExperiment(const SystemConfig &base, Design d,
                          const ExperimentOptions &opts = {});
 
 /**
- * Parse a Table-2 design name ("H", "B", "Sm", "Sl", "Sh", "C", "O")
- * as printed by designName(); fatal() with the valid set on anything
- * else. Shared by every command-line front end.
+ * Parse a design name ("H", "B", "Sm", "Sl", "Sh", "C", "O", plus the
+ * "HLB" / "HLB-mig" extensions) as printed by designName(); fatal()
+ * with the valid set on anything else. Shared by every command-line
+ * front end.
  */
 Design designFromName(const std::string &name);
 
-/** All seven designs of Table 2 (H, B, Sm, Sl, Sh, C, O). */
+/**
+ * designName() restricted to identifier characters ("HLB-mig" becomes
+ * "HLB_mig"): gtest parameterized-test labels and similar contexts
+ * reject '-'.
+ */
+std::string designToken(Design d);
+
+/** All designs: Table 2 (H, B, Sm, Sl, Sh, C, O) + HLB, HLB-mig. */
 const std::vector<Design> &allDesigns();
 
-/** The six NDP designs (without the host-only H). */
+/** The NDP designs (without the host-only H), incl. the HLB family. */
 const std::vector<Design> &ndpDesigns();
 
 } // namespace abndp

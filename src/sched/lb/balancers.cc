@@ -1,0 +1,154 @@
+#include "sched/lb/balancers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+namespace
+{
+
+/**
+ * Record a move, folding repeats of the same (from, to) pair so a
+ * command stream stays compact.
+ */
+void
+addMove(std::vector<LbMove> &moves, std::uint32_t from, std::uint32_t to,
+        std::uint32_t count)
+{
+    if (count == 0 || from == to)
+        return;
+    if (!moves.empty() && moves.back().from == from
+        && moves.back().to == to) {
+        moves.back().count += count;
+        return;
+    }
+    moves.push_back({from, to, count});
+}
+
+/**
+ * Stealing tier: each idle member (load <= idleThreshold) pulls up to
+ * chunkSize tasks from the currently most loaded member, never taking
+ * more than half the donor's surplus above the idle threshold —
+ * zsim-ndp's steal-half rule, which keeps a single hot donor from
+ * being drained below its own demand.
+ */
+std::vector<LbMove>
+planStealing(const LbConfig &cfg, std::vector<std::uint32_t> work)
+{
+    std::vector<LbMove> moves;
+    const std::uint32_t n = static_cast<std::uint32_t>(work.size());
+    for (std::uint32_t thief = 0; thief < n; ++thief) {
+        if (work[thief] > cfg.idleThreshold)
+            continue;
+        std::uint32_t donor = 0;
+        for (std::uint32_t i = 1; i < n; ++i)
+            if (work[i] > work[donor])
+                donor = i;
+        if (donor == thief || work[donor] <= cfg.idleThreshold)
+            continue;
+        std::uint32_t excess = work[donor] - cfg.idleThreshold;
+        std::uint32_t take =
+            std::min(cfg.chunkSize, std::max<std::uint32_t>(excess / 2, 1));
+        addMove(moves, donor, thief, take);
+        work[donor] -= take;
+        work[thief] += take;
+    }
+    return moves;
+}
+
+/**
+ * Greedy surplus → deficit levelling toward per-member targets, used
+ * by both the average and reserve balancers. Donors and receivers are
+ * visited in index order; the lowest-index surplus feeds the
+ * lowest-index deficit first.
+ */
+std::vector<LbMove>
+planToTargets(std::vector<std::uint32_t> work,
+              const std::vector<std::uint32_t> &target)
+{
+    std::vector<LbMove> moves;
+    const std::uint32_t n = static_cast<std::uint32_t>(work.size());
+    std::uint32_t recv = 0;
+    for (std::uint32_t donor = 0; donor < n; ++donor) {
+        while (work[donor] > target[donor]) {
+            while (recv < n && work[recv] >= target[recv])
+                ++recv;
+            if (recv >= n)
+                return moves;
+            std::uint32_t give = std::min(work[donor] - target[donor],
+                                          target[recv] - work[recv]);
+            addMove(moves, donor, recv, give);
+            work[donor] -= give;
+            work[recv] += give;
+        }
+    }
+    return moves;
+}
+
+/** Average tier: every member levels toward the integer mean. */
+std::vector<LbMove>
+planAverage(const std::vector<std::uint32_t> &loads)
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t l : loads)
+        total += l;
+    std::uint32_t mean = static_cast<std::uint32_t>(total / loads.size());
+    if (mean == 0)
+        return {};
+    std::vector<std::uint32_t> target(loads.size(), mean);
+    return planToTargets(loads, target);
+}
+
+/**
+ * Reserve tier: like average, but a member's target shrinks in
+ * proportion to its share of tracked data hotness — owners of hot
+ * blocks reserve queue headroom for the local work those blocks keep
+ * attracting. With no tracked hotness this degenerates to average.
+ */
+std::vector<LbMove>
+planReserve(const LbConfig &cfg, const std::vector<std::uint32_t> &loads,
+            const std::vector<double> &hot_frac)
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t l : loads)
+        total += l;
+    double mean = static_cast<double>(total)
+        / static_cast<double>(loads.size());
+    if (total == 0)
+        return {};
+    std::vector<std::uint32_t> target(loads.size());
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        double frac = i < hot_frac.size() ? hot_frac[i] : 0.0;
+        double t = mean * (1.0 - cfg.reserveFrac * frac);
+        target[i] = static_cast<std::uint32_t>(std::floor(t));
+    }
+    return planToTargets(loads, target);
+}
+
+} // namespace
+
+std::vector<LbMove>
+planTier(LbTierKind kind, const LbConfig &cfg,
+         const std::vector<std::uint32_t> &loads,
+         const std::vector<double> &hot_frac)
+{
+    if (loads.size() < 2)
+        return {};
+    switch (kind) {
+      case LbTierKind::None:
+        return {};
+      case LbTierKind::Stealing:
+        return planStealing(cfg, loads);
+      case LbTierKind::Average:
+        return planAverage(loads);
+      case LbTierKind::Reserve:
+        return planReserve(cfg, loads, hot_frac);
+    }
+    panic("unreachable lb tier kind");
+}
+
+} // namespace abndp

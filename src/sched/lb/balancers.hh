@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The pluggable per-tier balancers of the hierarchical load balancer:
+ * ports of the stealing / average / reserve family from the authors'
+ * later zsim-ndp code (SNIPPETS.md §1), reduced to pure planning.
+ *
+ * A tier sees only a vector of member loads (ready-queue lengths, or
+ * per-stack sums at the mesh tier) plus, for the reserve balancer, a
+ * per-member hotness share, and returns shed commands. Planning draws
+ * from no Rng and iterates members in index order with lowest-index
+ * tie-breaks, so a plan is a pure function of its snapshot — the
+ * determinism contract the ScaleDeterminism.Hlb* locks enforce.
+ */
+
+#ifndef ABNDP_SCHED_LB_BALANCERS_HH
+#define ABNDP_SCHED_LB_BALANCERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/lb/lb_config.hh"
+
+namespace abndp
+{
+
+/** One planned shed: move @c count tasks from member to member. */
+struct LbMove
+{
+    std::uint32_t from;
+    std::uint32_t to;
+    std::uint32_t count;
+};
+
+/**
+ * Plan one tier's sheds over a load snapshot.
+ *
+ * @param kind which balancer this tier runs
+ * @param cfg the lb knobs (idleThreshold, chunkSize, reserveFrac)
+ * @param loads per-member load snapshot (tasks ready)
+ * @param hot_frac per-member share of tracked hotness in [0,1]
+ *        (reserve tier only; pass {} otherwise)
+ * @return moves in deterministic order; members keep >= 0 load
+ */
+std::vector<LbMove> planTier(LbTierKind kind, const LbConfig &cfg,
+                             const std::vector<std::uint32_t> &loads,
+                             const std::vector<double> &hot_frac);
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_LB_BALANCERS_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Per-home-unit top-K hot-block tracking for the hierarchical load
+ * balancer, after the per-address DataHotness of the authors' later
+ * zsim-ndp code (SNIPPETS.md §1).
+ *
+ * Each home unit keeps a fixed array of K counter slots. A remote
+ * read of a block bumps its slot (inserting on a free slot, or —
+ * lossy-counting style — decrementing the current minimum and
+ * replacing it once it reaches zero) and feeds a Boyer-Moore majority
+ * vote over the requesting units, so the migration engine knows both
+ * *which* blocks are hot and *who* keeps asking for them. Counts
+ * decay geometrically once per exchange window.
+ *
+ * Purely observational until the reserve balancer or the migration
+ * engine consults it: recording never touches timing, an Rng stream,
+ * or any stat, so arming the tracker alone cannot perturb a run.
+ * Differentially tested against check::RefDataHotness
+ * (tests/test_differential.cc).
+ */
+
+#ifndef ABNDP_SCHED_LB_DATA_HOTNESS_HH
+#define ABNDP_SCHED_LB_DATA_HOTNESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** One tracked hot block: count plus a majority vote of requesters. */
+struct HotEntry
+{
+    Addr block = invalidAddr;       ///< block-aligned address
+    std::uint64_t cnt = 0;          ///< decayed access count
+    UnitId reqId = invalidUnit;     ///< Boyer-Moore majority candidate
+    std::uint64_t reqCnt = 0;       ///< Boyer-Moore vote balance
+};
+
+/** Fixed-K hot-block counters, one bank of slots per home unit. */
+class DataHotness
+{
+  public:
+    /**
+     * @param num_units home units tracked (one slot bank each)
+     * @param k counter slots per unit (cfg.lb.hotK)
+     * @param decay_shift per-window aging: cnt >>= decay_shift
+     */
+    DataHotness(std::uint32_t num_units, std::uint32_t k,
+                std::uint32_t decay_shift)
+        : k(k), decayShift(decay_shift), slots(std::size_t{num_units} * k)
+    {}
+
+    /**
+     * Record one remote access to @p block homed on @p home, asked
+     * for by @p requester. The caller filters local accesses: only
+     * remote demand is evidence for re-homing.
+     */
+    void
+    record(UnitId home, Addr block, UnitId requester)
+    {
+        HotEntry *bank = bankOf(home);
+        HotEntry *free_slot = nullptr;
+        HotEntry *min_slot = nullptr;
+        for (std::uint32_t i = 0; i < k; ++i) {
+            HotEntry &e = bank[i];
+            if (e.block == block) {
+                ++e.cnt;
+                vote(e, requester);
+                return;
+            }
+            if (e.cnt == 0) {
+                if (!free_slot)
+                    free_slot = &e;
+            } else if (!min_slot || e.cnt < min_slot->cnt
+                       || (e.cnt == min_slot->cnt
+                           && e.block < min_slot->block)) {
+                min_slot = &e;
+            }
+        }
+        if (free_slot) {
+            *free_slot = HotEntry{block, 1, requester, 1};
+            return;
+        }
+        // Bank full: lossy counting — charge the miss to the current
+        // minimum (smallest block breaks count ties) and take its
+        // slot once it drains to zero.
+        if (--min_slot->cnt == 0)
+            *min_slot = HotEntry{block, 1, requester, 1};
+    }
+
+    /** Age every counter one exchange window; zeroed slots free up. */
+    void
+    decayAll()
+    {
+        for (HotEntry &e : slots) {
+            e.cnt >>= decayShift;
+            if (e.cnt == 0)
+                e = HotEntry{};
+        }
+    }
+
+    /**
+     * Live entries of @p home, hottest first (count desc, block asc —
+     * a total order, so consumers iterate deterministically).
+     */
+    std::vector<HotEntry>
+    topK(UnitId home) const
+    {
+        std::vector<HotEntry> out;
+        const HotEntry *bank = bankOf(home);
+        for (std::uint32_t i = 0; i < k; ++i)
+            if (bank[i].cnt > 0)
+                insertSorted(out, bank[i]);
+        return out;
+    }
+
+    /** Sum of live counts on @p home (reserve-tier hotness share). */
+    std::uint64_t
+    totalCount(UnitId home) const
+    {
+        std::uint64_t sum = 0;
+        const HotEntry *bank = bankOf(home);
+        for (std::uint32_t i = 0; i < k; ++i)
+            sum += bank[i].cnt;
+        return sum;
+    }
+
+    /** Drop every tracked counter (a migrated block restarts cold). */
+    void
+    erase(UnitId home, Addr block)
+    {
+        HotEntry *bank = bankOf(home);
+        for (std::uint32_t i = 0; i < k; ++i)
+            if (bank[i].block == block)
+                bank[i] = HotEntry{};
+    }
+
+  private:
+    /** Boyer-Moore majority step for the requester vote. */
+    static void
+    vote(HotEntry &e, UnitId requester)
+    {
+        if (e.reqCnt == 0) {
+            e.reqId = requester;
+            e.reqCnt = 1;
+        } else if (e.reqId == requester) {
+            ++e.reqCnt;
+        } else {
+            --e.reqCnt;
+        }
+    }
+
+    /** Insertion keeping (cnt desc, block asc) order; K is small. */
+    static void
+    insertSorted(std::vector<HotEntry> &out, const HotEntry &e)
+    {
+        auto it = out.begin();
+        while (it != out.end()
+               && (it->cnt > e.cnt
+                   || (it->cnt == e.cnt && it->block < e.block)))
+            ++it;
+        out.insert(it, e);
+    }
+
+    HotEntry *bankOf(UnitId home) { return &slots[std::size_t{home} * k]; }
+
+    const HotEntry *
+    bankOf(UnitId home) const
+    {
+        return &slots[std::size_t{home} * k];
+    }
+
+    const std::uint32_t k;
+    const std::uint32_t decayShift;
+    std::vector<HotEntry> slots;    ///< num_units banks of k, flat
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_LB_DATA_HOTNESS_HH

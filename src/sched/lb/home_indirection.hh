@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Home-unit indirection for hotness-driven data re-homing.
+ *
+ * The static range partition (mem/address_map.hh) stays untouched;
+ * re-homing overlays it with a sparse block → unit map consulted by
+ * CampMapping::homeOf(). The table is empty unless the migration
+ * engine has actually moved something, and the empty case is a single
+ * branch, so designs without migration pay (and change) nothing.
+ *
+ * Lookup order never depends on map iteration order — only point
+ * queries — so the unordered_map cannot leak nondeterminism into
+ * timing. Differentially tested against check::RefHomeIndirection.
+ */
+
+#ifndef ABNDP_SCHED_LB_HOME_INDIRECTION_HH
+#define ABNDP_SCHED_LB_HOME_INDIRECTION_HH
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace abndp
+{
+
+/** Sparse overlay mapping re-homed blocks to their current owner. */
+class HomeIndirection
+{
+  public:
+    /** Any re-homed blocks at all? The hot-path early-out. */
+    bool active() const { return !map.empty(); }
+
+    /** Current home of @p block whose static home is @p base_home. */
+    UnitId
+    resolve(Addr block, UnitId base_home) const
+    {
+        auto it = map.find(block);
+        return it == map.end() ? base_home : it->second;
+    }
+
+    /**
+     * Re-home @p block to @p home. Moving a block back to its static
+     * home @p base_home erases the entry instead, keeping the table
+     * minimal (and active() meaningful).
+     */
+    void
+    set(Addr block, UnitId home, UnitId base_home)
+    {
+        if (home == base_home)
+            map.erase(block);
+        else
+            map[block] = home;
+    }
+
+    /** Number of blocks currently living away from home. */
+    std::size_t entries() const { return map.size(); }
+
+    /** Forget every re-homing (blocks revert to the static map). */
+    void clear() { map.clear(); }
+
+  private:
+    std::unordered_map<Addr, UnitId> map;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_LB_HOME_INDIRECTION_HH

@@ -1,0 +1,39 @@
+#include "sched/lb/lb_config.hh"
+
+#include "common/logging.hh"
+
+namespace abndp
+{
+
+const char *
+lbTierName(LbTierKind k)
+{
+    switch (k) {
+      case LbTierKind::None:
+        return "none";
+      case LbTierKind::Stealing:
+        return "stealing";
+      case LbTierKind::Average:
+        return "average";
+      case LbTierKind::Reserve:
+        return "reserve";
+    }
+    panic("unreachable lb tier kind");
+}
+
+LbTierKind
+lbTierFromName(const std::string &name)
+{
+    if (name == "none")
+        return LbTierKind::None;
+    if (name == "stealing")
+        return LbTierKind::Stealing;
+    if (name == "average")
+        return LbTierKind::Average;
+    if (name == "reserve")
+        return LbTierKind::Reserve;
+    fatal("unknown lb tier '", name,
+          "' (expected none|stealing|average|reserve)");
+}
+
+} // namespace abndp

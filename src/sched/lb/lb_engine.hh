@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The hierarchical load-balancing engine: two balancer tiers planned
+ * at exchange-snapshot time, plus hotness-driven migration planning.
+ *
+ * The engine is a pure planner over snapshots — NdpSystem gathers
+ * ready-queue lengths, asks for shed commands, and executes them
+ * through its own (meter-charged, event-driven) shed path; likewise
+ * migration commands are executed by MemSystem::migrateBlock(). The
+ * engine itself never touches timing state and draws from no Rng, so
+ * plans are pure functions of the snapshot and the window history.
+ */
+
+#ifndef ABNDP_SCHED_LB_LB_ENGINE_HH
+#define ABNDP_SCHED_LB_LB_ENGINE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/camp_mapping.hh"
+#include "common/types.hh"
+#include "net/topology.hh"
+#include "sched/lb/data_hotness.hh"
+#include "sched/lb/lb_config.hh"
+
+namespace abndp
+{
+
+/** One task-shed command: victim sheds @c count tasks to thief. */
+struct ShedCmd
+{
+    UnitId victim;
+    UnitId thief;
+    std::uint32_t count;
+    bool inter;     ///< crossed stacks (inter tier) vs intra tier
+};
+
+/** One re-homing command: move ownership of a block between units. */
+struct MigrationCmd
+{
+    Addr block;     ///< block-aligned address
+    UnitId from;    ///< current home
+    UnitId to;      ///< new home (the majority requester)
+};
+
+/** Two-tier balancer + migration planner; one per NdpSystem. */
+class LbEngine
+{
+  public:
+    LbEngine(const LbConfig &cfg, const Topology &topo);
+
+    /** The hot-block tracker MemSystem feeds on remote reads. */
+    DataHotness &hotness() { return hot; }
+    const DataHotness &hotness() const { return hot; }
+
+    /**
+     * Plan both tiers over a per-unit ready-queue-length snapshot:
+     * first the intra tier inside every stack, then the inter tier
+     * over per-stack totals (unchanged by intra moves), with each
+     * stack-to-stack move pinned to its most loaded donor unit and
+     * least loaded receiver unit. Deterministic order throughout.
+     */
+    std::vector<ShedCmd>
+    planSheds(const std::vector<std::uint32_t> &qlen) const;
+
+    /**
+     * Plan re-homings: blocks whose decayed count reached
+     * migration.threshold move to their majority requester, subject
+     * to the per-block cooldown and the per-window machine-wide cap.
+     * Planned blocks enter cooldown and drop their hotness entry
+     * (the caller executes every returned command).
+     */
+    std::vector<MigrationCmd> planMigrations(const CampMapping &camps);
+
+    /** Close an exchange window: decay counters, advance the clock. */
+    void onWindow();
+
+  private:
+    const LbConfig cfg;
+    const Topology &topo;
+    DataHotness hot;
+    /** Units of each stack, in unit-id order (tier membership). */
+    std::vector<std::vector<UnitId>> stackUnits;
+    /** Window in which a block last re-homed (cooldown state). */
+    std::unordered_map<Addr, std::uint64_t> lastMigrated;
+    std::uint64_t window = 0;
+};
+
+} // namespace abndp
+
+#endif // ABNDP_SCHED_LB_LB_ENGINE_HH

@@ -64,6 +64,10 @@ ensureBuiltins()
                                              CacheStyle::None});
         designMap().emplace("C", DesignSpec{"memmatch", false, trav});
         designMap().emplace("O", DesignSpec{"hybrid", false, trav});
+        designMap().emplace("HLB", DesignSpec{"hybrid", false, trav,
+                                              true, false});
+        designMap().emplace("HLB-mig", DesignSpec{"hybrid", false, trav,
+                                                  true, true});
         return true;
     }();
     (void)seeded;
@@ -164,6 +168,8 @@ composeDesign(SystemConfig base, const std::string &name)
     base.sched.policyName = spec.schedPolicy;
     base.sched.workStealing = spec.workStealing;
     base.traveller.style = spec.cache;
+    base.lb.enabled = spec.lb;
+    base.lb.migration.enabled = spec.lb && spec.migrate;
     if (base.sched.autoAlpha)
         base.sched.hybridAlpha = base.meshDiameter() / 2.0;
     return base;

@@ -62,7 +62,7 @@ std::vector<std::string> registeredPolicyNames();
 /** Name of the built-in policy implementing @p policy. */
 const char *builtinPolicyName(SchedPolicy policy);
 
-/** One named composition of the Table-2 axes. */
+/** One named composition of the (extended) Table-2 axes. */
 struct DesignSpec
 {
     /** Registered scheduling-policy name. */
@@ -71,6 +71,10 @@ struct DesignSpec
     bool workStealing = false;
     /** Cache layer between the units and their DRAM homes. */
     CacheStyle cache = CacheStyle::None;
+    /** Arm the hierarchical load balancer (src/sched/lb). */
+    bool lb = false;
+    /** Arm hotness-driven data re-homing (requires @ref lb). */
+    bool migrate = false;
 };
 
 /**

@@ -195,6 +195,26 @@ TEST(CheckerPerturbation, TaskConservationUnderFailureFires)
               std::string::npos);
 }
 
+TEST(CheckerPerturbation, MigrationConservationFires)
+{
+    // Re-homing law: with camp caching on, sweeps == migrations; with
+    // caching off, sweeps == 0. A missed sweep (stale Traveller entry
+    // left behind) and a phantom sweep both surface as an imbalance.
+    check::CheckContext ctx;
+    check::MachineChecker::checkMigrationConservation(ctx, 5, 5, true);
+    check::MachineChecker::checkMigrationConservation(ctx, 5, 0, false);
+    check::MachineChecker::checkMigrationConservation(ctx, 0, 0, true);
+    EXPECT_TRUE(ctx.clean());
+    check::MachineChecker::checkMigrationConservation(ctx, 5, 4, true);
+    ASSERT_FALSE(ctx.clean());
+    EXPECT_NE(ctx.violations()[0].find("migration conservation"),
+              std::string::npos);
+    ctx.clearViolations();
+    // A sweep without caching means phantom invalidation work.
+    check::MachineChecker::checkMigrationConservation(ctx, 5, 5, false);
+    ASSERT_FALSE(ctx.clean());
+}
+
 TEST(CheckerPerturbation, EpochHookDetectsLostTask)
 {
     // End-to-end through the hook: a freshly built machine whose epoch
@@ -237,7 +257,7 @@ TEST_P(CheckedDesignRun, AllInvariantsHoldEndToEnd)
 INSTANTIATE_TEST_SUITE_P(AllNdpDesigns, CheckedDesignRun,
                          ::testing::ValuesIn(ndpDesigns()),
                          [](const auto &info) {
-                             return std::string(designName(info.param));
+                             return designToken(info.param);
                          });
 
 TEST(CheckedDesignRun, SecondWorkloadUnderO)

@@ -540,6 +540,98 @@ TEST(ConfigValidateDeath, RejectsUnknownBackendNames)
     EXPECT_DEATH(dramAddrMapFromName("rbx"), "unknown dram address map");
 }
 
+// ---- validate(): hierarchical load balancing (src/sched/lb) -----------
+
+namespace
+{
+
+/** Valid baseline with the balancer and migration on (HLB-mig). */
+SystemConfig
+hlbConfig()
+{
+    return applyDesign(SystemConfig{}, Design::HlbM);
+}
+
+} // namespace
+
+TEST(ConfigValidateDeath, RejectsLbWithNoTiers)
+{
+    auto cfg = hlbConfig();
+    cfg.lb.intraTier = LbTierKind::None;
+    cfg.lb.interTier = LbTierKind::None;
+    EXPECT_DEATH(cfg.validate(), "both tiers set to none");
+}
+
+TEST(ConfigValidateDeath, RejectsZeroHotK)
+{
+    auto cfg = hlbConfig();
+    cfg.lb.hotK = 0;
+    EXPECT_DEATH(cfg.validate(), "lb hotK must be nonzero");
+}
+
+TEST(ConfigValidateDeath, RejectsOversizedDecayShift)
+{
+    auto cfg = hlbConfig();
+    cfg.lb.decayShift = 64;
+    EXPECT_DEATH(cfg.validate(), "lb decayShift must be at most 63");
+}
+
+TEST(ConfigValidateDeath, RejectsZeroChunkWithStealingTier)
+{
+    auto cfg = hlbConfig();
+    cfg.lb.intraTier = LbTierKind::Stealing;
+    cfg.lb.chunkSize = 0;
+    EXPECT_DEATH(cfg.validate(),
+                 "chunkSize must be nonzero when a stealing tier");
+    // With no stealing tier the knob is dormant and tolerated.
+    auto cfg2 = hlbConfig();
+    cfg2.lb.intraTier = LbTierKind::Average;
+    cfg2.lb.interTier = LbTierKind::Reserve;
+    cfg2.lb.chunkSize = 0;
+    cfg2.validate();
+}
+
+TEST(ConfigValidateDeath, RejectsOutOfRangeReserveFrac)
+{
+    auto cfg = hlbConfig();
+    cfg.lb.interTier = LbTierKind::Reserve;
+    cfg.lb.reserveFrac = 1.5;
+    EXPECT_DEATH(cfg.validate(), "reserveFrac must be within");
+    // Without a reserve tier the knob is dormant and tolerated.
+    auto cfg2 = hlbConfig();
+    cfg2.lb.reserveFrac = -1.0;
+    cfg2.validate();
+}
+
+TEST(ConfigValidateDeath, RejectsMigrationWithoutBalancer)
+{
+    auto cfg = plainConfig();
+    cfg.lb.migration.enabled = true;
+    EXPECT_DEATH(cfg.validate(),
+                 "migration requires the load balancer");
+}
+
+TEST(ConfigValidateDeath, RejectsZeroMigrationThreshold)
+{
+    auto cfg = hlbConfig();
+    cfg.lb.migration.threshold = 0;
+    EXPECT_DEATH(cfg.validate(),
+                 "lb migration threshold must be nonzero");
+}
+
+TEST(ConfigValidateDeath, RejectsZeroMigrationCap)
+{
+    auto cfg = hlbConfig();
+    cfg.lb.migration.maxPerExchange = 0;
+    EXPECT_DEATH(cfg.validate(),
+                 "lb migration maxPerExchange must be nonzero");
+}
+
+TEST(ConfigValidateDeath, RejectsUnknownLbTierNames)
+{
+    EXPECT_DEATH(lbTierFromName("bogus"), "unknown lb tier");
+}
+
 // ---- design helpers ---------------------------------------------------
 
 TEST(ConfigValidateDeath, UnknownDesignPanics)

@@ -21,6 +21,8 @@
 #include "common/rng.hh"
 #include "energy/energy.hh"
 #include "mem/ddr_backend.hh"
+#include "sched/lb/data_hotness.hh"
+#include "sched/lb/home_indirection.hh"
 #include "serve/latency_recorder.hh"
 #include "serve/zipf.hh"
 #include "sim/bandwidth_meter.hh"
@@ -450,6 +452,153 @@ TEST(ZipfSamplerDifferential, KeysMatchLinearScanReference)
         // Boundary inversions, exactly representable in double.
         for (double u : {0.0, 0.25, 0.5, 0.999999, 1.0 - 1e-16})
             ASSERT_EQ(opt.keyFor(u), ref.keyFor(u)) << u;
+    }
+}
+
+// ---- DataHotness vs RefDataHotness ------------------------------------
+
+namespace
+{
+
+void
+expectSameEntries(const std::vector<HotEntry> &a,
+                  const std::vector<HotEntry> &b, std::uint64_t op,
+                  UnitId home)
+{
+    ASSERT_EQ(a.size(), b.size()) << "op " << op << " home " << home;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].block, b[i].block)
+            << "op " << op << " home " << home << " rank " << i;
+        ASSERT_EQ(a[i].cnt, b[i].cnt)
+            << "op " << op << " home " << home << " rank " << i;
+        ASSERT_EQ(a[i].reqId, b[i].reqId)
+            << "op " << op << " home " << home << " rank " << i;
+        ASSERT_EQ(a[i].reqCnt, b[i].reqCnt)
+            << "op " << op << " home " << home << " rank " << i;
+    }
+}
+
+} // namespace
+
+TEST(DataHotnessDifferential, LockStepAgainstReference)
+{
+    // Flat slot banks with in-place lossy counting vs a per-home
+    // std::map scanned naively. A tight block window over a small K
+    // forces constant min-evictions and Boyer-Moore vote churn.
+    constexpr std::uint32_t units = 8;
+    constexpr std::uint32_t hotK = 6;
+    constexpr std::uint32_t decayShift = 1;
+    DataHotness opt(units, hotK, decayShift);
+    check::RefDataHotness ref(units, hotK, decayShift);
+
+    Rng gen(0x407b10cc5u);
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+        auto home = static_cast<UnitId>(gen.below(units));
+        Addr a = drawBlockAddr(gen, 24); // few blocks: slot contention
+        auto req = static_cast<UnitId>(gen.below(units));
+        switch (gen.below(8)) {
+          case 7:
+            opt.erase(home, a);
+            ref.erase(home, a);
+            break;
+          default:
+            opt.record(home, a, req);
+            ref.record(home, a, req);
+            break;
+        }
+        if (i % 64 == 63) {
+            opt.decayAll();
+            ref.decayAll();
+        }
+        ASSERT_EQ(opt.totalCount(home), ref.totalCount(home))
+            << "op " << i;
+        if (i % 128 == 0)
+            for (UnitId h = 0; h < units; ++h)
+                expectSameEntries(opt.topK(h), ref.topK(h), i, h);
+    }
+    for (UnitId h = 0; h < units; ++h) {
+        expectSameEntries(opt.topK(h), ref.topK(h), kOps, h);
+        EXPECT_EQ(opt.totalCount(h), ref.totalCount(h)) << "home " << h;
+    }
+}
+
+TEST(DataHotnessDifferential, DecayFreesSlotsIdentically)
+{
+    // Full-strength decay (shift 63) zeroes everything: both sides
+    // must agree the banks are empty and reusable afterwards.
+    DataHotness opt(2, 4, 63);
+    check::RefDataHotness ref(2, 4, 63);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        Addr a = (i % 6) * cachelineBytes;
+        opt.record(0, a, 1);
+        ref.record(0, a, 1);
+    }
+    opt.decayAll();
+    ref.decayAll();
+    EXPECT_EQ(opt.totalCount(0), 0u);
+    EXPECT_EQ(ref.totalCount(0), 0u);
+    EXPECT_TRUE(opt.topK(0).empty());
+    EXPECT_TRUE(ref.topK(0).empty());
+    opt.record(0, 0, 1);
+    ref.record(0, 0, 1);
+    expectSameEntries(opt.topK(0), ref.topK(0), 65, 0);
+}
+
+// ---- HomeIndirection vs RefHomeIndirection ----------------------------
+
+TEST(HomeIndirectionDifferential, LockStepAgainstReference)
+{
+    // unordered_map overlay vs ordered std::map: every point query
+    // must agree. Static homes derive deterministically from the
+    // block number, like the range partition does.
+    constexpr std::uint32_t units = 16;
+    HomeIndirection opt;
+    check::RefHomeIndirection ref;
+
+    Rng gen(0x1d1ecccu);
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+        Addr a = drawBlockAddr(gen, 512);
+        auto base = static_cast<UnitId>(blockNumber(a) % units);
+        switch (gen.below(8)) {
+          case 0:
+          case 1:
+          case 2: {
+            auto to = static_cast<UnitId>(gen.below(units));
+            opt.set(a, to, base);
+            ref.set(a, to, base);
+            break;
+          }
+          case 3: {
+            // Move home again: exercises overwrite of a live entry.
+            auto to = static_cast<UnitId>(gen.below(units));
+            opt.set(a, to, base);
+            ref.set(a, to, base);
+            break;
+          }
+          case 4:
+            // Re-home back to base: the entry must vanish.
+            opt.set(a, base, base);
+            ref.set(a, base, base);
+            break;
+          default:
+            break;
+        }
+        ASSERT_EQ(opt.resolve(a, base), ref.resolve(a, base))
+            << "op " << i;
+        ASSERT_EQ(opt.entries(), ref.entries()) << "op " << i;
+        ASSERT_EQ(opt.active(), ref.active()) << "op " << i;
+        if (i % 6000 == 5999) {
+            opt.clear();
+            ref.clear();
+            ASSERT_FALSE(opt.active());
+        }
+    }
+    // Full sweep: every block in the window resolves identically.
+    for (std::uint64_t b = 0; b < 512; ++b) {
+        Addr a = b * cachelineBytes;
+        auto base = static_cast<UnitId>(b % units);
+        EXPECT_EQ(opt.resolve(a, base), ref.resolve(a, base))
+            << "block " << b;
     }
 }
 

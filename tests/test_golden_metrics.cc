@@ -288,6 +288,45 @@ TEST(GoldenMetrics, DdrSh) { checkDdrDesign(Design::Sh); }
 TEST(GoldenMetrics, DdrC) { checkDdrDesign(Design::C); }
 TEST(GoldenMetrics, DdrO) { checkDdrDesign(Design::O); }
 
+/**
+ * HLB golden locks: the hierarchical-balancer design points on the
+ * same batch, serving, and DDR geometries. These pin the shed/migration
+ * counters, the re-homed traffic and invalidation accounting, and —
+ * because the lb engine runs inside the exchange windows — every
+ * downstream scheduling stat the balancer perturbs. The classic
+ * goldens above double as the feature-off control: they must stay
+ * byte-identical without regeneration while HLB is unconfigured.
+ */
+TEST(GoldenMetrics, DesignHlb) { checkDesign(Design::Hlb); }
+TEST(GoldenMetrics, DesignHlbM) { checkDesign(Design::HlbM); }
+TEST(GoldenMetrics, ServingHlbM) { checkServingDesign(Design::HlbM); }
+TEST(GoldenMetrics, DdrHlbM) { checkDdrDesign(Design::HlbM); }
+
+/** Negative control for the HLB goldens: one flipped digit in a
+ *  balancer-only counter must fail the bit-exact comparison. */
+TEST(GoldenMetrics, HlbCatchesOneCounterPerturbation)
+{
+    if (std::getenv("ABNDP_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "regenerating goldens";
+
+    const std::string golden = readFile(goldenPath(Design::HlbM));
+    ASSERT_FALSE(golden.empty());
+
+    // Perturb the last digit of the tasksShedIntra counter line — a
+    // stat that only exists when the balancer is configured.
+    auto pos = golden.find("tasksShedIntra");
+    ASSERT_NE(pos, std::string::npos);
+    auto nl = golden.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    std::string perturbed = golden;
+    char &digit = perturbed[nl - 1];
+    ASSERT_TRUE(digit >= '0' && digit <= '9') << "unexpected format";
+    digit = digit == '9' ? '0' : static_cast<char>(digit + 1);
+
+    EXPECT_NE(perturbed, golden);
+    EXPECT_NE(perturbed, runAndDump(Design::HlbM));
+}
+
 /** Negative control for the DDR goldens: one flipped digit in a
  *  backend-only counter must fail the bit-exact comparison. */
 TEST(GoldenMetrics, DdrCatchesOneCounterPerturbation)

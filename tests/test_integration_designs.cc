@@ -53,7 +53,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(allDesigns()),
                        ::testing::ValuesIn(allWorkloadNames())),
     [](const auto &info) {
-        return std::string(designName(std::get<0>(info.param))) + "_"
+        return designToken(std::get<0>(info.param)) + "_"
             + std::get<1>(info.param);
     });
 
@@ -112,7 +112,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(allDesigns()),
                        ::testing::ValuesIn(allWorkloadNames())),
     [](const auto &info) {
-        return std::string(designName(std::get<0>(info.param))) + "_"
+        return designToken(std::get<0>(info.param)) + "_"
             + std::get<1>(info.param);
     });
 

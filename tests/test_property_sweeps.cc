@@ -41,7 +41,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Design::B, Design::Sl, Design::O),
                        ::testing::ValuesIn(allWorkloadNames())),
     [](const auto &info) {
-        return std::string(designName(std::get<0>(info.param))) + "_"
+        return designToken(std::get<0>(info.param)) + "_"
             + std::get<1>(info.param);
     });
 

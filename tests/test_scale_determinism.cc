@@ -185,6 +185,59 @@ TEST(ScaleDeterminism, DdrCellRunnerThreadCountInvariant)
     }
 }
 
+TEST(ScaleDeterminism, HlbRunTwiceBitExact)
+{
+    // The hierarchical balancer + data re-homing at steady-state
+    // scale: shed commands and migration plans are pure functions of
+    // exchange snapshots (no Rng draws), so two independent HLB-mig
+    // instances must dump byte-identical stats — including the shed
+    // and migration counters the lb node adds.
+    std::string a = runAndDump(Design::HlbM, scale16Spec("pr"));
+    std::string b = runAndDump(Design::HlbM, scale16Spec("pr"));
+    EXPECT_FALSE(a.empty());
+    EXPECT_NE(a.find("tasksShedIntra"), std::string::npos);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ScaleDeterminism, HlbCellRunnerThreadCountInvariant)
+{
+    // HLB cells inline vs on a 4-thread pool: the balancer state
+    // (hotness banks, indirection table, cooldown windows) is owned by
+    // one simulator instance, so per-cell metrics — including the
+    // lb-only shed/migration counters — must be identical regardless
+    // of host thread count.
+    SystemConfig base;
+    std::vector<CellSpec> cells;
+    for (Design d : {Design::Hlb, Design::HlbM}) {
+        CellSpec cell;
+        cell.design = d;
+        cell.workload = scale16Spec("pr");
+        cells.push_back(cell);
+    }
+
+    std::vector<RunMetrics> seq = runCells(base, cells, 1);
+    std::vector<RunMetrics> par = runCells(base, cells, 4);
+    ASSERT_EQ(seq.size(), cells.size());
+    ASSERT_EQ(par.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE(designName(cells[i].design));
+        EXPECT_EQ(seq[i].ticks, par[i].ticks);
+        EXPECT_EQ(seq[i].tasks, par[i].tasks);
+        EXPECT_EQ(seq[i].epochs, par[i].epochs);
+        EXPECT_EQ(seq[i].interHops, par[i].interHops);
+        EXPECT_EQ(seq[i].stolenTasks, par[i].stolenTasks);
+        EXPECT_EQ(seq[i].tasksShedIntra, par[i].tasksShedIntra);
+        EXPECT_EQ(seq[i].tasksShedInter, par[i].tasksShedInter);
+        EXPECT_EQ(seq[i].blocksMigrated, par[i].blocksMigrated);
+        EXPECT_EQ(seq[i].migrationInvalidations,
+                  par[i].migrationInvalidations);
+        EXPECT_EQ(seq[i].migrationTrafficBytes,
+                  par[i].migrationTrafficBytes);
+        EXPECT_EQ(seq[i].dramReads, par[i].dramReads);
+        EXPECT_EQ(seq[i].dramWrites, par[i].dramWrites);
+    }
+}
+
 namespace
 {
 

@@ -150,7 +150,7 @@ TEST_P(UnitFailureDesignRun, FailureRunsAreBitDeterministic)
 INSTANTIATE_TEST_SUITE_P(AllNdpDesigns, UnitFailureDesignRun,
                          ::testing::ValuesIn(ndpDesigns()),
                          [](const auto &info) {
-                             return designName(info.param);
+                             return designToken(info.param);
                          });
 
 // ---- Degraded-mode scheduling -----------------------------------------
